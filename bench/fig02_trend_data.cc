@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Fig. 2 — Root-cause trend of memory safety CVEs (Microsoft, BlueHat
+ * IL 2019). This is external vulnerability data, not a simulation
+ * output: the harness replays our digitization of the stacked chart
+ * and recomputes the observations the paper draws from it —
+ *
+ *  - stack corruption trends down (mitigated by canaries/ASLR/PA);
+ *  - heap corruption, heap OOB read and use-after-free dominate
+ *    recent years;
+ *  - non-adjacent spatial violations exceed 60% after 2014 (SI), the
+ *    argument against redzone/trip-wire schemes.
+ */
+
+#include <cstdio>
+
+namespace {
+
+constexpr int kFirstYear = 2006;
+constexpr int kYears = 13; // 2006..2018
+
+struct Series
+{
+    const char *name;
+    int counts[kYears];
+};
+
+// Digitized from the published figure (approximate; external data).
+const Series kSeries[] = {
+    {"StackCorruption", {32, 24, 21, 22, 26, 13, 4, 11, 4, 1, 3, 7, 8}},
+    {"HeapCorruption",
+     {36, 35, 43, 45, 64, 30, 36, 35, 28, 61, 71, 104, 79}},
+    {"HeapOOBRead", {1, 1, 2, 4, 9, 5, 7, 13, 17, 39, 76, 88, 55}},
+    {"UseAfterFree",
+     {12, 16, 18, 22, 44, 57, 39, 113, 186, 183, 87, 81, 99}},
+    {"TypeConfusion", {1, 2, 4, 7, 15, 25, 25, 36, 71, 81, 64, 8, 11}},
+    {"UninitializedUse", {6, 5, 6, 9, 22, 19, 8, 26, 61, 44, 30, 44, 41}},
+    {"Other", {59, 103, 61, 120, 59, 159, 139, 197, 221, 130, 120, 110,
+               100}},
+};
+
+} // namespace
+
+int
+main()
+{
+    std::printf("Fig. 2: root-cause trend of memory safety issues "
+                "(external CVE data, approximate digitization)\n\n");
+    std::printf("%-18s", "category");
+    for (int y = 0; y < kYears; ++y)
+        std::printf("%6d", kFirstYear + y);
+    std::printf("\n");
+    for (int i = 0; i < 96; ++i)
+        std::putchar('-');
+    std::putchar('\n');
+
+    int totals[kYears] = {};
+    for (const Series &s : kSeries) {
+        std::printf("%-18s", s.name);
+        for (int y = 0; y < kYears; ++y) {
+            std::printf("%6d", s.counts[y]);
+            totals[y] += s.counts[y];
+        }
+        std::printf("\n");
+    }
+
+    // Observation 1: stack corruption share trends down.
+    const double stack_2006 =
+        100.0 * kSeries[0].counts[0] / totals[0];
+    const double stack_2018 =
+        100.0 * kSeries[0].counts[kYears - 1] / totals[kYears - 1];
+    std::printf("\nstack-corruption share: %.1f%% (2006) -> %.1f%% "
+                "(2018)  [paper: downward trend]\n",
+                stack_2006, stack_2018);
+
+    // Observation 2: heap issues dominate recent years.
+    double heap_recent = 0, all_recent = 0;
+    for (int y = 8; y < kYears; ++y) { // 2014..2018
+        heap_recent += kSeries[1].counts[y] + kSeries[2].counts[y] +
+                       kSeries[3].counts[y];
+        all_recent += totals[y];
+    }
+    std::printf("heap corruption + OOB read + UAF share 2014-2018: "
+                "%.1f%% of categorized memory-safety issues\n",
+                100.0 * heap_recent / all_recent);
+
+    // Observation 3 (SI): non-adjacent spatial violations > 60% since
+    // 2014 — OOB reads + UAF vs adjacent-overflow corruption.
+    double nonadj = 0, spatial_all = 0;
+    for (int y = 8; y < kYears; ++y) {
+        nonadj += kSeries[2].counts[y] + kSeries[3].counts[y];
+        spatial_all += kSeries[1].counts[y] + kSeries[2].counts[y] +
+                       kSeries[3].counts[y];
+    }
+    std::printf("non-adjacent (OOB-read/UAF) share of heap issues since "
+                "2014: %.1f%%  [paper: >60%%, defeating redzones]\n",
+                100.0 * nonadj / spatial_all);
+    return 0;
+}

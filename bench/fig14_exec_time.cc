@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Fig. 14 — Normalized execution time of Watchdog, PA, AOS and PA+AOS
+ * over the Baseline for the 16 SPEC CPU 2006 workload profiles.
+ *
+ * Paper reference points: Watchdog 1.194 geomean, PA ~1.005 (with
+ * ~10% outliers on call-heavy hmmer/omnetpp), AOS 1.084, PA+AOS ~+1.5%
+ * over AOS; milc/namd/gobmk/astar marginally below 1.0 under AOS.
+ */
+
+#include "bench/harness.hh"
+#include "common/stats.hh"
+
+using namespace aos;
+using namespace aos::bench;
+using baselines::Mechanism;
+
+int
+main()
+{
+    setQuiet(true);
+    const u64 ops = simOps();
+
+    std::printf("Fig. 14: normalized execution time (lower is better)\n");
+    std::printf("measured window: %llu source micro-ops per run "
+                "(AOS_SIM_OPS to change)\n\n",
+                static_cast<unsigned long long>(ops));
+    std::printf("Table IV machine: 2GHz 8-wide OoO, 192 ROB, 48 MCQ, "
+                "L-TAGE, 64KB L1-D, 32KB L1-B, 8MB L2, 16-bit PAC, "
+                "1-way 4MB initial HBT\n\n");
+
+    const Mechanism mechs[] = {Mechanism::kWatchdog, Mechanism::kPa,
+                               Mechanism::kAos, Mechanism::kPaAos};
+
+    std::printf("%-12s %10s %10s %10s %10s\n", "workload", "Watchdog",
+                "PA", "AOS", "PA+AOS");
+    rule(56);
+
+    GeoAccum geo[4];
+    for (const auto &profile : workloads::specProfiles()) {
+        const core::RunResult base =
+            runConfig(profile, Mechanism::kBaseline, ops);
+        std::printf("%-12s", profile.name.c_str());
+        for (unsigned m = 0; m < 4; ++m) {
+            const core::RunResult r = runConfig(profile, mechs[m], ops);
+            const double norm = static_cast<double>(r.core.cycles) /
+                                static_cast<double>(base.core.cycles);
+            geo[m].add(norm);
+            std::printf(" %10.3f", norm);
+            std::fflush(stdout);
+        }
+        std::printf("\n");
+    }
+    rule(56);
+    std::printf("%-12s", "geomean");
+    for (unsigned m = 0; m < 4; ++m)
+        std::printf(" %10.3f", geo[m].geomean());
+    std::printf("\n%-12s %10.3f %10.3f %10.3f %10s\n", "paper", 1.194,
+                1.005, 1.084, "AOS+1.5%");
+    return 0;
+}

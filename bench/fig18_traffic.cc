@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Fig. 18 — Normalized network traffic (bytes moved between caches and
+ * between the LLC and DRAM) of Watchdog, PA, AOS and PA+AOS over the
+ * Baseline.
+ *
+ * Paper reference: Watchdog +31% and PA+AOS +18% on average; gcc,
+ * povray and omnetpp are the high-traffic AOS outliers.
+ */
+
+#include "bench/harness.hh"
+
+using namespace aos;
+using namespace aos::bench;
+using baselines::Mechanism;
+
+int
+main()
+{
+    setQuiet(true);
+    const u64 ops = simOps();
+
+    const Mechanism mechs[] = {Mechanism::kWatchdog, Mechanism::kPa,
+                               Mechanism::kAos, Mechanism::kPaAos};
+
+    std::printf("Fig. 18: normalized network traffic (lower is better), "
+                "%llu ops/run\n\n",
+                static_cast<unsigned long long>(ops));
+    std::printf("%-12s %10s %10s %10s %10s\n", "workload", "Watchdog",
+                "PA", "AOS", "PA+AOS");
+    rule(56);
+
+    GeoAccum geo[4];
+    for (const auto &profile : workloads::specProfiles()) {
+        const core::RunResult base =
+            runConfig(profile, Mechanism::kBaseline, ops);
+        std::printf("%-12s", profile.name.c_str());
+        for (unsigned m = 0; m < 4; ++m) {
+            const core::RunResult r = runConfig(profile, mechs[m], ops);
+            const double norm =
+                base.networkTraffic
+                    ? static_cast<double>(r.networkTraffic) /
+                          static_cast<double>(base.networkTraffic)
+                    : 1.0;
+            geo[m].add(norm);
+            std::printf(" %10.3f", norm);
+            std::fflush(stdout);
+        }
+        std::printf("\n");
+    }
+    rule(56);
+    std::printf("%-12s", "geomean");
+    for (unsigned m = 0; m < 4; ++m)
+        std::printf(" %10.3f", geo[m].geomean());
+    std::printf("\n%-12s %10.2f %10s %10s %10.2f\n", "paper", 1.31, "~1",
+                "<PA+AOS", 1.18);
+    return 0;
+}

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Shared helpers for the per-figure/table harness binaries.
+ *
+ * Every harness runs standalone with sensible defaults; the simulated
+ * window can be scaled with environment variables:
+ *
+ *   AOS_SIM_OPS       measured micro-ops per timing run (default 400k)
+ *   AOS_REPLAY_SCALE  divisor for full allocation replays (default 1)
+ */
+
+#ifndef AOS_BENCH_HARNESS_HH
+#define AOS_BENCH_HARNESS_HH
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "common/logging.hh"
+#include "common/stats.hh"
+#include "core/aos_system.hh"
+#include "workloads/workload_profile.hh"
+
+namespace aos::bench {
+
+inline u64
+envU64(const char *name, u64 fallback)
+{
+    const char *value = std::getenv(name);
+    if (!value || !*value)
+        return fallback;
+    return std::strtoull(value, nullptr, 0);
+}
+
+inline u64
+simOps()
+{
+    return envU64("AOS_SIM_OPS", 1'000'000);
+}
+
+/** Run one workload under one configuration. */
+inline core::RunResult
+runConfig(const workloads::WorkloadProfile &profile,
+          baselines::Mechanism mech, u64 ops,
+          const baselines::SystemOptions &base = {})
+{
+    baselines::SystemOptions options = base;
+    options.mech = mech;
+    options.measureOps = ops;
+    core::AosSystem system(profile, options);
+    return system.run();
+}
+
+/** Print a separator line of width @p width. */
+inline void
+rule(unsigned width = 100)
+{
+    for (unsigned i = 0; i < width; ++i)
+        std::putchar('-');
+    std::putchar('\n');
+}
+
+struct GeoAccum
+{
+    std::vector<double> values;
+
+    void add(double v) { values.push_back(v); }
+    double geomean() const { return aos::geomean(values); }
+};
+
+} // namespace aos::bench
+
+#endif // AOS_BENCH_HARNESS_HH

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Microbenchmark: heap-allocator model throughput (malloc/free churn
+ * across size classes), which bounds Table II replay speed.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "alloc/heap_allocator.hh"
+#include "common/random.hh"
+
+using namespace aos;
+using namespace aos::alloc;
+
+namespace {
+
+void
+BM_MallocFreeFastbin(benchmark::State &state)
+{
+    HeapAllocator heap;
+    for (auto _ : state) {
+        const Addr p = heap.malloc(48);
+        benchmark::DoNotOptimize(p);
+        heap.free(p);
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+
+void
+BM_MallocFreeLarge(benchmark::State &state)
+{
+    HeapAllocator heap;
+    for (auto _ : state) {
+        const Addr p = heap.malloc(8192);
+        benchmark::DoNotOptimize(p);
+        heap.free(p);
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+
+void
+BM_ChurnSteadyState(benchmark::State &state)
+{
+    const u64 live_target = static_cast<u64>(state.range(0));
+    HeapAllocator heap;
+    Rng rng(1);
+    while (heap.liveCount() < live_target)
+        heap.malloc(16 + rng.below(1024));
+    for (auto _ : state) {
+        heap.free(heap.liveChunk(rng.below(heap.liveCount())));
+        benchmark::DoNotOptimize(heap.malloc(16 + rng.below(1024)));
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+
+} // namespace
+
+BENCHMARK(BM_MallocFreeFastbin);
+BENCHMARK(BM_MallocFreeLarge);
+BENCHMARK(BM_ChurnSteadyState)->Arg(1000)->Arg(100000)->ArgName("live");

@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Microbenchmark: hashed-bounds-table operations — insert, check (hit
+ * and miss), clear, and a full resize+migration, across PAC pressure
+ * levels.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "bounds/compression.hh"
+#include "bounds/hashed_bounds_table.hh"
+#include "common/random.hh"
+
+using namespace aos;
+using namespace aos::bounds;
+
+namespace {
+
+constexpr Addr kBase = 0x3000'0000'0000ull;
+
+void
+BM_HbtInsertClear(benchmark::State &state)
+{
+    HashedBoundsTable hbt(kBase, 16, 1);
+    Rng rng(1);
+    Addr next = 0x20000000;
+    for (auto _ : state) {
+        const u64 pac = rng.below(1 << 16);
+        const Addr base = next;
+        next += 0x100;
+        const auto way = hbt.insert(pac, compress(base, 64));
+        benchmark::DoNotOptimize(way);
+        hbt.clear(pac, base);
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+
+void
+BM_HbtCheckHit(benchmark::State &state)
+{
+    // Pressure = live records per row (PAC collisions).
+    const unsigned per_row = static_cast<unsigned>(state.range(0));
+    HashedBoundsTable hbt(kBase, 10, 8);
+    std::vector<std::pair<u64, Addr>> live;
+    Addr next = 0x20000000;
+    for (u64 pac = 0; pac < 1024; ++pac) {
+        for (unsigned i = 0; i < per_row; ++i) {
+            hbt.insert(pac, compress(next, 64));
+            live.emplace_back(pac, next);
+            next += 0x100;
+        }
+    }
+    Rng rng(2);
+    for (auto _ : state) {
+        const auto &[pac, base] = live[rng.below(live.size())];
+        benchmark::DoNotOptimize(hbt.check(pac, base + 32, 0, nullptr));
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+
+void
+BM_HbtCheckMiss(benchmark::State &state)
+{
+    HashedBoundsTable hbt(kBase, 10, 8);
+    Addr next = 0x20000000;
+    for (u64 pac = 0; pac < 1024; ++pac) {
+        for (unsigned i = 0; i < 8; ++i) {
+            hbt.insert(pac, compress(next, 64));
+            next += 0x100;
+        }
+    }
+    Rng rng(3);
+    for (auto _ : state) {
+        // Address far outside every record: worst-case full-row scan.
+        benchmark::DoNotOptimize(
+            hbt.check(rng.below(1024), 0x70000000, 0, nullptr));
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+
+void
+BM_HbtResizeMigration(benchmark::State &state)
+{
+    for (auto _ : state) {
+        state.PauseTiming();
+        HashedBoundsTable hbt(kBase, 12, 1);
+        Addr next = 0x20000000;
+        Rng rng(4);
+        for (int i = 0; i < 4096; ++i) {
+            hbt.insert(rng.below(1 << 12), compress(next, 64));
+            next += 0x100;
+        }
+        state.ResumeTiming();
+        hbt.beginResize();
+        hbt.finishResize();
+        benchmark::DoNotOptimize(hbt.ways());
+    }
+    state.SetItemsProcessed(state.iterations() * 4096);
+}
+
+} // namespace
+
+BENCHMARK(BM_HbtInsertClear);
+BENCHMARK(BM_HbtCheckHit)->Arg(1)->Arg(4)->Arg(16)->ArgName("per_row");
+BENCHMARK(BM_HbtCheckMiss);
+BENCHMARK(BM_HbtResizeMigration)->Unit(benchmark::kMicrosecond);

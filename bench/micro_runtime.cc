@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Microbenchmark: AosRuntime end-to-end operation costs — protected
+ * malloc/free pairs, checked loads (hit/violation), and the narrowing
+ * extension — versus the unprotected allocator, giving the functional
+ * layer's own overhead picture.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "alloc/heap_allocator.hh"
+#include "common/random.hh"
+#include "core/aos_runtime.hh"
+
+using namespace aos;
+using core::AosRuntime;
+
+namespace {
+
+void
+BM_BareMallocFree(benchmark::State &state)
+{
+    alloc::HeapAllocator heap;
+    for (auto _ : state) {
+        const Addr p = heap.malloc(64);
+        benchmark::DoNotOptimize(p);
+        heap.free(p);
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+
+void
+BM_ProtectedMallocFree(benchmark::State &state)
+{
+    AosRuntime rt;
+    for (auto _ : state) {
+        const Addr p = rt.malloc(64);
+        benchmark::DoNotOptimize(p);
+        rt.free(p);
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+
+void
+BM_CheckedLoadHit(benchmark::State &state)
+{
+    AosRuntime rt;
+    const Addr p = rt.malloc(256);
+    Rng rng(1);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(rt.load(p + (rng.below(256) & ~7ull)));
+    state.SetItemsProcessed(state.iterations());
+}
+
+void
+BM_CheckedLoadAcrossLiveSet(benchmark::State &state)
+{
+    AosRuntime rt;
+    Rng rng(2);
+    std::vector<Addr> ptrs;
+    for (int i = 0; i < 10000; ++i)
+        ptrs.push_back(rt.malloc(64));
+    for (auto _ : state)
+        benchmark::DoNotOptimize(
+            rt.load(ptrs[rng.below(ptrs.size())] + 8));
+    state.SetItemsProcessed(state.iterations());
+}
+
+void
+BM_ViolationDetection(benchmark::State &state)
+{
+    AosRuntime rt;
+    const Addr p = rt.malloc(64);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(rt.load(p + 4096));
+    state.SetItemsProcessed(state.iterations());
+}
+
+void
+BM_NarrowWiden(benchmark::State &state)
+{
+    AosRuntime rt;
+    const Addr obj = rt.malloc(256);
+    for (auto _ : state) {
+        const Addr field = rt.narrow(obj, 64, 32);
+        benchmark::DoNotOptimize(field);
+        rt.widen(field);
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+
+} // namespace
+
+BENCHMARK(BM_BareMallocFree);
+BENCHMARK(BM_ProtectedMallocFree);
+BENCHMARK(BM_CheckedLoadHit);
+BENCHMARK(BM_CheckedLoadAcrossLiveSet);
+BENCHMARK(BM_ViolationDetection);
+BENCHMARK(BM_NarrowWiden);

@@ -1,0 +1,282 @@
+#include "alloc/heap_allocator.hh"
+
+#include <algorithm>
+
+#include "common/bitfield.hh"
+#include "common/logging.hh"
+
+namespace aos::alloc {
+
+HeapAllocator::HeapAllocator(Addr heap_base, u64 heap_limit)
+    : _heapBase(roundUp(heap_base, 16)), _heapLimit(heap_limit),
+      _top(_heapBase)
+{
+}
+
+void
+HeapAllocator::reset()
+{
+    _top = _heapBase;
+    _chunks.clear();
+    _freeBySize.clear();
+    for (auto &bin : _fastbins)
+        bin.clear();
+    _forged.clear();
+    _liveList.clear();
+    _liveIndex.clear();
+    _stats = AllocStats();
+}
+
+u64
+HeapAllocator::chunkSizeFor(u64 user_size)
+{
+    return std::max<u64>(kMinChunk, roundUp(user_size + kHeader, 16));
+}
+
+unsigned
+HeapAllocator::fastbinIndex(u64 chunk_size)
+{
+    // chunk sizes 32, 48, ..., 32 + 16*(kNumFastbins-1).
+    return static_cast<unsigned>((chunk_size - kMinChunk) / 16);
+}
+
+Addr
+HeapAllocator::carveTop(u64 chunk_size)
+{
+    if (_top + chunk_size > _heapBase + _heapLimit)
+        return 0;
+    const Addr base = _top;
+    _top += chunk_size;
+    return base;
+}
+
+void
+HeapAllocator::insertFree(Addr base, u64 chunk_size)
+{
+    _freeBySize.emplace(chunk_size, base);
+}
+
+void
+HeapAllocator::removeFree(Addr base)
+{
+    auto it = _chunks.find(base);
+    panic_if(it == _chunks.end(), "removeFree of unknown chunk");
+    auto [lo, hi] = _freeBySize.equal_range(it->second.chunkSize);
+    for (auto fit = lo; fit != hi; ++fit) {
+        if (fit->second == base) {
+            _freeBySize.erase(fit);
+            return;
+        }
+    }
+    panic("free chunk %#lx missing from size index", base);
+}
+
+void
+HeapAllocator::addLive(Addr user_addr, u64 user_size)
+{
+    _liveIndex[user_addr] = _liveList.size();
+    _liveList.push_back(user_addr);
+    ++_stats.active;
+    _stats.maxActive = std::max(_stats.maxActive, _stats.active);
+    _stats.liveBytes += user_size;
+    _stats.peakBytes = std::max(_stats.peakBytes, _stats.liveBytes);
+}
+
+void
+HeapAllocator::removeLive(Addr user_addr)
+{
+    auto it = _liveIndex.find(user_addr);
+    panic_if(it == _liveIndex.end(), "removeLive of non-live chunk");
+    const u64 idx = it->second;
+    const Addr last = _liveList.back();
+    _liveList[idx] = last;
+    _liveIndex[last] = idx;
+    _liveList.pop_back();
+    _liveIndex.erase(it);
+    --_stats.active;
+}
+
+Addr
+HeapAllocator::liveChunk(u64 index) const
+{
+    panic_if(index >= _liveList.size(), "liveChunk index out of range");
+    return _liveList[index];
+}
+
+Addr
+HeapAllocator::malloc(u64 size)
+{
+    ++_stats.allocCalls;
+    const u64 need = chunkSizeFor(size);
+
+    Addr base = 0;
+    // 1. Fastbin LIFO reuse for small chunks.
+    if (need <= kFastbinMax + kHeader) {
+        auto &bin = _fastbins[fastbinIndex(need)];
+        if (!bin.empty()) {
+            base = bin.back();
+            bin.pop_back();
+            ++_stats.fastbinHits;
+            auto it = _chunks.find(base);
+            if (it != _chunks.end()) {
+                it->second.free = false;
+                it->second.inFastbin = false;
+                it->second.size = size;
+            } else {
+                // A forged chunk planted by the House-of-Spirit attack:
+                // malloc now returns attacker-controlled memory.
+                _chunks[base] = Chunk{size, need, false, false};
+            }
+            addLive(base + kHeader, size);
+            return base + kHeader;
+        }
+    }
+
+    // 2. Best-fit search of the coalesced free list.
+    auto fit = _freeBySize.lower_bound(need);
+    if (fit != _freeBySize.end()) {
+        base = fit->second;
+        const u64 have = fit->first;
+        _freeBySize.erase(fit);
+        auto it = _chunks.find(base);
+        panic_if(it == _chunks.end(), "free-list chunk lost");
+        if (have >= need + kMinChunk) {
+            // Split: keep the tail as a smaller free chunk.
+            const Addr rest = base + need;
+            const u64 rest_size = have - need;
+            _chunks[rest] = Chunk{0, rest_size, true, false};
+            insertFree(rest, rest_size);
+            ++_stats.splits;
+            it->second.chunkSize = need;
+        }
+        it->second.free = false;
+        it->second.size = size;
+        addLive(base + kHeader, size);
+        return base + kHeader;
+    }
+
+    // 3. Extend the top of the heap.
+    base = carveTop(need);
+    if (base == 0)
+        return 0; // out of simulated memory
+    _chunks[base] = Chunk{size, need, false, false};
+    addLive(base + kHeader, size);
+    return base + kHeader;
+}
+
+FreeResult
+HeapAllocator::free(Addr user_addr)
+{
+    const Addr base = user_addr - kHeader;
+    auto it = _chunks.find(base);
+
+    if (it == _chunks.end()) {
+        // Unknown chunk: emulate glibc's fastbin sanity checks. An
+        // attacker who forged a header with a fastbin-sized size field
+        // (House of Spirit) passes them and poisons the bin.
+        auto forged = _forged.find(user_addr);
+        if (forged != _forged.end()) {
+            const u64 chunk_size = chunkSizeFor(forged->second);
+            if (chunk_size <= kFastbinMax + kHeader &&
+                (base & 15) == 0) {
+                _fastbins[fastbinIndex(chunk_size)].push_back(base);
+                ++_stats.freeCalls;
+                return FreeResult::kCorrupting;
+            }
+        }
+        ++_stats.failedFrees;
+        return FreeResult::kInvalidPtr;
+    }
+
+    Chunk &chunk = it->second;
+    if (chunk.free || chunk.inFastbin) {
+        // glibc only catches a double free when the chunk is at the
+        // head of its fastbin ("double free or corruption (fasttop)").
+        if (chunk.inFastbin) {
+            auto &bin = _fastbins[fastbinIndex(chunk.chunkSize)];
+            if (!bin.empty() && bin.back() == base) {
+                ++_stats.failedFrees;
+                return FreeResult::kDoubleFree;
+            }
+            bin.push_back(base);
+            ++_stats.freeCalls;
+            return FreeResult::kCorrupting;
+        }
+        ++_stats.failedFrees;
+        return FreeResult::kDoubleFree;
+    }
+
+    _stats.liveBytes -= chunk.size;
+    removeLive(user_addr);
+    ++_stats.freeCalls;
+
+    if (chunk.chunkSize <= kFastbinMax + kHeader) {
+        chunk.inFastbin = true;
+        _fastbins[fastbinIndex(chunk.chunkSize)].push_back(base);
+        return FreeResult::kOk;
+    }
+
+    // Boundary-tag coalescing with the previous and next chunks. This
+    // is the neighbour-metadata walk that makes free() legitimately
+    // touch addresses outside the freed object (paper SIV-C).
+    chunk.free = true;
+    Addr merged_base = base;
+    u64 merged_size = chunk.chunkSize;
+
+    auto next = std::next(it);
+    if (next != _chunks.end() && next->first == base + chunk.chunkSize &&
+        next->second.free && !next->second.inFastbin) {
+        removeFree(next->first);
+        merged_size += next->second.chunkSize;
+        _chunks.erase(next);
+        ++_stats.coalesces;
+    }
+    if (it != _chunks.begin()) {
+        auto prev = std::prev(it);
+        if (prev->first + prev->second.chunkSize == base &&
+            prev->second.free && !prev->second.inFastbin) {
+            removeFree(prev->first);
+            merged_base = prev->first;
+            merged_size += prev->second.chunkSize;
+            _chunks.erase(it);
+            it = prev;
+            ++_stats.coalesces;
+        }
+    }
+    it->second.free = true;
+    it->second.chunkSize = merged_size;
+    it->second.size = 0;
+    panic_if(it->first != merged_base, "coalesce bookkeeping mismatch");
+    insertFree(merged_base, merged_size);
+    return FreeResult::kOk;
+}
+
+u64
+HeapAllocator::usableSize(Addr user_addr) const
+{
+    auto it = _chunks.find(user_addr - kHeader);
+    if (it == _chunks.end() || it->second.free || it->second.inFastbin)
+        return 0;
+    return it->second.size;
+}
+
+bool
+HeapAllocator::live(Addr user_addr) const
+{
+    return _liveIndex.count(user_addr) != 0;
+}
+
+bool
+HeapAllocator::inBounds(Addr user_addr, Addr addr) const
+{
+    const u64 size = usableSize(user_addr);
+    return size != 0 && addr >= user_addr && addr < user_addr + size;
+}
+
+void
+HeapAllocator::forgeChunkHeader(Addr where, u64 size)
+{
+    _forged[where] = size;
+}
+
+} // namespace aos::alloc

@@ -1,0 +1,83 @@
+#include "analysis/pac_analysis.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace aos::analysis {
+
+double
+pacGuessProb(unsigned pac_bits)
+{
+    return std::ldexp(1.0, -static_cast<int>(pac_bits));
+}
+
+u64
+attemptsForGuessProbability(unsigned pac_bits, double target)
+{
+    fatal_if(target <= 0.0 || target >= 1.0,
+             "target probability must be in (0, 1)");
+    const double q = 1.0 - pacGuessProb(pac_bits);
+    // Floored, matching the paper's arithmetic (45425 for 16 bits at
+    // 50%): the count of attempts the attacker completes while the
+    // success probability is still below the target.
+    return static_cast<u64>(
+        std::floor(std::log(1.0 - target) / std::log(q)));
+}
+
+double
+poissonPmf(double lambda, unsigned k)
+{
+    // exp(-lambda + k ln lambda - ln k!) for numerical stability.
+    if (lambda == 0.0)
+        return k == 0 ? 1.0 : 0.0;
+    return std::exp(-lambda + k * std::log(lambda) -
+                    std::lgamma(static_cast<double>(k) + 1.0));
+}
+
+double
+poissonTail(double lambda, unsigned capacity)
+{
+    double cdf = 0.0;
+    for (unsigned k = 0; k <= capacity; ++k)
+        cdf += poissonPmf(lambda, k);
+    return std::max(0.0, 1.0 - cdf);
+}
+
+double
+expectedOverflowingRows(u64 live_objects, unsigned pac_bits,
+                        unsigned row_capacity)
+{
+    const double rows = std::ldexp(1.0, static_cast<int>(pac_bits));
+    const double lambda = static_cast<double>(live_objects) / rows;
+    return rows * poissonTail(lambda, row_capacity);
+}
+
+unsigned
+predictedAssociativity(u64 live_objects, unsigned pac_bits,
+                       unsigned records_per_way, double tolerance)
+{
+    unsigned assoc = 1;
+    while (assoc < 4096) {
+        const double overflowing = expectedOverflowingRows(
+            live_objects, pac_bits, assoc * records_per_way);
+        if (overflowing < tolerance)
+            return assoc;
+        assoc *= 2;
+    }
+    return assoc;
+}
+
+double
+wildPointerEscapeProb(u64 live_objects, unsigned pac_bits,
+                      double avg_object_bytes)
+{
+    // Per live record, the wild pointer must share its PAC (2^-b) and
+    // land inside its bounds in the 33-bit truncated address space.
+    const double per_record = pacGuessProb(pac_bits) *
+                              (avg_object_bytes / std::ldexp(1.0, 33));
+    // Union bound over live records (tight for small probabilities).
+    return std::min(1.0, per_record * static_cast<double>(live_objects));
+}
+
+} // namespace aos::analysis

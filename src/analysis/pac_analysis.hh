@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Closed-form security and capacity analysis for PAC-indexed bounds
+ * (paper SVI and SVII-E).
+ *
+ * Three questions the paper answers with these models:
+ *
+ *  1. How hard is PAC forging? With a b-bit PAC, an attacker needs
+ *     ~ln(1-p)/ln(1-2^-b) guesses for success probability p — the
+ *     paper cites 45425 attempts for 50% with 16-bit PACs, and any
+ *     failed guess raises an AOS exception.
+ *  2. How full do HBT rows get? With n live objects hashed uniformly
+ *     into 2^b rows, row occupancy is ~Poisson(n/2^b); the probability
+ *     that some row overflows a capacity of c records predicts when
+ *     gradual resizing triggers (SIX-A.1).
+ *  3. What is the false-positive rate? A stale/forged pointer passes
+ *     only if it collides in PAC *and* lands inside a live record's
+ *     33-bit truncated bounds.
+ */
+
+#ifndef AOS_ANALYSIS_PAC_ANALYSIS_HH
+#define AOS_ANALYSIS_PAC_ANALYSIS_HH
+
+#include "common/types.hh"
+
+namespace aos::analysis {
+
+/** Probability that one random PAC guess is correct. */
+double pacGuessProb(unsigned pac_bits);
+
+/**
+ * Number of independent guesses needed to reach success probability
+ * @p target (paper: 45425 for 50% at 16 bits).
+ */
+u64 attemptsForGuessProbability(unsigned pac_bits, double target);
+
+/** Poisson P(X = k) with mean @p lambda. */
+double poissonPmf(double lambda, unsigned k);
+
+/** Poisson P(X > capacity) with mean @p lambda. */
+double poissonTail(double lambda, unsigned capacity);
+
+/**
+ * Expected number of HBT rows whose occupancy exceeds @p row_capacity
+ * when @p live_objects hash uniformly into 2^pac_bits rows.
+ */
+double expectedOverflowingRows(u64 live_objects, unsigned pac_bits,
+                               unsigned row_capacity);
+
+/**
+ * Smallest row associativity (power of two, with @p records_per_way
+ * records per way) for which fewer than @p tolerance rows are expected
+ * to overflow — i.e. the table size gradual resizing converges to.
+ */
+unsigned predictedAssociativity(u64 live_objects, unsigned pac_bits,
+                                unsigned records_per_way,
+                                double tolerance = 0.5);
+
+/**
+ * Probability that a random wild pointer (attacker-controlled address
+ * with a guessed PAC) passes bounds checking, given @p live_objects
+ * live records of average size @p avg_object_bytes: it must match a
+ * PAC (2^-b) and fall inside one of that row's records within the
+ * 2^33-byte truncated address space.
+ */
+double wildPointerEscapeProb(u64 live_objects, unsigned pac_bits,
+                             double avg_object_bytes);
+
+} // namespace aos::analysis
+
+#endif // AOS_ANALYSIS_PAC_ANALYSIS_HH

@@ -1,0 +1,88 @@
+#include "baselines/redzone_runtime.hh"
+
+#include "common/logging.hh"
+
+namespace aos::baselines {
+
+RedzoneRuntime::RedzoneRuntime(u64 redzone_bytes, u64 quarantine_depth)
+    : _redzoneBytes(redzone_bytes), _quarantineDepth(quarantine_depth)
+{
+    fatal_if(redzone_bytes == 0, "a zero-byte redzone detects nothing");
+}
+
+void
+RedzoneRuntime::blacklist(Addr begin, Addr end)
+{
+    _zones[begin] = end;
+    _stats.redzoneBytes += end - begin;
+}
+
+void
+RedzoneRuntime::unblacklist(Addr begin)
+{
+    auto it = _zones.find(begin);
+    if (it == _zones.end())
+        return;
+    _stats.redzoneBytes -= it->second - it->first;
+    _zones.erase(it);
+}
+
+Addr
+RedzoneRuntime::malloc(u64 size)
+{
+    // Over-allocate: [redzone | object | redzone].
+    const Addr block = _heap.malloc(size + 2 * _redzoneBytes);
+    if (block == 0)
+        return 0;
+    const Addr user = block + _redzoneBytes;
+    blacklist(block, user);
+    blacklist(user + size, user + size + _redzoneBytes);
+    _objects[user] = size;
+    ++_stats.mallocs;
+    return user;
+}
+
+RedzoneStatus
+RedzoneRuntime::free(Addr user_addr)
+{
+    auto it = _objects.find(user_addr);
+    if (it == _objects.end())
+        return RedzoneStatus::kInvalidFree;
+    const u64 size = it->second;
+    _objects.erase(it);
+    ++_stats.frees;
+
+    // Temporal safety needs a quarantine: blacklist the whole object
+    // and defer the real free. (This pool is the main cost of REST's
+    // software framework, which AOS avoids, SIV-C.)
+    blacklist(user_addr, user_addr + size);
+    _quarantine.push_back({user_addr, size});
+
+    while (_quarantine.size() > _quarantineDepth) {
+        const auto [victim, vsize] = _quarantine.front();
+        _quarantine.pop_front();
+        // Release the object and its surrounding redzones for reuse.
+        unblacklist(victim - _redzoneBytes);
+        unblacklist(victim);
+        unblacklist(victim + vsize);
+        _heap.free(victim - _redzoneBytes);
+    }
+    _stats.quarantined = _quarantine.size();
+    return RedzoneStatus::kOk;
+}
+
+RedzoneStatus
+RedzoneRuntime::access(Addr addr)
+{
+    auto it = _zones.upper_bound(addr);
+    if (it != _zones.begin()) {
+        --it;
+        if (addr >= it->first && addr < it->second) {
+            ++_stats.tripwires;
+            return RedzoneStatus::kTripwire;
+        }
+    }
+    return RedzoneStatus::kOk;
+}
+
+} // namespace aos::baselines

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * A REST-style trip-wire (blacklisting) baseline (paper SI, SX).
+ *
+ * REST [Sinha & Sethumadhavan, ISCA 2018] surrounds heap objects with
+ * redzones filled with a secret token and detects any access that
+ * touches a token in the cache hierarchy. The paper's introduction
+ * argues this class is fundamentally limited: an out-of-bounds access
+ * that *jumps over* the redzone lands in ordinary memory and is never
+ * detected — and non-adjacent violations are >60% of recent heap CVEs.
+ *
+ * This functional model exists to demonstrate that coverage gap next
+ * to AOS (tests/redzone_test.cc): same allocator, same probes, with
+ * detection keyed purely on whether the address falls inside a
+ * redzone. Temporal safety requires a quarantine pool (freed chunks
+ * are redzoned but must eventually be reused), which is also modeled —
+ * the performance cost of that pool is the paper's argument for AOS's
+ * quarantine-free temporal safety (SIV-C).
+ */
+
+#ifndef AOS_BASELINES_REDZONE_RUNTIME_HH
+#define AOS_BASELINES_REDZONE_RUNTIME_HH
+
+#include <deque>
+#include <map>
+
+#include "alloc/heap_allocator.hh"
+#include "common/types.hh"
+
+namespace aos::baselines {
+
+/** Outcome of a redzone-checked operation. */
+enum class RedzoneStatus
+{
+    kOk,
+    kTripwire,     //!< Access landed inside a redzone: detected.
+    kInvalidFree,
+};
+
+/** Statistics for the coverage comparison. */
+struct RedzoneStats
+{
+    u64 mallocs = 0;
+    u64 frees = 0;
+    u64 tripwires = 0;
+    u64 quarantined = 0;     //!< Chunks currently in quarantine.
+    u64 redzoneBytes = 0;    //!< Live blacklisted bytes.
+};
+
+class RedzoneRuntime
+{
+  public:
+    /**
+     * @param redzone_bytes Redzone size on each side of every object
+     *        (REST uses one 64-byte token granule by default).
+     * @param quarantine_depth Freed chunks held (blacklisted) before
+     *        really being released for reuse.
+     */
+    explicit RedzoneRuntime(u64 redzone_bytes = 64,
+                            u64 quarantine_depth = 256);
+
+    /** Allocate with redzones on both sides; returns the user addr. */
+    Addr malloc(u64 size);
+
+    /** Quarantine + blacklist the object. */
+    RedzoneStatus free(Addr user_addr);
+
+    /** Check a load/store: only redzone hits are detected. */
+    RedzoneStatus access(Addr addr);
+
+    const RedzoneStats &stats() const { return _stats; }
+    alloc::HeapAllocator &heap() { return _heap; }
+
+  private:
+    struct Zone
+    {
+        Addr begin;
+        Addr end;
+    };
+
+    void blacklist(Addr begin, Addr end);
+    void unblacklist(Addr begin);
+
+    alloc::HeapAllocator _heap;
+    u64 _redzoneBytes;
+    u64 _quarantineDepth;
+    // Blacklisted ranges keyed by begin address (non-overlapping).
+    std::map<Addr, Addr> _zones;
+    // Object sizes for free()/quarantine bookkeeping.
+    std::map<Addr, u64> _objects;
+    std::deque<std::pair<Addr, u64>> _quarantine; //!< (user, size)
+    RedzoneStats _stats;
+};
+
+} // namespace aos::baselines
+
+#endif // AOS_BASELINES_REDZONE_RUNTIME_HH

@@ -1,0 +1,19 @@
+#include "baselines/system_config.hh"
+
+namespace aos::baselines {
+
+const char *
+mechanismName(Mechanism mech)
+{
+    switch (mech) {
+      case Mechanism::kBaseline: return "Baseline";
+      case Mechanism::kWatchdog: return "Watchdog";
+      case Mechanism::kPa: return "PA";
+      case Mechanism::kAos: return "AOS";
+      case Mechanism::kPaAos: return "PA+AOS";
+      case Mechanism::kAsan: return "ASan-style";
+    }
+    return "?";
+}
+
+} // namespace aos::baselines

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * The five evaluated system configurations (paper SVIII):
+ *
+ *   Baseline  — no security features;
+ *   Watchdog  — prior hardware bounds + use-after-free checking via
+ *               check/metadata micro-ops and 24-byte records;
+ *   PA        — Liljestrand-style code- and data-pointer integrity;
+ *   AOS       — this paper's bounds-checking mechanism;
+ *   PA+AOS    — AOS integrated with pointer integrity (SVII-B).
+ *
+ * Plus the AOS optimization toggles ablated in Fig. 15 and the DESIGN.md
+ * extras (BWB off, forwarding off).
+ */
+
+#ifndef AOS_BASELINES_SYSTEM_CONFIG_HH
+#define AOS_BASELINES_SYSTEM_CONFIG_HH
+
+#include <string>
+
+#include "common/types.hh"
+
+namespace aos::baselines {
+
+enum class Mechanism
+{
+    kBaseline,
+    kWatchdog,
+    kPa,
+    kAos,
+    kPaAos,
+    kAsan, //!< ASan-style software checking (motivation, SI).
+};
+
+const char *mechanismName(Mechanism mech);
+
+/** Full system configuration for one simulation run. */
+struct SystemOptions
+{
+    Mechanism mech = Mechanism::kAos;
+
+    // AOS optimization toggles (Fig. 15 + extra ablations).
+    bool boundsCompression = true;
+    bool useL1B = true;
+    bool useBwb = true;
+    bool boundsForwarding = true;
+
+    unsigned pacBits = 16;       //!< Table IV.
+    unsigned initialHbtAssoc = 1;//!< Table IV (empirical).
+
+    u64 measureOps = 1'000'000;  //!< Committed micro-ops to simulate.
+
+    bool usesAos() const
+    {
+        return mech == Mechanism::kAos || mech == Mechanism::kPaAos;
+    }
+    bool usesPa() const
+    {
+        return mech == Mechanism::kPa || mech == Mechanism::kPaAos;
+    }
+};
+
+} // namespace aos::baselines
+
+#endif // AOS_BASELINES_SYSTEM_CONFIG_HH

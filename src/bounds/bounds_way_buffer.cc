@@ -1,0 +1,80 @@
+#include "bounds/bounds_way_buffer.hh"
+
+#include "common/bitfield.hh"
+#include "common/logging.hh"
+
+namespace aos::bounds {
+
+BoundsWayBuffer::BoundsWayBuffer(unsigned entries) : _capacity(entries)
+{
+    fatal_if(entries == 0, "BWB needs at least one entry");
+    _entries.resize(entries);
+}
+
+u32
+BoundsWayBuffer::tagFor(Addr addr, u64 ahc, u64 pac)
+{
+    u64 window;
+    switch (ahc) {
+      case 1:
+        window = bits(addr, 20, 7);
+        break;
+      case 2:
+        window = bits(addr, 23, 10);
+        break;
+      default:
+        window = bits(addr, 25, 12);
+        break;
+    }
+    return static_cast<u32>(((pac & mask(16)) << 16) | (window << 2) |
+                            (ahc & 0x3));
+}
+
+unsigned
+BoundsWayBuffer::lookup(Addr addr, u64 ahc, u64 pac)
+{
+    const u32 tag = tagFor(addr, ahc, pac);
+    for (auto &entry : _entries) {
+        if (entry.valid && entry.tag == tag) {
+            ++_stats.hits;
+            entry.lru = ++_stamp;
+            return entry.way;
+        }
+    }
+    ++_stats.misses;
+    return 0;
+}
+
+void
+BoundsWayBuffer::update(Addr addr, u64 ahc, u64 pac, unsigned way)
+{
+    const u32 tag = tagFor(addr, ahc, pac);
+    ++_stats.updates;
+    Entry *victim = &_entries[0];
+    for (auto &entry : _entries) {
+        if (entry.valid && entry.tag == tag) {
+            entry.way = way;
+            entry.lru = ++_stamp;
+            return;
+        }
+        if (!entry.valid) {
+            victim = &entry;
+            break;
+        }
+        if (entry.lru < victim->lru)
+            victim = &entry;
+    }
+    victim->valid = true;
+    victim->tag = tag;
+    victim->way = way;
+    victim->lru = ++_stamp;
+}
+
+void
+BoundsWayBuffer::invalidate()
+{
+    for (auto &entry : _entries)
+        entry = Entry();
+}
+
+} // namespace aos::bounds

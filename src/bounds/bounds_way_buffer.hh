@@ -1,0 +1,83 @@
+/**
+ * @file
+ * The bounds way buffer (BWB) of paper SV-C.
+ *
+ * A small fully-associative LRU tag buffer that remembers which HBT way
+ * held the valid bounds for a recently checked pointer, so the next
+ * check for the same object starts at the right way instead of way 0.
+ *
+ * The 32-bit tag (Algorithm 2) concatenates the PAC, a window of
+ * pointer address bits chosen by the AHC so that every address inside
+ * the same object produces the same tag, and the AHC itself:
+ *
+ *   AHC = 1 (<=64 B object):  PAC[15:0] | Addr[20:7]  | AHC[1:0]
+ *   AHC = 2 (<=256 B object): PAC[15:0] | Addr[23:10] | AHC[1:0]
+ *   AHC = 3 (larger):         PAC[15:0] | Addr[25:12] | AHC[1:0]
+ */
+
+#ifndef AOS_BOUNDS_BOUNDS_WAY_BUFFER_HH
+#define AOS_BOUNDS_BOUNDS_WAY_BUFFER_HH
+
+#include <vector>
+
+#include "common/types.hh"
+
+namespace aos::bounds {
+
+/** BWB statistics (Fig. 17 reports the hit rate). */
+struct BwbStats
+{
+    u64 hits = 0;
+    u64 misses = 0;
+    u64 updates = 0;
+
+    double
+    hitRate() const
+    {
+        const u64 total = hits + misses;
+        return total ? static_cast<double>(hits) / total : 0.0;
+    }
+};
+
+class BoundsWayBuffer
+{
+  public:
+    /** @param entries Buffer capacity (Table IV: 64, LRU). */
+    explicit BoundsWayBuffer(unsigned entries = 64);
+
+    /** Compute the Algorithm 2 tag. */
+    static u32 tagFor(Addr addr, u64 ahc, u64 pac);
+
+    /**
+     * Look up the way hint for a pointer. Returns the remembered way,
+     * or 0 (start the search at way 0) on a miss.
+     */
+    unsigned lookup(Addr addr, u64 ahc, u64 pac);
+
+    /** Record the way that held valid bounds after an MCQ retire. */
+    void update(Addr addr, u64 ahc, u64 pac, unsigned way);
+
+    /** Drop every entry (e.g. after an HBT resize). */
+    void invalidate();
+
+    const BwbStats &stats() const { return _stats; }
+    unsigned capacity() const { return _capacity; }
+
+  private:
+    struct Entry
+    {
+        bool valid = false;
+        u32 tag = 0;
+        unsigned way = 0;
+        u64 lru = 0;
+    };
+
+    unsigned _capacity;
+    std::vector<Entry> _entries;
+    u64 _stamp = 0;
+    BwbStats _stats;
+};
+
+} // namespace aos::bounds
+
+#endif // AOS_BOUNDS_BOUNDS_WAY_BUFFER_HH

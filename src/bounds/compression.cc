@@ -1,0 +1,58 @@
+#include "bounds/compression.hh"
+
+#include "common/bitfield.hh"
+#include "common/logging.hh"
+
+namespace aos::bounds {
+
+Compressed
+compress(Addr base, u64 size)
+{
+    panic_if((base & 0xf) != 0,
+             "bounds base %#lx is not 16-byte aligned", base);
+    panic_if(size > mask(32), "size %#lx exceeds the 32-bit field", size);
+    Compressed record = 0;
+    record = insertBits(record, 28, 0, bits(base, 32, 4));
+    record = insertBits(record, 60, 29, size);
+    return record;
+}
+
+Decompressed
+decompress(Compressed record)
+{
+    Decompressed out;
+    out.lower = bits(record, 28, 0) << 4; // 33-bit value
+    out.size = bits(record, 60, 29);
+    out.upper = out.lower + out.size;
+    return out;
+}
+
+u64
+truncatedAddr(Compressed record, Addr addr)
+{
+    const u64 low_bnd32 = bits(record, 28, 28); // LowBnd[32]
+    const u64 addr32 = bits(addr, 32);
+    const u64 carry = low_bnd32 & (addr32 ^ 1);
+    return (carry << 33) | bits(addr, 32, 0);
+}
+
+bool
+inBounds(Compressed record, Addr addr)
+{
+    if (record == kEmpty)
+        return false;
+    const Decompressed d = decompress(record);
+    const u64 taddr = truncatedAddr(record, addr);
+    return taddr >= d.lower && taddr < d.upper;
+}
+
+bool
+matchesBase(Compressed record, Addr addr)
+{
+    if (record == kEmpty)
+        return false;
+    const Decompressed d = decompress(record);
+    return truncatedAddr(record, addr) == d.lower;
+}
+
+} // namespace aos::bounds

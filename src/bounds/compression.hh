@@ -1,0 +1,71 @@
+/**
+ * @file
+ * The 8-byte bounds-compression codec of paper Fig. 9.
+ *
+ * A bounds record exploits two malloc() guarantees: the base address is
+ * 16-byte aligned, and sizes fit in 32 bits. The 64-bit record is:
+ *
+ *   bits [63:61]  reserved (zero)
+ *   bits [60:29]  Size[31:0]
+ *   bits [28:0]   LowBnd[32:4]   (base address bits 32..4)
+ *
+ * For checking, a 34-bit truncated address tAddr = C : Addr[32:0] is
+ * compared against the decompressed lower bound (LowBnd << 4) and upper
+ * bound (LowBnd << 4) + Size, where C = LowBnd[32] & !Addr[32]
+ * compensates for the carry lost by keeping only 33 address bits.
+ *
+ * The all-zero record is the "empty slot" sentinel in the HBT; real
+ * allocations always have a nonzero base so no live record encodes to
+ * zero.
+ */
+
+#ifndef AOS_BOUNDS_COMPRESSION_HH
+#define AOS_BOUNDS_COMPRESSION_HH
+
+#include "common/types.hh"
+
+namespace aos::bounds {
+
+/** An 8-byte compressed bounds record. */
+using Compressed = u64;
+
+/** The empty-slot sentinel stored in unoccupied HBT slots. */
+inline constexpr Compressed kEmpty = 0;
+
+/** Compress (base, size) into an 8-byte record. */
+Compressed compress(Addr base, u64 size);
+
+/** Decompressed view used by the checker. */
+struct Decompressed
+{
+    u64 lower = 0; //!< 34-bit lower bound (LowBnd << 4).
+    u64 upper = 0; //!< 34-bit upper bound (lower + size).
+    u64 size = 0;  //!< Original 32-bit size.
+};
+
+/** Expand a compressed record. */
+Decompressed decompress(Compressed record);
+
+/** The 34-bit truncated address tAddr = C : Addr[32:0] (Fig. 9b). */
+u64 truncatedAddr(Compressed record, Addr addr);
+
+/** True iff @p addr falls inside the bounds of @p record. */
+bool inBounds(Compressed record, Addr addr);
+
+/** True iff @p addr is exactly the object base (bndclr's test). */
+bool matchesBase(Compressed record, Addr addr);
+
+/**
+ * Uncompressed 16-byte representation (full lower/upper bounds), kept
+ * for the Fig. 15 bounds-compression ablation. Two of these per object
+ * double the metadata footprint.
+ */
+struct WideBounds
+{
+    Addr lower = 0;
+    Addr upper = 0;
+};
+
+} // namespace aos::bounds
+
+#endif // AOS_BOUNDS_COMPRESSION_HH

@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Bit-manipulation helpers used by the pointer layout, the QARMA cipher
+ * and the bounds-compression codec.
+ *
+ * All helpers are constexpr and operate on u64 so that tests can verify
+ * them at compile time.
+ */
+
+#ifndef AOS_COMMON_BITFIELD_HH
+#define AOS_COMMON_BITFIELD_HH
+
+#include <bit>
+#include <cassert>
+
+#include "common/types.hh"
+
+namespace aos {
+
+/** A mask with the low @p nbits bits set. nbits may be 0..64. */
+constexpr u64
+mask(unsigned nbits)
+{
+    return nbits >= 64 ? ~u64{0} : ((u64{1} << nbits) - 1);
+}
+
+/** Extract bits [hi:lo] (inclusive) of @p val, right-aligned. */
+constexpr u64
+bits(u64 val, unsigned hi, unsigned lo)
+{
+    assert(hi >= lo && hi < 64);
+    return (val >> lo) & mask(hi - lo + 1);
+}
+
+/** Extract the single bit @p pos of @p val. */
+constexpr u64
+bits(u64 val, unsigned pos)
+{
+    return bits(val, pos, pos);
+}
+
+/**
+ * Return @p val with bits [hi:lo] replaced by the low bits of @p field.
+ */
+constexpr u64
+insertBits(u64 val, unsigned hi, unsigned lo, u64 field)
+{
+    assert(hi >= lo && hi < 64);
+    const u64 m = mask(hi - lo + 1);
+    return (val & ~(m << lo)) | ((field & m) << lo);
+}
+
+/** Sign-extend the low @p nbits bits of @p val to 64 bits. */
+constexpr u64
+signExtend(u64 val, unsigned nbits)
+{
+    assert(nbits > 0 && nbits <= 64);
+    if (nbits == 64)
+        return val;
+    const u64 sign = u64{1} << (nbits - 1);
+    val &= mask(nbits);
+    return (val ^ sign) - sign;
+}
+
+/** Rotate a 4-bit nibble left by @p n (used by QARMA MixColumns). */
+constexpr u64
+rotl4(u64 nibble, unsigned n)
+{
+    n &= 3;
+    nibble &= 0xf;
+    return ((nibble << n) | (nibble >> (4 - n))) & 0xf;
+}
+
+/** Rotate a 64-bit word right by @p n. */
+constexpr u64
+rotr64(u64 val, unsigned n)
+{
+    return std::rotr(val, static_cast<int>(n));
+}
+
+/** True iff @p val is a power of two (0 is not). */
+constexpr bool
+isPowerOf2(u64 val)
+{
+    return val != 0 && (val & (val - 1)) == 0;
+}
+
+/** Integer log2 of a power of two. */
+constexpr unsigned
+log2i(u64 val)
+{
+    assert(isPowerOf2(val));
+    unsigned r = 0;
+    while (val >>= 1)
+        ++r;
+    return r;
+}
+
+/** Round @p val up to the next multiple of power-of-two @p align. */
+constexpr u64
+roundUp(u64 val, u64 align)
+{
+    assert(isPowerOf2(align));
+    return (val + align - 1) & ~(align - 1);
+}
+
+/** Round @p val down to a multiple of power-of-two @p align. */
+constexpr u64
+roundDown(u64 val, u64 align)
+{
+    assert(isPowerOf2(align));
+    return val & ~(align - 1);
+}
+
+/** Get nibble (4-bit cell) @p idx of @p word; cell 0 is the MSB nibble. */
+constexpr u64
+getCell(u64 word, unsigned idx)
+{
+    assert(idx < 16);
+    return (word >> (60 - 4 * idx)) & 0xf;
+}
+
+/** Set nibble (4-bit cell) @p idx of @p word; cell 0 is the MSB nibble. */
+constexpr u64
+setCell(u64 word, unsigned idx, u64 nibble)
+{
+    assert(idx < 16);
+    const unsigned sh = 60 - 4 * idx;
+    return (word & ~(u64{0xf} << sh)) | ((nibble & 0xf) << sh);
+}
+
+} // namespace aos
+
+#endif // AOS_COMMON_BITFIELD_HH

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * gem5-style status and error reporting.
+ *
+ * panic()  - an internal simulator bug; never the user's fault. Aborts.
+ * fatal()  - the simulation cannot continue because of a user error
+ *            (bad configuration, invalid arguments). Exits with code 1.
+ * warn()   - functionality that might not behave as the user expects.
+ * inform() - normal operating messages.
+ *
+ * Messages accept printf-style formatting.
+ */
+
+#ifndef AOS_COMMON_LOGGING_HH
+#define AOS_COMMON_LOGGING_HH
+
+#include <string>
+
+namespace aos {
+
+[[noreturn]] void panicImpl(const char *file, int line, const char *fmt, ...)
+    __attribute__((format(printf, 3, 4)));
+[[noreturn]] void fatalImpl(const char *file, int line, const char *fmt, ...)
+    __attribute__((format(printf, 3, 4)));
+void warnImpl(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+void informImpl(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** Format a printf-style message into a std::string. */
+std::string csprintf(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Globally silence warn()/inform() (used by benchmarks). */
+void setQuiet(bool quiet);
+bool quiet();
+
+#define panic(...) ::aos::panicImpl(__FILE__, __LINE__, __VA_ARGS__)
+#define fatal(...) ::aos::fatalImpl(__FILE__, __LINE__, __VA_ARGS__)
+#define warn(...) ::aos::warnImpl(__VA_ARGS__)
+#define inform(...) ::aos::informImpl(__VA_ARGS__)
+
+/** panic() if the invariant does not hold. */
+#define panic_if(cond, ...)                                                  \
+    do {                                                                     \
+        if (cond)                                                            \
+            panic(__VA_ARGS__);                                              \
+    } while (0)
+
+/** fatal() if the user-facing condition does not hold. */
+#define fatal_if(cond, ...)                                                  \
+    do {                                                                     \
+        if (cond)                                                            \
+            fatal(__VA_ARGS__);                                              \
+    } while (0)
+
+} // namespace aos
+
+#endif // AOS_COMMON_LOGGING_HH

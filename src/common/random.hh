@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation for workload synthesis.
+ *
+ * Implements xoshiro256** (Blackman & Vigna). Every simulated workload
+ * owns its own generator seeded from the workload name so runs are
+ * reproducible and independent of std::mt19937 platform quirks.
+ */
+
+#ifndef AOS_COMMON_RANDOM_HH
+#define AOS_COMMON_RANDOM_HH
+
+#include <string_view>
+
+#include "common/types.hh"
+
+namespace aos {
+
+/** xoshiro256** generator with convenience distributions. */
+class Rng
+{
+  public:
+    explicit Rng(u64 seed = 0x9e3779b97f4a7c15ull) { reseed(seed); }
+
+    /** Seed from a string (FNV-1a), e.g. a workload name. */
+    explicit Rng(std::string_view name) { reseed(hashName(name)); }
+
+    /** Re-initialize the state from a 64-bit seed via splitmix64. */
+    void
+    reseed(u64 seed)
+    {
+        for (auto &word : _state)
+            word = splitmix64(seed);
+    }
+
+    /** Next raw 64-bit value. */
+    u64
+    next()
+    {
+        const u64 result = rotl(_state[1] * 5, 7) * 9;
+        const u64 t = _state[1] << 17;
+        _state[2] ^= _state[0];
+        _state[3] ^= _state[1];
+        _state[1] ^= _state[2];
+        _state[0] ^= _state[3];
+        _state[2] ^= t;
+        _state[3] = rotl(_state[3], 45);
+        return result;
+    }
+
+    /** Uniform integer in [0, bound) — bound must be nonzero. */
+    u64
+    below(u64 bound)
+    {
+        // Lemire-style rejection-free reduction is fine here: the slight
+        // modulo bias on 64-bit ranges is irrelevant for synthesis.
+        return next() % bound;
+    }
+
+    /** Uniform integer in [lo, hi] inclusive. */
+    u64
+    range(u64 lo, u64 hi)
+    {
+        return lo + below(hi - lo + 1);
+    }
+
+    /** Uniform double in [0, 1). */
+    double
+    uniform()
+    {
+        return static_cast<double>(next() >> 11) * 0x1.0p-53;
+    }
+
+    /** Bernoulli trial with success probability @p p. */
+    bool chance(double p) { return uniform() < p; }
+
+    /**
+     * Geometric-ish skewed draw in [0, n): smaller values more likely.
+     * Used for reuse-distance style address selection.
+     */
+    u64
+    skewed(u64 n)
+    {
+        if (n <= 1)
+            return 0;
+        const double u = uniform();
+        return static_cast<u64>(u * u * static_cast<double>(n));
+    }
+
+    static u64
+    hashName(std::string_view name)
+    {
+        u64 h = 0xcbf29ce484222325ull;
+        for (const char ch : name) {
+            h ^= static_cast<u8>(ch);
+            h *= 0x100000001b3ull;
+        }
+        return h ? h : 1;
+    }
+
+  private:
+    static u64
+    rotl(u64 x, int k)
+    {
+        return (x << k) | (x >> (64 - k));
+    }
+
+    static u64
+    splitmix64(u64 &state)
+    {
+        u64 z = (state += 0x9e3779b97f4a7c15ull);
+        z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+        z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+        return z ^ (z >> 31);
+    }
+
+    u64 _state[4];
+};
+
+} // namespace aos
+
+#endif // AOS_COMMON_RANDOM_HH

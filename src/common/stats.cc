@@ -1,0 +1,27 @@
+#include "common/stats.hh"
+
+#include <iomanip>
+
+namespace aos {
+
+void
+StatSet::dump(std::ostream &os) const
+{
+    for (const auto &[name, stat] : _scalars) {
+        os << _name << '.' << name << ' ' << std::setprecision(12)
+           << stat.value() << '\n';
+    }
+}
+
+double
+geomean(const std::vector<double> &vals)
+{
+    if (vals.empty())
+        return 0.0;
+    double logsum = 0.0;
+    for (const double v : vals)
+        logsum += std::log(v);
+    return std::exp(logsum / static_cast<double>(vals.size()));
+}
+
+} // namespace aos

@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Fundamental integer and address types shared by every AOS module.
+ *
+ * Follows the gem5 convention of short fixed-width aliases. A simulated
+ * virtual address is always carried in an Addr, including its PAC/AHC
+ * upper bits; Cycles and Tick are distinct so that latencies and
+ * absolute times cannot be mixed up silently.
+ */
+
+#ifndef AOS_COMMON_TYPES_HH
+#define AOS_COMMON_TYPES_HH
+
+#include <cstdint>
+
+namespace aos {
+
+using u8 = std::uint8_t;
+using u16 = std::uint16_t;
+using u32 = std::uint32_t;
+using u64 = std::uint64_t;
+using i8 = std::int8_t;
+using i16 = std::int16_t;
+using i32 = std::int32_t;
+using i64 = std::int64_t;
+
+/** A simulated virtual address (may carry PAC/AHC bits in [63:46]). */
+using Addr = u64;
+
+/** A relative latency measured in core clock cycles. */
+using Cycles = u64;
+
+/** An absolute point in simulated time, in core clock cycles. */
+using Tick = u64;
+
+/** Cache line size used throughout the memory system (bytes). */
+inline constexpr unsigned kLineSize = 64;
+
+/** log2 of the cache line size. */
+inline constexpr unsigned kLineShift = 6;
+
+} // namespace aos
+
+#endif // AOS_COMMON_TYPES_HH

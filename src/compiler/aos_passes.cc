@@ -1,0 +1,93 @@
+#include "compiler/aos_passes.hh"
+
+#include "common/logging.hh"
+
+namespace aos::compiler {
+
+void
+AosOptPass::transform(const ir::MicroOp &in)
+{
+    emit(in);
+    if (in.kind == ir::OpKind::kMallocMark) {
+        ir::MicroOp intr = in;
+        intr.kind = ir::OpKind::kAosMallocIntr;
+        emit(intr);
+    } else if (in.kind == ir::OpKind::kFreeMark) {
+        ir::MicroOp intr = in;
+        intr.kind = ir::OpKind::kAosFreeIntr;
+        emit(intr);
+    }
+}
+
+AosBackendPass::AosBackendPass(ir::InstStream *source,
+                               const pa::PaContext *pa, u64 sp_modifier)
+    : Pass(source), _pa(pa), _spModifier(sp_modifier)
+{
+    panic_if(!pa, "AOS backend pass needs a PaContext");
+}
+
+Addr
+AosBackendPass::signedFor(Addr chunk_base) const
+{
+    auto it = _signedPtrs.find(chunk_base);
+    return it == _signedPtrs.end() ? chunk_base : it->second;
+}
+
+void
+AosBackendPass::transform(const ir::MicroOp &in)
+{
+    switch (in.kind) {
+      case ir::OpKind::kAosMallocIntr: {
+        // pacma ptr, sp, size ; bndstr ptr, size
+        const Addr signed_ptr =
+            _pa->pacma(in.chunkBase, _spModifier, in.size);
+        _signedPtrs[in.chunkBase] = signed_ptr;
+        ir::MicroOp pacma = makeOp(ir::OpKind::kPacma, signed_ptr, in.size);
+        pacma.chunkBase = in.chunkBase;
+        emit(pacma);
+        ir::MicroOp bndstr =
+            makeOp(ir::OpKind::kBndstr, signed_ptr, in.size);
+        bndstr.chunkBase = in.chunkBase;
+        emit(bndstr);
+        return;
+      }
+
+      case ir::OpKind::kAosFreeIntr: {
+        // bndclr ptr ; xpacm ptr ; free() ; pacma ptr, sp, xzr
+        const Addr signed_ptr = signedFor(in.chunkBase);
+        ir::MicroOp bndclr = makeOp(ir::OpKind::kBndclr, signed_ptr, 0);
+        bndclr.chunkBase = in.chunkBase;
+        emit(bndclr);
+        emit(makeOp(ir::OpKind::kXpacm, signed_ptr));
+        // (the free() body itself was already emitted by the workload
+        // around the kFreeMark marker)
+        const Addr resigned = _pa->pacma(in.chunkBase, _spModifier, 0);
+        _signedPtrs[in.chunkBase] = resigned;
+        emit(makeOp(ir::OpKind::kPacma, resigned));
+        return;
+      }
+
+      case ir::OpKind::kLoad:
+      case ir::OpKind::kStore: {
+        ir::MicroOp out = in;
+        if (in.chunkBase != 0) {
+            auto it = _signedPtrs.find(in.chunkBase);
+            if (it != _signedPtrs.end()) {
+                // The register holding this pointer is signed; the
+                // PAC/AHC upper bits ride along with the address.
+                const auto &layout = _pa->layout();
+                out.addr = layout.compose(in.addr, layout.pac(it->second),
+                                          layout.ahc(it->second));
+            }
+        }
+        emit(out);
+        return;
+      }
+
+      default:
+        emit(in);
+        return;
+    }
+}
+
+} // namespace aos::compiler

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * The two AOS instrumentation passes (paper SIV-B, Fig. 7).
+ *
+ * AosOptPass mirrors AOS-opt-pass: it detects allocation and
+ * deallocation markers and inserts the aos_malloc / aos_free intrinsic
+ * ops right after them.
+ *
+ * AosBackendPass mirrors AOS-backend-pass: it lowers the intrinsics to
+ * the new instructions —
+ *
+ *   malloc:  pacma ptr, sp, size ; bndstr ptr, size          (Fig. 7a)
+ *   free:    bndclr ptr ; xpacm ptr ; free ; pacma ptr,sp,xzr (Fig. 7b)
+ *
+ * — and, because from that point on the program variable holds a
+ * *signed* pointer, rewrites the addresses of every subsequent
+ * load/store to that chunk to carry the PAC/AHC bits (the hardware
+ * propagates them for free; the rewrite models the data flow the
+ * signed register value would take).
+ */
+
+#ifndef AOS_COMPILER_AOS_PASSES_HH
+#define AOS_COMPILER_AOS_PASSES_HH
+
+#include <unordered_map>
+
+#include "compiler/pass.hh"
+#include "pa/pa_context.hh"
+
+namespace aos::compiler {
+
+/** Optimizer-level pass: inserts aos_malloc / aos_free intrinsics. */
+class AosOptPass : public Pass
+{
+  public:
+    using Pass::Pass;
+
+    std::string name() const override { return "aos-opt-pass"; }
+
+  protected:
+    void transform(const ir::MicroOp &in) override;
+};
+
+/** Backend pass: lowers intrinsics and signs heap addresses. */
+class AosBackendPass : public Pass
+{
+  public:
+    /**
+     * @param source Upstream (normally an AosOptPass).
+     * @param pa Per-process PA state used for signing.
+     * @param sp_modifier Modifier value standing in for the stack
+     *        pointer at the instrumentation site.
+     */
+    AosBackendPass(ir::InstStream *source, const pa::PaContext *pa,
+                   u64 sp_modifier = 0x7ffff000);
+
+    std::string name() const override { return "aos-backend-pass"; }
+
+    /** Signed pointer currently associated with @p chunk_base. */
+    Addr signedFor(Addr chunk_base) const;
+
+  protected:
+    void transform(const ir::MicroOp &in) override;
+
+  private:
+    const pa::PaContext *_pa;
+    u64 _spModifier;
+    // chunk base -> signed pointer for all signed (incl. freed) chunks.
+    std::unordered_map<Addr, Addr> _signedPtrs;
+};
+
+} // namespace aos::compiler
+
+#endif // AOS_COMPILER_AOS_PASSES_HH

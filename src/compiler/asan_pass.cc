@@ -1,0 +1,56 @@
+#include "compiler/asan_pass.hh"
+
+namespace aos::compiler {
+
+void
+AsanPass::transform(const ir::MicroOp &in)
+{
+    switch (in.kind) {
+      case ir::OpKind::kLoad:
+      case ir::OpKind::kStore: {
+        // shadow = (addr >> 3) + offset; if (*shadow) slow_path().
+        // The address computation folds into the load's addressing
+        // mode; the check costs a shadow-byte load plus a compare-
+        // and-branch per access.
+        ir::MicroOp shadow =
+            makeOp(ir::OpKind::kLoad, shadowAddr(in.addr), 1);
+        emit(shadow);                                // shadow byte load
+        ir::MicroOp cmp = makeOp(ir::OpKind::kBranch);
+        cmp.branchId = 0x7fff;                       // "is poisoned?"
+        cmp.taken = false;                           // fast path
+        emit(cmp);
+        emit(in);
+        return;
+      }
+
+      case ir::OpKind::kMallocMark: {
+        emit(in);
+        // Poison the redzones around the new object: shadow stores
+        // covering the left and right redzones (16 shadow bytes each).
+        for (int i = 0; i < 2; ++i) {
+            emit(makeOp(ir::OpKind::kStore,
+                        shadowAddr(in.chunkBase - 128 + i * 64), 8));
+            emit(makeOp(ir::OpKind::kStore,
+                        shadowAddr(in.chunkBase + in.size + i * 64), 8));
+        }
+        // Unpoison the object body.
+        emit(makeOp(ir::OpKind::kStore, shadowAddr(in.chunkBase), 8));
+        return;
+      }
+
+      case ir::OpKind::kFreeMark:
+        // Poison the freed object and push it into the quarantine
+        // (list manipulation modeled as ALU + stores).
+        emit(makeOp(ir::OpKind::kStore, shadowAddr(in.chunkBase), 8));
+        emit(makeOp(ir::OpKind::kIntAlu));
+        emit(makeOp(ir::OpKind::kStore, shadowAddr(in.chunkBase) + 8, 8));
+        emit(in);
+        return;
+
+      default:
+        emit(in);
+        return;
+    }
+}
+
+} // namespace aos::compiler

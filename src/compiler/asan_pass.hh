@@ -1,0 +1,54 @@
+/**
+ * @file
+ * AddressSanitizer-style software checking (paper SI).
+ *
+ * The paper motivates hardware support by citing ASan's 73% slowdown:
+ * software checking pays with *instructions*. This pass models ASan's
+ * published mechanism:
+ *
+ *  - every load/store is preceded by shadow-address computation
+ *    (shift + add), a shadow-byte load from the 1/8-scale shadow
+ *    region, and a compare-and-branch;
+ *  - malloc/free poison/unpoison the object's redzone shadow bytes;
+ *  - frees quarantine (modeled by the extra free-path work).
+ *
+ * Used by bench/softcheck_comparison to place AOS between the
+ * no-protection baseline and the software state of the art.
+ */
+
+#ifndef AOS_COMPILER_ASAN_PASS_HH
+#define AOS_COMPILER_ASAN_PASS_HH
+
+#include "compiler/pass.hh"
+
+namespace aos::compiler {
+
+class AsanPass : public Pass
+{
+  public:
+    /** @param shadow_base Simulated base of the shadow region. */
+    explicit AsanPass(ir::InstStream *source,
+                      Addr shadow_base = 0x1000'0000'0000ull)
+        : Pass(source), _shadowBase(shadow_base)
+    {
+    }
+
+    std::string name() const override { return "asan-pass"; }
+
+  protected:
+    void transform(const ir::MicroOp &in) override;
+
+  private:
+    Addr
+    shadowAddr(Addr addr) const
+    {
+        // ASan: shadow = (addr >> 3) + offset.
+        return _shadowBase + (addr >> 3);
+    }
+
+    Addr _shadowBase;
+};
+
+} // namespace aos::compiler
+
+#endif // AOS_COMPILER_ASAN_PASS_HH

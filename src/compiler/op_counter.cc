@@ -1,0 +1,48 @@
+#include "compiler/op_counter.hh"
+
+namespace aos::compiler {
+
+void
+OpCounter::transform(const ir::MicroOp &in)
+{
+    ++_mix.total;
+    switch (in.kind) {
+      case ir::OpKind::kLoad:
+        if (_layout.signed_(in.addr))
+            ++_mix.signedLoads;
+        else
+            ++_mix.unsignedLoads;
+        break;
+      case ir::OpKind::kStore:
+        if (_layout.signed_(in.addr))
+            ++_mix.signedStores;
+        else
+            ++_mix.unsignedStores;
+        break;
+      case ir::OpKind::kBndstr:
+      case ir::OpKind::kBndclr:
+        ++_mix.boundsOps;
+        break;
+      case ir::OpKind::kPacma:
+      case ir::OpKind::kPacia:
+      case ir::OpKind::kAutia:
+      case ir::OpKind::kAutm:
+      case ir::OpKind::kXpacm:
+        ++_mix.pacOps;
+        break;
+      case ir::OpKind::kBranch:
+        ++_mix.branches;
+        break;
+      case ir::OpKind::kWdCheck:
+      case ir::OpKind::kWdMetaLoad:
+      case ir::OpKind::kWdMetaStore:
+      case ir::OpKind::kWdPropagate:
+        ++_mix.wdOps;
+        break;
+      default:
+        break;
+    }
+    emit(in);
+}
+
+} // namespace aos::compiler

@@ -1,0 +1,37 @@
+/**
+ * @file
+ * A pass-through stream that tallies the instruction mix (Fig. 16).
+ */
+
+#ifndef AOS_COMPILER_OP_COUNTER_HH
+#define AOS_COMPILER_OP_COUNTER_HH
+
+#include "compiler/pass.hh"
+#include "pa/pointer_layout.hh"
+
+namespace aos::compiler {
+
+/** Counts ops by category while forwarding them unchanged. */
+class OpCounter : public Pass
+{
+  public:
+    OpCounter(ir::InstStream *source, pa::PointerLayout layout)
+        : Pass(source), _layout(layout)
+    {
+    }
+
+    std::string name() const override { return "op-counter"; }
+
+    const ir::OpMixStats &mix() const { return _mix; }
+
+  protected:
+    void transform(const ir::MicroOp &in) override;
+
+  private:
+    pa::PointerLayout _layout;
+    ir::OpMixStats _mix;
+};
+
+} // namespace aos::compiler
+
+#endif // AOS_COMPILER_OP_COUNTER_HH

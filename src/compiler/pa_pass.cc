@@ -1,0 +1,37 @@
+#include "compiler/pa_pass.hh"
+
+namespace aos::compiler {
+
+void
+PaPass::transform(const ir::MicroOp &in)
+{
+    switch (in.kind) {
+      case ir::OpKind::kCall:
+        // Prologue: pacia lr, sp (Fig. 3 line 1).
+        emit(in);
+        emit(makeOp(ir::OpKind::kPacia, in.addr));
+        return;
+
+      case ir::OpKind::kRet:
+        // Epilogue: autia lr, sp (Fig. 3 line 6).
+        emit(makeOp(ir::OpKind::kAutia, in.addr));
+        emit(in);
+        return;
+
+      case ir::OpKind::kLoad:
+        emit(in);
+        if (in.loadsPointer) {
+            // On-load authentication (Fig. 13).
+            emit(makeOp(_mode == PaMode::kPaOnly ? ir::OpKind::kAutia
+                                                 : ir::OpKind::kAutm,
+                        in.addr));
+        }
+        return;
+
+      default:
+        emit(in);
+        return;
+    }
+}
+
+} // namespace aos::compiler

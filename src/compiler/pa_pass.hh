@@ -1,0 +1,51 @@
+/**
+ * @file
+ * PA pointer-integrity instrumentation (paper SVII-B, Figs. 3 and 13).
+ *
+ * Models the Liljestrand et al. "PACStack-style" code- and data-pointer
+ * integrity scheme the paper uses as its PA configuration:
+ *
+ *  - return-address signing: pacia at every call, autia at every return
+ *    (Fig. 3), each a 4-cycle crypto op;
+ *  - on-load data-pointer authentication: every load that produces a
+ *    data pointer is followed by an authentication op. In the PA-only
+ *    configuration this is a full autda-style re-authentication
+ *    (4 cycles); in the PA+AOS integration it is the cheap autm AHC
+ *    check of Fig. 13 (1 cycle), because AOS pointers are already
+ *    signed with the chunk-base PAC and cannot be re-authenticated
+ *    against the current address.
+ */
+
+#ifndef AOS_COMPILER_PA_PASS_HH
+#define AOS_COMPILER_PA_PASS_HH
+
+#include "compiler/pass.hh"
+
+namespace aos::compiler {
+
+/** Which authentication flavour follows pointer loads. */
+enum class PaMode
+{
+    kPaOnly, //!< Full PA: pacia/autia + autda-style on-load auth.
+    kPaAos,  //!< PA integrated with AOS: autm on-load auth (Fig. 13).
+};
+
+class PaPass : public Pass
+{
+  public:
+    PaPass(ir::InstStream *source, PaMode mode) : Pass(source), _mode(mode)
+    {
+    }
+
+    std::string name() const override { return "pa-pass"; }
+
+  protected:
+    void transform(const ir::MicroOp &in) override;
+
+  private:
+    PaMode _mode;
+};
+
+} // namespace aos::compiler
+
+#endif // AOS_COMPILER_PA_PASS_HH

@@ -1,0 +1,6 @@
+#include "compiler/pass.hh"
+
+// Pass and PassManager are header-only; this TU anchors the vtables.
+
+namespace aos::compiler {
+} // namespace aos::compiler

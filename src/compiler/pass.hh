@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Stream-rewriting pass framework: the stand-in for the paper's LLVM
+ * instrumentation pipeline (SIV-B).
+ *
+ * A Pass consumes micro-ops from an upstream InstStream and emits zero
+ * or more ops per input. PassManager chains passes so that, e.g., the
+ * AOS optimizer pass (intrinsic insertion) feeds the AOS backend pass
+ * (instruction lowering), mirroring the AOS-opt-pass / AOS-backend-pass
+ * split of the paper.
+ */
+
+#ifndef AOS_COMPILER_PASS_HH
+#define AOS_COMPILER_PASS_HH
+
+#include <deque>
+#include <memory>
+#include <vector>
+
+#include "ir/micro_op.hh"
+
+namespace aos::compiler {
+
+/** Base class for stream-rewriting passes. */
+class Pass : public ir::InstStream
+{
+  public:
+    /** @param source Upstream producer; not owned. */
+    explicit Pass(ir::InstStream *source) : _source(source) {}
+
+    bool
+    next(ir::MicroOp &op) override
+    {
+        while (_pending.empty()) {
+            ir::MicroOp in;
+            if (!_source->next(in))
+                return false;
+            transform(in);
+        }
+        op = _pending.front();
+        _pending.pop_front();
+        return true;
+    }
+
+  protected:
+    /** Rewrite one input op; call emit() for each output op. */
+    virtual void transform(const ir::MicroOp &in) = 0;
+
+    void emit(const ir::MicroOp &op) { _pending.push_back(op); }
+
+    ir::MicroOp
+    makeOp(ir::OpKind kind, Addr addr = 0, u32 size = 0) const
+    {
+        ir::MicroOp op;
+        op.kind = kind;
+        op.addr = addr;
+        op.size = size;
+        return op;
+    }
+
+  private:
+    ir::InstStream *_source;
+    std::deque<ir::MicroOp> _pending;
+};
+
+/** Pass that forwards everything unchanged (the Baseline pipeline). */
+class IdentityPass : public Pass
+{
+  public:
+    using Pass::Pass;
+
+    std::string name() const override { return "identity"; }
+
+  protected:
+    void transform(const ir::MicroOp &in) override { emit(in); }
+};
+
+/** Owns a chain of passes over a source stream. */
+class PassManager : public ir::InstStream
+{
+  public:
+    explicit PassManager(ir::InstStream *source) : _tail(source) {}
+
+    /** Append a pass constructed over the current tail. */
+    template <typename PassT, typename... Args>
+    PassT *
+    add(Args &&...args)
+    {
+        auto pass =
+            std::make_unique<PassT>(_tail, std::forward<Args>(args)...);
+        PassT *raw = pass.get();
+        _passes.push_back(std::move(pass));
+        _tail = raw;
+        return raw;
+    }
+
+    bool next(ir::MicroOp &op) override { return _tail->next(op); }
+
+    std::string name() const override { return "pass_manager"; }
+
+  private:
+    ir::InstStream *_tail;
+    std::vector<std::unique_ptr<ir::InstStream>> _passes;
+};
+
+} // namespace aos::compiler
+
+#endif // AOS_COMPILER_PASS_HH

@@ -1,0 +1,66 @@
+#include "compiler/watchdog_pass.hh"
+
+namespace aos::compiler {
+
+bool
+WatchdogPass::lockCacheHit(Addr base)
+{
+    for (const Addr cached : _lockCache) {
+        if (cached == base)
+            return true;
+    }
+    _lockCache[_lockCachePos] = base;
+    _lockCachePos = (_lockCachePos + 1) % kLockCacheSize;
+    return false;
+}
+
+void
+WatchdogPass::transform(const ir::MicroOp &in)
+{
+    switch (in.kind) {
+      case ir::OpKind::kMallocMark: {
+        emit(in);
+        // setid: allocate a lock, store the key (Fig. 5a lines 3-7).
+        ir::MicroOp meta =
+            makeOp(ir::OpKind::kWdMetaStore, lockAddr(in.chunkBase), 24);
+        emit(meta);
+        emit(makeOp(ir::OpKind::kWdMetaStore, lockAddr(in.chunkBase) + 8,
+                    16));
+        return;
+      }
+
+      case ir::OpKind::kFreeMark:
+        // Invalidate the lock, push to the lock free list (lines 9-11).
+        emit(makeOp(ir::OpKind::kWdMetaStore, lockAddr(in.chunkBase), 8));
+        emit(in);
+        return;
+
+      case ir::OpKind::kLoad:
+      case ir::OpKind::kStore: {
+        // check R.id before the access (lines 14, 18): a check micro-op
+        // plus a lock-location load when the pointer's metadata is not
+        // already resident in the lock-location cache.
+        emit(makeOp(ir::OpKind::kWdCheck, in.addr));
+        if (in.chunkBase != 0 && !lockCacheHit(in.chunkBase)) {
+            emit(makeOp(ir::OpKind::kWdMetaLoad, lockAddr(in.chunkBase),
+                        8));
+        }
+        emit(in);
+        return;
+      }
+
+      case ir::OpKind::kIntAlu:
+        emit(in);
+        if (in.isPtrArith) {
+            // Metadata propagation for pointer arithmetic (lines 21-29).
+            emit(makeOp(ir::OpKind::kWdPropagate));
+        }
+        return;
+
+      default:
+        emit(in);
+        return;
+    }
+}
+
+} // namespace aos::compiler

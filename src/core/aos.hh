@@ -1,0 +1,29 @@
+/**
+ * @file
+ * Umbrella header: the AOS library's public API surface.
+ *
+ * Most users need only AosRuntime (functional heap protection) or
+ * AosSystem (cycle-level evaluation harness); the substrate headers
+ * are included for advanced composition.
+ */
+
+#ifndef AOS_CORE_AOS_HH
+#define AOS_CORE_AOS_HH
+
+#include "alloc/heap_allocator.hh"
+#include "baselines/system_config.hh"
+#include "bounds/bounds_way_buffer.hh"
+#include "bounds/compression.hh"
+#include "bounds/hashed_bounds_table.hh"
+#include "core/aos_runtime.hh"
+#include "core/aos_system.hh"
+#include "cpu/ooo_core.hh"
+#include "mcu/memory_check_unit.hh"
+#include "memsim/memory_system.hh"
+#include "os/os_model.hh"
+#include "pa/pa_context.hh"
+#include "qarma/qarma64.hh"
+#include "workloads/alloc_replay.hh"
+#include "workloads/workload_profile.hh"
+
+#endif // AOS_CORE_AOS_HH

@@ -1,0 +1,246 @@
+#include "core/aos_system.hh"
+
+#include "common/logging.hh"
+#include "compiler/aos_passes.hh"
+#include "compiler/pa_pass.hh"
+#include "compiler/asan_pass.hh"
+#include "compiler/watchdog_pass.hh"
+
+namespace aos::core {
+
+namespace {
+
+ir::OpMixStats
+mixDelta(const ir::OpMixStats &after, const ir::OpMixStats &before)
+{
+    ir::OpMixStats delta;
+    delta.total = after.total - before.total;
+    delta.unsignedLoads = after.unsignedLoads - before.unsignedLoads;
+    delta.unsignedStores = after.unsignedStores - before.unsignedStores;
+    delta.signedLoads = after.signedLoads - before.signedLoads;
+    delta.signedStores = after.signedStores - before.signedStores;
+    delta.boundsOps = after.boundsOps - before.boundsOps;
+    delta.pacOps = after.pacOps - before.pacOps;
+    delta.branches = after.branches - before.branches;
+    delta.wdOps = after.wdOps - before.wdOps;
+    return delta;
+}
+
+} // namespace
+
+StatSet
+RunResult::toStatSet() const
+{
+    StatSet set(workload + "." + baselines::mechanismName(mech));
+    set.scalar("cycles") = static_cast<double>(core.cycles);
+    set.scalar("committed_ops") = static_cast<double>(core.committed);
+    set.scalar("ipc") = core.ipc();
+    set.scalar("loads") = static_cast<double>(core.loads);
+    set.scalar("stores") = static_cast<double>(core.stores);
+    set.scalar("branches") = static_cast<double>(core.branches);
+    set.scalar("branch_mpki") = branchMpki;
+    set.scalar("rob_full_stalls") = static_cast<double>(core.robFullStalls);
+    set.scalar("lsq_full_stalls") = static_cast<double>(core.lsqFullStalls);
+    set.scalar("mcq_full_stalls") = static_cast<double>(core.mcqFullStalls);
+    set.scalar("retire_delayed") = static_cast<double>(core.retireDelayed);
+    set.scalar("network_traffic_bytes") =
+        static_cast<double>(networkTraffic);
+    set.scalar("mix_total") = static_cast<double>(mix.total);
+    set.scalar("mix_signed_loads") = static_cast<double>(mix.signedLoads);
+    set.scalar("mix_signed_stores") =
+        static_cast<double>(mix.signedStores);
+    set.scalar("mix_unsigned_loads") =
+        static_cast<double>(mix.unsignedLoads);
+    set.scalar("mix_unsigned_stores") =
+        static_cast<double>(mix.unsignedStores);
+    set.scalar("mix_bounds_ops") = static_cast<double>(mix.boundsOps);
+    set.scalar("mix_pac_ops") = static_cast<double>(mix.pacOps);
+    set.scalar("mcu_checked_ops") =
+        static_cast<double>(mcuStats.checkedOps);
+    set.scalar("mcu_unchecked_ops") =
+        static_cast<double>(mcuStats.uncheckedOps);
+    set.scalar("mcu_ways_per_check") = mcuStats.avgWaysPerCheck();
+    set.scalar("mcu_forwards") = static_cast<double>(mcuStats.forwards);
+    set.scalar("mcu_replays") = static_cast<double>(mcuStats.replays);
+    set.scalar("bwb_hit_rate") = bwb.hitRate();
+    set.scalar("hbt_inserts") = static_cast<double>(hbt.inserts);
+    set.scalar("hbt_clears") = static_cast<double>(hbt.clears);
+    set.scalar("hbt_occupied") = static_cast<double>(hbt.occupied);
+    set.scalar("hbt_resizes") = static_cast<double>(hbt.resizes);
+    set.scalar("violations") = static_cast<double>(violations);
+    return set;
+}
+
+void
+RunResult::dump(std::ostream &os) const
+{
+    toStatSet().dump(os);
+}
+
+AosSystem::AosSystem(const workloads::WorkloadProfile &profile,
+                     const baselines::SystemOptions &options)
+    : _profile(profile), _options(options)
+{
+    // Narrow the VA when a wide PAC would not fit the 64-bit layout.
+    const unsigned va_bits =
+        options.pacBits <= 16 ? 46 : 62 - options.pacBits;
+    const pa::PointerLayout layout(options.pacBits, va_bits);
+    _pa = std::make_unique<pa::PaContext>(layout);
+
+    memsim::MemoryConfig mem_config;
+    mem_config.useBoundsCache = options.usesAos() && options.useL1B;
+    _mem = std::make_unique<memsim::MemorySystem>(mem_config);
+
+    if (options.usesAos()) {
+        const unsigned records = options.boundsCompression
+                                     ? bounds::kSlotsPerWay
+                                     : bounds::kWideSlotsPerWay;
+        _os = std::make_unique<os::OsModel>(options.pacBits,
+                                            options.initialHbtAssoc,
+                                            records,
+                                            os::FaultPolicy::kReport);
+        _bwb = std::make_unique<bounds::BoundsWayBuffer>(64);
+
+        mcu::McuConfig mcu_config;
+        mcu_config.useBwb = options.useBwb;
+        mcu_config.boundsForwarding = options.boundsForwarding;
+        _mcu = std::make_unique<mcu::MemoryCheckUnit>(
+            mcu_config, layout, &_os->hbt(), _bwb.get(), _mem.get());
+        _mcu->onFault = [this](mcu::FaultKind kind,
+                               const mcu::McqEntry &entry) {
+            return _os->handleFault(kind, entry);
+        };
+    }
+
+    cpu::CoreConfig core_config;
+    core_config.codeFootprint = profile.codeFootprint;
+    _core = std::make_unique<cpu::OoOCore>(core_config, layout, _mem.get(),
+                                           _mcu.get());
+
+    _workload = std::make_unique<workloads::SyntheticWorkload>(
+        profile, options.measureOps);
+    buildPipeline();
+}
+
+AosSystem::~AosSystem() = default;
+
+void
+AosSystem::buildPipeline()
+{
+    _pipeline = std::make_unique<compiler::PassManager>(_workload.get());
+
+    switch (_options.mech) {
+      case baselines::Mechanism::kBaseline:
+        break;
+      case baselines::Mechanism::kWatchdog:
+        _pipeline->add<compiler::WatchdogPass>();
+        break;
+      case baselines::Mechanism::kPa:
+        _pipeline->add<compiler::PaPass>(compiler::PaMode::kPaOnly);
+        break;
+      case baselines::Mechanism::kAos:
+        _pipeline->add<compiler::AosOptPass>();
+        _pipeline->add<compiler::AosBackendPass>(_pa.get());
+        break;
+      case baselines::Mechanism::kPaAos:
+        _pipeline->add<compiler::AosOptPass>();
+        _pipeline->add<compiler::AosBackendPass>(_pa.get());
+        _pipeline->add<compiler::PaPass>(compiler::PaMode::kPaAos);
+        break;
+      case baselines::Mechanism::kAsan:
+        _pipeline->add<compiler::AsanPass>();
+        break;
+    }
+
+    _counter = _pipeline->add<compiler::OpCounter>(_pa->layout());
+}
+
+void
+AosSystem::fastForward()
+{
+    const pa::PointerLayout &layout = _pa->layout();
+    ir::MicroOp op;
+    while (_pipeline->next(op)) {
+        switch (op.kind) {
+          case ir::OpKind::kPhaseMark:
+            return;
+          case ir::OpKind::kBndstr: {
+            const u64 pac = layout.pac(op.addr);
+            const Addr raw = layout.strip(op.addr);
+            auto &hbt = _os->hbt();
+            auto way = hbt.insert(pac, bounds::compress(raw, op.size));
+            while (!way) {
+                if (!hbt.resizing())
+                    hbt.beginResize();
+                hbt.finishResize();
+                way = hbt.insert(pac, bounds::compress(raw, op.size));
+            }
+            _mem->boundsAccess(hbt.wayAddr(pac, *way), true);
+            break;
+          }
+          case ir::OpKind::kBndclr:
+            _os->hbt().clear(layout.pac(op.addr), layout.strip(op.addr));
+            break;
+          case ir::OpKind::kLoad:
+          case ir::OpKind::kWdMetaLoad:
+            _mem->dataAccess(layout.strip(op.addr), false);
+            break;
+          case ir::OpKind::kStore:
+          case ir::OpKind::kWdMetaStore:
+            _mem->dataAccess(layout.strip(op.addr), true);
+            break;
+          case ir::OpKind::kBranch:
+            _core->observeBranch(op.branchId, op.taken);
+            break;
+          default:
+            break;
+        }
+    }
+    panic("workload stream ended before the phase mark");
+}
+
+RunResult
+AosSystem::run()
+{
+    fastForward();
+
+    // Snapshot at the measurement boundary.
+    const ir::OpMixStats mix_before = _counter->mix();
+    const u64 traffic_before = _mem->networkTraffic();
+    const u64 lookups_before = _core->predictor().stats().lookups;
+    const u64 mispred_before = _core->predictor().stats().mispredicts;
+
+    // Run until the bounded source stream ends: every configuration
+    // executes the same program work; instrumented instructions are
+    // extra, exactly as in the paper's methodology.
+    _core->run(*_pipeline, 0);
+
+    RunResult result;
+    result.workload = _profile.name;
+    result.mech = _options.mech;
+    result.core = _core->stats();
+    result.networkTraffic = _mem->networkTraffic() - traffic_before;
+    result.mix = mixDelta(_counter->mix(), mix_before);
+    if (_mcu)
+        result.mcuStats = _mcu->stats();
+    if (_bwb)
+        result.bwb = _bwb->stats();
+    if (_os) {
+        result.hbt = _os->hbt().stats();
+        result.violations = _os->violations().size();
+        result.resizes = result.hbt.resizes;
+    }
+    const u64 lookups =
+        _core->predictor().stats().lookups - lookups_before;
+    const u64 mispredicts =
+        _core->predictor().stats().mispredicts - mispred_before;
+    result.branchMpki =
+        result.core.committed
+            ? 1000.0 * static_cast<double>(mispredicts) /
+                  static_cast<double>(result.core.committed)
+            : 0.0;
+    (void)lookups;
+    return result;
+}
+
+} // namespace aos::core

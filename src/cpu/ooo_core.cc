@@ -1,0 +1,225 @@
+#include "cpu/ooo_core.hh"
+
+#include "common/logging.hh"
+
+namespace aos::cpu {
+
+OoOCore::OoOCore(const CoreConfig &config, pa::PointerLayout layout,
+                 memsim::MemorySystem *mem, mcu::MemoryCheckUnit *mcu)
+    : _config(config), _layout(layout), _mem(mem), _mcu(mcu)
+{
+    panic_if(!mem, "core requires a memory system");
+}
+
+Cycles
+OoOCore::execLatency(const ir::MicroOp &op, Tick now)
+{
+    switch (op.kind) {
+      case ir::OpKind::kFpAlu:
+        return _config.fpLatency;
+      case ir::OpKind::kPacma:
+      case ir::OpKind::kPacia:
+        return _config.pacLatency;
+      case ir::OpKind::kAutia:
+        // The authenticated return address feeds the fetch redirect:
+        // the frontend cannot run fully ahead of the authentication
+        // (half the crypto latency overlaps with the return itself).
+        _fetchBlockedUntil = std::max<Tick>(
+            _fetchBlockedUntil, now + _config.pacLatency / 2);
+        return _config.pacLatency;
+      case ir::OpKind::kAutm:
+      case ir::OpKind::kXpacm:
+        return _config.stripLatency;
+      case ir::OpKind::kLoad:
+      case ir::OpKind::kWdMetaLoad:
+        // Cache hierarchy determines the latency; index with the raw
+        // address (the PAC/AHC bits are above the translated VA).
+        return _mem->dataAccess(_layout.strip(op.addr), false);
+      case ir::OpKind::kStore:
+      case ir::OpKind::kWdMetaStore:
+        // Stores complete into the store queue quickly; the cache line
+        // is touched now for pollution/traffic accounting.
+        _mem->dataAccess(_layout.strip(op.addr), true);
+        return 1;
+      case ir::OpKind::kBranch: {
+        const Addr pc = 0x400000 + static_cast<Addr>(op.branchId) * 4;
+        const bool predicted = _tage.predict(pc);
+        _tage.update(pc, op.taken);
+        ++_stats.branches;
+        if (predicted != op.taken) {
+            ++_stats.mispredicts;
+            // Frontend redirect. When the MCQ recently back-pressured
+            // issue the frontend had not run ahead, so part of the
+            // redirect penalty is hidden (the paper's "fewer
+            // aggressive branch predictions" effect on milc/namd/
+            // gobmk/astar).
+            const Cycles penalty = (now < _mcqStallCooldownUntil)
+                                       ? _config.mispredictPenalty / 2
+                                       : _config.mispredictPenalty;
+            _fetchBlockedUntil =
+                std::max<Tick>(_fetchBlockedUntil, now + penalty);
+        }
+        return 1;
+      }
+      default:
+        return 1;
+    }
+    (void)now;
+}
+
+bool
+OoOCore::issueOne(const ir::MicroOp &op, Tick now)
+{
+    if (_rob.size() >= _config.robEntries) {
+        ++_stats.robFullStalls;
+        return false;
+    }
+
+    const bool is_load = op.kind == ir::OpKind::kLoad ||
+                         op.kind == ir::OpKind::kWdMetaLoad;
+    const bool is_store = op.kind == ir::OpKind::kStore ||
+                          op.kind == ir::OpKind::kWdMetaStore;
+    const bool is_bounds = op.isBoundsOp();
+
+    if (is_load && _loadsInFlight >= _config.lqEntries) {
+        ++_stats.lsqFullStalls;
+        return false;
+    }
+    if (is_store && _storesInFlight >= _config.sqEntries) {
+        ++_stats.lsqFullStalls;
+        return false;
+    }
+
+    // AOS: every load/store must also find room in the MCQ; bndstr and
+    // bndclr are issued directly to the MCU (Fig. 6).
+    const bool needs_mcq =
+        _mcu && (is_bounds || op.kind == ir::OpKind::kLoad ||
+                 op.kind == ir::OpKind::kStore);
+    if (needs_mcq && _mcu->full()) {
+        ++_stats.mcqFullStalls;
+        return false;
+    }
+
+    RobEntry entry;
+    entry.seq = _nextSeq++;
+    entry.kind = op.kind;
+    entry.isLoad = is_load;
+    entry.isStore = is_store;
+    entry.inMcq = needs_mcq;
+    entry.doneAt = now + execLatency(op, now);
+
+    if (needs_mcq) {
+        const bool ok = _mcu->enqueue(op.kind, op.addr, op.size, entry.seq,
+                                      now);
+        panic_if(!ok, "MCQ accepted full() but rejected enqueue");
+    }
+
+    if (is_load)
+        ++_loadsInFlight;
+    if (is_store)
+        ++_storesInFlight;
+
+    // Synthetic instruction fetch: one L1-I probe per new 64-byte
+    // fetch line, walking a code region of the configured footprint.
+    if (++_fetchedInLine >= 16) {
+        _fetchedInLine = 0;
+        _fetchPc += 64;
+        if (_fetchPc >= 0x400000 + _config.codeFootprint)
+            _fetchPc = 0x400000;
+        _mem->fetchAccess(_fetchPc);
+    }
+
+    _rob.push_back(entry);
+    return true;
+}
+
+void
+OoOCore::commit(Tick now)
+{
+    for (unsigned slot = 0; slot < _config.commitWidth && !_rob.empty();
+         ++slot) {
+        RobEntry &head = _rob.front();
+        if (head.doneAt > now)
+            break;
+        if (head.inMcq && !_mcu->readyToRetire(head.seq)) {
+            // Delayed retirement: the bounds check has not finished
+            // (or the bndstr occupancy check is still running).
+            ++_stats.retireDelayed;
+            break;
+        }
+        if (head.inMcq)
+            _mcu->markCommitted(head.seq);
+        if (head.isLoad)
+            --_loadsInFlight;
+        if (head.isStore)
+            --_storesInFlight;
+        if (head.kind == ir::OpKind::kLoad)
+            ++_stats.loads;
+        else if (head.kind == ir::OpKind::kStore)
+            ++_stats.stores;
+        ++_stats.committed;
+        _rob.pop_front();
+    }
+}
+
+const CoreStats &
+OoOCore::run(ir::InstStream &stream, u64 max_ops)
+{
+    Tick now = _stats.cycles;
+    bool stream_done = false;
+    ir::MicroOp pending;
+    bool have_pending = false;
+
+    while (true) {
+        // 1. Commit from the ROB head.
+        commit(now);
+
+        // 2. Let the MCU make progress and free retired entries.
+        if (_mcu) {
+            _mcu->tick(now);
+            _mcu->drainRetired();
+        }
+
+        // 3. Issue new micro-ops while the frontend is not redirecting.
+        bool mcq_stall = false;
+        if (now >= _fetchBlockedUntil) {
+            for (unsigned slot = 0; slot < _config.issueWidth; ++slot) {
+                if (max_ops && _nextSeq > max_ops) {
+                    stream_done = true;
+                    break;
+                }
+                if (!have_pending) {
+                    if (!stream.next(pending)) {
+                        stream_done = true;
+                        break;
+                    }
+                    have_pending = true;
+                }
+                if (_mcu && _mcu->full() &&
+                    (pending.isMem() || pending.isBoundsOp())) {
+                    mcq_stall = true;
+                }
+                if (!issueOne(pending, now))
+                    break;
+                have_pending = false;
+            }
+        }
+        if (mcq_stall)
+            _mcqStallCooldownUntil = now + 4;
+
+        ++now;
+
+        if (stream_done && !have_pending && _rob.empty() &&
+            (!_mcu || _mcu->empty())) {
+            break;
+        }
+        // Safety valve against pathological livelock.
+        panic_if(now > _stats.cycles + (u64{1} << 40),
+                 "core appears to be livelocked");
+    }
+
+    _stats.cycles = now;
+    return _stats;
+}
+
+} // namespace aos::cpu

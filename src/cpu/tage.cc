@@ -1,0 +1,186 @@
+#include "cpu/tage.hh"
+
+#include "common/bitfield.hh"
+
+namespace aos::cpu {
+
+Tage::Tage()
+    : _bimodal(u64{1} << kBaseBits, 2), _histLen{5, 15, 44, 130},
+      _history(kHistoryBits, false)
+{
+    for (auto &table : _tables)
+        table.resize(u64{1} << kTableBits);
+}
+
+u64
+Tage::foldedHistory(unsigned table, unsigned out_bits) const
+{
+    // XOR-fold the most recent histLen bits down to out_bits.
+    u64 folded = 0;
+    u64 chunk = 0;
+    unsigned filled = 0;
+    const unsigned len = _histLen[table];
+    for (unsigned i = 0; i < len; ++i) {
+        chunk = (chunk << 1) | (_history[i] ? 1 : 0);
+        if (++filled == out_bits) {
+            folded ^= chunk;
+            chunk = 0;
+            filled = 0;
+        }
+    }
+    if (filled)
+        folded ^= chunk;
+    return folded & mask(out_bits);
+}
+
+u64
+Tage::tableIndex(Addr pc, unsigned table) const
+{
+    const u64 h = foldedHistory(table, kTableBits);
+    return ((pc >> 2) ^ (pc >> (kTableBits - table)) ^ h) &
+           mask(kTableBits);
+}
+
+u16
+Tage::tableTag(Addr pc, unsigned table) const
+{
+    const u64 h = foldedHistory(table, kTagBits);
+    const u64 h2 = foldedHistory(table, kTagBits - 1) << 1;
+    return static_cast<u16>(((pc >> 2) ^ h ^ h2) & mask(kTagBits));
+}
+
+bool
+Tage::predict(Addr pc)
+{
+    ++_stats.lookups;
+    _lastPc = pc;
+    _providerTable = -1;
+
+    const u64 base_idx = (pc >> 2) & mask(kBaseBits);
+    const bool base_pred = _bimodal[base_idx] >= 2;
+    bool pred = base_pred;
+    bool alt = base_pred;
+
+    // Longest history match provides; second longest is the alternate.
+    for (int t = kNumTables - 1; t >= 0; --t) {
+        const u64 idx = tableIndex(pc, t);
+        const TaggedEntry &entry = _tables[t][idx];
+        if (entry.valid && entry.tag == tableTag(pc, t)) {
+            if (_providerTable < 0) {
+                _providerTable = t;
+                _providerIndex = idx;
+                _providerPred = entry.ctr >= 0;
+            } else {
+                alt = entry.ctr >= 0;
+                break;
+            }
+        }
+    }
+
+    if (_providerTable >= 0) {
+        ++_stats.providerTagged;
+        const TaggedEntry &entry = _tables[_providerTable][_providerIndex];
+        const bool weak = entry.ctr == 0 || entry.ctr == -1;
+        // Newly allocated, weak entries may be less reliable than the
+        // alternate prediction (TAGE's use_alt_on_na heuristic).
+        if (weak && entry.useful == 0 && _useAltOnNa >= 8)
+            pred = alt;
+        else
+            pred = _providerPred;
+        _altPred = alt;
+    } else {
+        _altPred = base_pred;
+        pred = base_pred;
+    }
+
+    _lastPrediction = pred;
+    return pred;
+}
+
+void
+Tage::update(Addr pc, bool taken)
+{
+    if (pc != _lastPc) {
+        // Out-of-sync train (shouldn't happen with the core's usage);
+        // just refresh the context.
+        predict(pc);
+    }
+
+    if (_lastPrediction != taken)
+        ++_stats.mispredicts;
+
+    const u64 base_idx = (pc >> 2) & mask(kBaseBits);
+
+    // Update the provider (or the bimodal table).
+    if (_providerTable >= 0) {
+        TaggedEntry &entry = _tables[_providerTable][_providerIndex];
+        if (taken && entry.ctr < 3)
+            ++entry.ctr;
+        else if (!taken && entry.ctr > -4)
+            --entry.ctr;
+        if (_providerPred != _altPred) {
+            if (_providerPred == taken) {
+                if (entry.useful < 3)
+                    ++entry.useful;
+            } else if (entry.useful > 0) {
+                --entry.useful;
+            }
+            // Track whether alt would have been better for new entries.
+            const bool weak = entry.ctr == 0 || entry.ctr == -1;
+            if (weak && entry.useful == 0) {
+                if (_altPred == taken) {
+                    if (_useAltOnNa < 15)
+                        ++_useAltOnNa;
+                } else if (_useAltOnNa > 0) {
+                    --_useAltOnNa;
+                }
+            }
+        }
+    } else {
+        u8 &ctr = _bimodal[base_idx];
+        if (taken && ctr < 3)
+            ++ctr;
+        else if (!taken && ctr > 0)
+            --ctr;
+    }
+
+    // Allocate a longer-history entry on a mispredict.
+    if (_lastPrediction != taken && _providerTable < 3) {
+        bool allocated = false;
+        for (unsigned t = _providerTable + 1; t < kNumTables && !allocated;
+             ++t) {
+            const u64 idx = tableIndex(pc, t);
+            TaggedEntry &entry = _tables[t][idx];
+            if (!entry.valid || entry.useful == 0) {
+                entry.valid = true;
+                entry.tag = tableTag(pc, t);
+                entry.ctr = taken ? 0 : -1;
+                entry.useful = 0;
+                allocated = true;
+            }
+        }
+        if (!allocated) {
+            // Decay usefulness so future allocations can succeed.
+            for (unsigned t = _providerTable + 1; t < kNumTables; ++t) {
+                TaggedEntry &entry = _tables[t][tableIndex(pc, t)];
+                if (entry.useful > 0)
+                    --entry.useful;
+            }
+        }
+    }
+
+    // Periodic aging of useful bits.
+    if (++_tick % 262144 == 0) {
+        for (auto &table : _tables) {
+            for (auto &entry : table)
+                entry.useful >>= 1;
+        }
+    }
+
+    // Shift the outcome into global history (newest at index 0).
+    for (unsigned i = kHistoryBits - 1; i > 0; --i)
+        _history[i] = _history[i - 1];
+    _history[0] = taken;
+}
+
+} // namespace aos::cpu

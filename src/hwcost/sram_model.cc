@@ -1,0 +1,33 @@
+#include "hwcost/sram_model.hh"
+
+#include <cmath>
+
+namespace aos::hwcost {
+
+SramCost
+estimate(const SramSpec &spec)
+{
+    const double size = static_cast<double>(spec.sizeBytes);
+    SramCost cost;
+    // Coefficients fitted to the published Table I rows (45 nm).
+    cost.areaMm2 = 1.52e-5 * std::pow(size, 0.88);
+    cost.accessTimeNs = 0.0848 + 0.00588 * std::cbrt(size);
+    cost.dynamicEnergyPj = 3.47e-4 + 2.0e-6 * std::pow(size, 0.9);
+    cost.leakagePowerMw = 0.00186 * size + 0.45;
+    return cost;
+}
+
+const std::vector<TableOneRow> &
+tableOneRows()
+{
+    static const std::vector<TableOneRow> rows = {
+        // name, bytes                  area,   time,   energy,  leakage
+        {{"MCQ", 1331},        {0.0096, 0.1383, 0.0014, 3.2269}},
+        {{"BWB", 384},         {0.00285, 0.12755, 0.00077, 1.10712}},
+        {{"L1-B Cache", 32768},{0.1573, 0.2984, 0.0347, 58.295}},
+        {{"L1-D Cache", 65536},{0.2628, 0.3217, 0.0436, 122.69}},
+    };
+    return rows;
+}
+
+} // namespace aos::hwcost

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * CACTI-style analytical SRAM cost model (paper Table I).
+ *
+ * The paper estimates the area, access time, dynamic access energy and
+ * leakage of the AOS structures with CACTI 6.0 at 45 nm. CACTI itself
+ * is a large external tool; what Table I needs from it is a consistent
+ * scaling of four metrics with SRAM capacity. This model uses the
+ * standard analytical forms —
+ *
+ *   area    ~ c_a * bits^0.88           (sub-linear: periphery amortizes)
+ *   latency ~ t_0 + c_t * bits^(1/3)    (wordline/bitline RC growth)
+ *   energy  ~ c_e * bits^0.79           (bitline + decoder energy)
+ *   leakage ~ c_l * bits + l_0          (per-cell leakage)
+ *
+ * — with coefficients calibrated against the published Table I rows at
+ * 45 nm. The Table I bench prints the model's estimates next to the
+ * paper's CACTI values.
+ */
+
+#ifndef AOS_HWCOST_SRAM_MODEL_HH
+#define AOS_HWCOST_SRAM_MODEL_HH
+
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace aos::hwcost {
+
+/** One SRAM-like structure to estimate. */
+struct SramSpec
+{
+    std::string name;
+    u64 sizeBytes = 0;
+};
+
+/** Estimated costs at 45 nm. */
+struct SramCost
+{
+    double areaMm2 = 0;
+    double accessTimeNs = 0;
+    double dynamicEnergyPj = 0;
+    double leakagePowerMw = 0;
+};
+
+/** Estimate the cost of @p spec at 45 nm. */
+SramCost estimate(const SramSpec &spec);
+
+/** The four structures of paper Table I with their published values. */
+struct TableOneRow
+{
+    SramSpec spec;
+    SramCost paper; //!< Published CACTI 6.0 numbers.
+};
+
+const std::vector<TableOneRow> &tableOneRows();
+
+} // namespace aos::hwcost
+
+#endif // AOS_HWCOST_SRAM_MODEL_HH

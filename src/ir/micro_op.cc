@@ -1,0 +1,36 @@
+#include "ir/micro_op.hh"
+
+namespace aos::ir {
+
+const char *
+opKindName(OpKind kind)
+{
+    switch (kind) {
+      case OpKind::kIntAlu: return "int_alu";
+      case OpKind::kFpAlu: return "fp_alu";
+      case OpKind::kLoad: return "load";
+      case OpKind::kStore: return "store";
+      case OpKind::kBranch: return "branch";
+      case OpKind::kCall: return "call";
+      case OpKind::kRet: return "ret";
+      case OpKind::kMallocMark: return "malloc";
+      case OpKind::kFreeMark: return "free";
+      case OpKind::kPacma: return "pacma";
+      case OpKind::kPacia: return "pacia";
+      case OpKind::kAutia: return "autia";
+      case OpKind::kAutm: return "autm";
+      case OpKind::kXpacm: return "xpacm";
+      case OpKind::kBndstr: return "bndstr";
+      case OpKind::kBndclr: return "bndclr";
+      case OpKind::kWdCheck: return "wd_check";
+      case OpKind::kWdMetaLoad: return "wd_meta_load";
+      case OpKind::kWdMetaStore: return "wd_meta_store";
+      case OpKind::kWdPropagate: return "wd_propagate";
+      case OpKind::kAosMallocIntr: return "aos_malloc";
+      case OpKind::kAosFreeIntr: return "aos_free";
+      case OpKind::kPhaseMark: return "phase_mark";
+    }
+    return "unknown";
+}
+
+} // namespace aos::ir

@@ -1,0 +1,146 @@
+/**
+ * @file
+ * The micro-op IR flowing from workload generators through the
+ * instrumentation passes into the timing core.
+ *
+ * This plays the role the AArch64 instruction stream plays in the
+ * paper's gem5 setup: workload generators synthesize baseline streams
+ * (ALU, loads/stores, branches, calls plus malloc/free markers) and the
+ * compiler passes (aos::compiler) rewrite them exactly as the paper's
+ * LLVM passes rewrite binaries — inserting pacma/bndstr/bndclr/xpacm
+ * for AOS (Fig. 7), pacia/autia for PA return-address signing (Fig. 3),
+ * or check/metadata micro-ops for Watchdog (Fig. 5a).
+ */
+
+#ifndef AOS_IR_MICRO_OP_HH
+#define AOS_IR_MICRO_OP_HH
+
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace aos::ir {
+
+/** Operation classes recognized by the core and the statistics. */
+enum class OpKind : u8
+{
+    kIntAlu,     //!< Integer ALU op.
+    kFpAlu,      //!< Floating-point op (longer latency).
+    kLoad,       //!< Data load; addr may be AOS-signed.
+    kStore,      //!< Data store; addr may be AOS-signed.
+    kBranch,     //!< Conditional branch (taken flag is the outcome).
+    kCall,       //!< Function call (PA signs lr here).
+    kRet,        //!< Function return (PA authenticates lr here).
+    kMallocMark, //!< Allocation event marker (lowered by passes).
+    kFreeMark,   //!< Deallocation event marker (lowered by passes).
+    kPacma,      //!< AOS data-pointer signing (4 cycles).
+    kPacia,      //!< PA return-address signing (4 cycles).
+    kAutia,      //!< PA return-address authentication (4 cycles).
+    kAutm,       //!< AOS on-load authentication (4 cycles).
+    kXpacm,      //!< PAC/AHC strip (1 cycle).
+    kBndstr,     //!< Bounds store to the HBT (handled by the MCU).
+    kBndclr,     //!< Bounds clear in the HBT (handled by the MCU).
+    kWdCheck,    //!< Watchdog check micro-op before a memory access.
+    kWdMetaLoad, //!< Watchdog metadata (lock/bounds) load.
+    kWdMetaStore,//!< Watchdog metadata store.
+    kWdPropagate,//!< Watchdog metadata propagation for pointer arith.
+    kAosMallocIntr, //!< aos_malloc intrinsic (AOS-opt-pass output).
+    kAosFreeIntr,   //!< aos_free intrinsic (AOS-opt-pass output).
+    kPhaseMark,     //!< Warmup/measurement boundary (not an instruction).
+};
+
+/** Human-readable op-kind name (stats and debugging). */
+const char *opKindName(OpKind kind);
+
+/** One micro-op. Plain value type; streams produce these. */
+struct MicroOp
+{
+    OpKind kind = OpKind::kIntAlu;
+    /**
+     * Effective address for memory ops (carrying PAC/AHC when the
+     * program was AOS-instrumented); pointer operand for pac and
+     * bounds ops.
+     */
+    Addr addr = 0;
+    /**
+     * Raw (unsigned) base address of the heap chunk this op refers to;
+     * 0 when the op does not touch the heap. Set by generators so the
+     * passes can sign addresses and the MCU demos can cross-check.
+     */
+    Addr chunkBase = 0;
+    u32 size = 0;        //!< Access bytes / allocation size.
+    bool taken = false;  //!< Branch outcome.
+    bool isPtrArith = false; //!< ALU op produces a pointer (Watchdog).
+    bool loadsPointer = false; //!< Load whose value is a data pointer.
+    u32 branchId = 0;    //!< Static branch identity (predictor index).
+
+    bool
+    isMem() const
+    {
+        return kind == OpKind::kLoad || kind == OpKind::kStore ||
+               kind == OpKind::kWdMetaLoad || kind == OpKind::kWdMetaStore;
+    }
+
+    bool
+    isBoundsOp() const
+    {
+        return kind == OpKind::kBndstr || kind == OpKind::kBndclr;
+    }
+};
+
+/** A pull-based stream of micro-ops (workloads and passes). */
+class InstStream
+{
+  public:
+    virtual ~InstStream() = default;
+
+    /** Produce the next op; false at end of stream. */
+    virtual bool next(MicroOp &op) = 0;
+
+    /** Name for reporting. */
+    virtual std::string name() const { return "stream"; }
+};
+
+/** A fixed vector of ops as a stream (testing / small demos). */
+class VectorStream : public InstStream
+{
+  public:
+    explicit VectorStream(std::vector<MicroOp> ops)
+        : _ops(std::move(ops))
+    {
+    }
+
+    bool
+    next(MicroOp &op) override
+    {
+        if (_pos >= _ops.size())
+            return false;
+        op = _ops[_pos++];
+        return true;
+    }
+
+    std::string name() const override { return "vector"; }
+
+  private:
+    std::vector<MicroOp> _ops;
+    size_t _pos = 0;
+};
+
+/** Per-kind op counters; drives Fig. 16. */
+struct OpMixStats
+{
+    u64 total = 0;
+    u64 unsignedLoads = 0;
+    u64 unsignedStores = 0;
+    u64 signedLoads = 0;
+    u64 signedStores = 0;
+    u64 boundsOps = 0;   //!< bndstr + bndclr.
+    u64 pacOps = 0;      //!< pac* / aut* / xpac*.
+    u64 branches = 0;
+    u64 wdOps = 0;       //!< Watchdog check/meta/propagate micro-ops.
+};
+
+} // namespace aos::ir
+
+#endif // AOS_IR_MICRO_OP_HH

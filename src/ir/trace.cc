@@ -1,0 +1,121 @@
+#include "ir/trace.hh"
+
+#include <cstring>
+
+#include "common/logging.hh"
+
+namespace aos::ir {
+
+namespace {
+
+constexpr char kMagic[8] = {'A', 'O', 'S', 'T', 'R', 'A', 'C', 'E'};
+constexpr u32 kVersion = 1;
+
+struct TraceHeader
+{
+    char magic[8];
+    u32 version;
+    u32 reserved;
+};
+
+static_assert(sizeof(TraceHeader) == 16, "trace header layout drifted");
+
+TraceRecord
+pack(const MicroOp &op)
+{
+    TraceRecord rec;
+    rec.kind = static_cast<u8>(op.kind);
+    rec.flags = static_cast<u8>((op.taken ? 1 : 0) |
+                                (op.isPtrArith ? 2 : 0) |
+                                (op.loadsPointer ? 4 : 0));
+    rec.branchId = op.branchId;
+    rec.addr = op.addr;
+    rec.chunkBase = op.chunkBase;
+    rec.size = op.size;
+    return rec;
+}
+
+MicroOp
+unpack(const TraceRecord &rec)
+{
+    MicroOp op;
+    op.kind = static_cast<OpKind>(rec.kind);
+    op.taken = rec.flags & 1;
+    op.isPtrArith = rec.flags & 2;
+    op.loadsPointer = rec.flags & 4;
+    op.branchId = rec.branchId;
+    op.addr = rec.addr;
+    op.chunkBase = rec.chunkBase;
+    op.size = rec.size;
+    return op;
+}
+
+} // namespace
+
+TraceWriter::TraceWriter(const std::string &path)
+{
+    _file = std::fopen(path.c_str(), "wb");
+    fatal_if(!_file, "cannot create trace file '%s'", path.c_str());
+    TraceHeader header{};
+    std::memcpy(header.magic, kMagic, sizeof(kMagic));
+    header.version = kVersion;
+    header.reserved = 0;
+    fatal_if(std::fwrite(&header, sizeof(header), 1, _file) != 1,
+             "short write on trace header");
+}
+
+TraceWriter::~TraceWriter()
+{
+    close();
+}
+
+void
+TraceWriter::write(const MicroOp &op)
+{
+    panic_if(!_file, "write on a closed trace");
+    const TraceRecord rec = pack(op);
+    fatal_if(std::fwrite(&rec, sizeof(rec), 1, _file) != 1,
+             "short write on trace record");
+    ++_count;
+}
+
+void
+TraceWriter::close()
+{
+    if (_file) {
+        std::fclose(_file);
+        _file = nullptr;
+    }
+}
+
+TraceReader::TraceReader(const std::string &path) : _path(path)
+{
+    _file = std::fopen(path.c_str(), "rb");
+    fatal_if(!_file, "cannot open trace file '%s'", path.c_str());
+    TraceHeader header{};
+    fatal_if(std::fread(&header, sizeof(header), 1, _file) != 1,
+             "trace '%s' is truncated", path.c_str());
+    fatal_if(std::memcmp(header.magic, kMagic, sizeof(kMagic)) != 0,
+             "'%s' is not an AOS trace", path.c_str());
+    fatal_if(header.version != kVersion,
+             "trace '%s' has unsupported version %u", path.c_str(),
+             header.version);
+}
+
+TraceReader::~TraceReader()
+{
+    if (_file)
+        std::fclose(_file);
+}
+
+bool
+TraceReader::next(MicroOp &op)
+{
+    TraceRecord rec;
+    if (std::fread(&rec, sizeof(rec), 1, _file) != 1)
+        return false;
+    op = unpack(rec);
+    return true;
+}
+
+} // namespace aos::ir

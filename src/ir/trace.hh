@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Binary micro-op trace recording and replay.
+ *
+ * The paper's methodology depends on running the *same* instruction
+ * stream under every configuration. The synthetic generators are
+ * deterministic, but traces make that property portable: record a
+ * workload (or a pass pipeline's output) once, then replay the
+ * identical stream anywhere — across machines, after profile tuning,
+ * or into external tools.
+ *
+ * Format: a 16-byte header ("AOSTRACE", u32 version, u32 reserved)
+ * followed by fixed-size little-endian records.
+ */
+
+#ifndef AOS_IR_TRACE_HH
+#define AOS_IR_TRACE_HH
+
+#include <cstdio>
+#include <memory>
+#include <string>
+
+#include "ir/micro_op.hh"
+
+namespace aos::ir {
+
+/** On-disk record layout (packed, versioned). */
+struct TraceRecord
+{
+    u8 kind = 0;
+    u8 flags = 0; //!< bit0 taken, bit1 isPtrArith, bit2 loadsPointer.
+    u16 reserved = 0;
+    u32 branchId = 0;
+    u64 addr = 0;
+    u64 chunkBase = 0;
+    u32 size = 0;
+    u32 pad = 0;
+};
+
+static_assert(sizeof(TraceRecord) == 32, "trace record layout drifted");
+
+/** Streams micro-ops to a trace file. */
+class TraceWriter
+{
+  public:
+    /** Open (truncate) @p path; fatal on failure. */
+    explicit TraceWriter(const std::string &path);
+    ~TraceWriter();
+
+    TraceWriter(const TraceWriter &) = delete;
+    TraceWriter &operator=(const TraceWriter &) = delete;
+
+    void write(const MicroOp &op);
+
+    /** Flush and finalize the file. */
+    void close();
+
+    u64 count() const { return _count; }
+
+  private:
+    std::FILE *_file = nullptr;
+    u64 _count = 0;
+};
+
+/** Replays a trace file as an InstStream. */
+class TraceReader : public InstStream
+{
+  public:
+    /** Open @p path; fatal on missing/corrupt header. */
+    explicit TraceReader(const std::string &path);
+    ~TraceReader() override;
+
+    TraceReader(const TraceReader &) = delete;
+    TraceReader &operator=(const TraceReader &) = delete;
+
+    bool next(MicroOp &op) override;
+
+    std::string name() const override { return "trace:" + _path; }
+
+  private:
+    std::string _path;
+    std::FILE *_file = nullptr;
+};
+
+/** Tees a source stream into a TraceWriter while forwarding it. */
+class RecordingStream : public InstStream
+{
+  public:
+    RecordingStream(InstStream *source, TraceWriter *writer)
+        : _source(source), _writer(writer)
+    {
+    }
+
+    bool
+    next(MicroOp &op) override
+    {
+        if (!_source->next(op))
+            return false;
+        _writer->write(op);
+        return true;
+    }
+
+    std::string name() const override { return "recording"; }
+
+  private:
+    InstStream *_source;
+    TraceWriter *_writer;
+};
+
+} // namespace aos::ir
+
+#endif // AOS_IR_TRACE_HH

@@ -1,0 +1,432 @@
+#include "mcu/memory_check_unit.hh"
+
+#include "common/logging.hh"
+
+namespace aos::mcu {
+
+MemoryCheckUnit::MemoryCheckUnit(const McuConfig &config,
+                                 const pa::PointerLayout &layout,
+                                 bounds::HashedBoundsTable *hbt,
+                                 bounds::BoundsWayBuffer *bwb,
+                                 memsim::MemorySystem *mem)
+    : _config(config), _layout(layout), _hbt(hbt), _bwb(bwb), _mem(mem)
+{
+    panic_if(!hbt, "MCU requires a hashed bounds table");
+    panic_if(!mem, "MCU requires a memory system");
+}
+
+bool
+MemoryCheckUnit::enqueue(ir::OpKind kind, Addr addr, u64 size, u64 seq,
+                         Tick now)
+{
+    if (full())
+        return false;
+
+    McqEntry entry;
+    entry.valid = true;
+    entry.seq = seq;
+    entry.addr = addr;
+    entry.rawAddr = _layout.strip(addr);
+    entry.pac = _layout.pac(addr);
+    entry.ahc = _layout.ahc(addr);
+    entry.signedPtr = _layout.signed_(addr);
+    entry.size = size;
+    entry.readyAt = now;
+
+    switch (kind) {
+      case ir::OpKind::kLoad:
+        entry.type = McqType::kLoadCheck;
+        break;
+      case ir::OpKind::kStore:
+        entry.type = McqType::kStoreCheck;
+        break;
+      case ir::OpKind::kBndstr:
+        entry.type = McqType::kBndstr;
+        entry.bndData = bounds::compress(entry.rawAddr, size);
+        break;
+      case ir::OpKind::kBndclr:
+        entry.type = McqType::kBndclr;
+        break;
+      default:
+        panic("op kind %s cannot enter the MCQ", ir::opKindName(kind));
+    }
+
+    ++_stats.enqueued;
+    _queue.push_back(entry);
+    return true;
+}
+
+McqEntry *
+MemoryCheckUnit::find(u64 seq)
+{
+    for (auto &entry : _queue) {
+        if (entry.seq == seq)
+            return &entry;
+    }
+    return nullptr;
+}
+
+const McqEntry *
+MemoryCheckUnit::find(u64 seq) const
+{
+    for (const auto &entry : _queue) {
+        if (entry.seq == seq)
+            return &entry;
+    }
+    return nullptr;
+}
+
+void
+MemoryCheckUnit::markCommitted(u64 seq)
+{
+    if (McqEntry *entry = find(seq))
+        entry->committed = true;
+}
+
+bool
+MemoryCheckUnit::readyToRetire(u64 seq) const
+{
+    const McqEntry *entry = find(seq);
+    if (!entry)
+        return true;
+    switch (entry->type) {
+      case McqType::kLoadCheck:
+      case McqType::kStoreCheck:
+        return entry->state == McqState::kDone;
+      case McqType::kBndstr:
+      case McqType::kBndclr:
+        // The occupancy check has passed; the table write happens
+        // post-commit, so the ROB may retire the instruction.
+        return entry->state == McqState::kBndStr ||
+               entry->state == McqState::kDone;
+    }
+    return false;
+}
+
+bool
+MemoryCheckUnit::faulted(u64 seq, FaultKind *kind) const
+{
+    const McqEntry *entry = find(seq);
+    if (!entry || entry->state != McqState::kFail)
+        return false;
+    if (kind)
+        *kind = entry->fault;
+    return true;
+}
+
+bool
+MemoryCheckUnit::tryForward(McqEntry &entry)
+{
+    if (!_config.boundsForwarding)
+        return false;
+    // Search older in-flight bndstr entries with the same PAC whose
+    // bounds cover this access (SV-F2).
+    for (const auto &other : _queue) {
+        if (other.seq >= entry.seq)
+            break;
+        if (other.type != McqType::kBndstr || other.pac != entry.pac)
+            continue;
+        if (other.state == McqState::kFail)
+            continue;
+        if (bounds::inBounds(other.bndData, entry.rawAddr)) {
+            entry.forwarded = true;
+            ++_stats.forwards;
+            return true;
+        }
+    }
+    return false;
+}
+
+void
+MemoryCheckUnit::startWayAccess(McqEntry &entry, Tick now)
+{
+    entry.bndAddr = _hbt->wayAddr(entry.pac, entry.way);
+    const Cycles latency = _mem->boundsAccess(entry.bndAddr, false);
+    entry.readyAt = now + latency;
+    ++entry.waysTouched;
+    ++_stats.boundsLineLoads;
+}
+
+void
+MemoryCheckUnit::finishCheck(McqEntry &entry, bool found,
+                             unsigned found_way)
+{
+    if (found) {
+        entry.way = found_way;
+        entry.state = McqState::kDone;
+    } else {
+        entry.state = McqState::kIncCnt;
+    }
+}
+
+void
+MemoryCheckUnit::replayYounger(const McqEntry &from)
+{
+    for (auto &entry : _queue) {
+        if (entry.seq <= from.seq || entry.pac != from.pac)
+            continue;
+        if (entry.state == McqState::kDone)
+            continue;
+        entry.state = McqState::kInit;
+        entry.count = 0;
+        entry.way = 0;
+        entry.forwarded = false;
+        entry.started = false;
+        entry.fault = FaultKind::kNone;
+        ++_stats.replays;
+    }
+}
+
+void
+MemoryCheckUnit::commitMutation(McqEntry &entry, Tick now)
+{
+    if (entry.type == McqType::kBndstr) {
+        const auto way = _hbt->insert(entry.pac, entry.bndData);
+        if (!way) {
+            entry.state = McqState::kFail;
+            entry.fault = FaultKind::kStoreOverflow;
+            ++_stats.storeOverflows;
+            return;
+        }
+        entry.way = *way;
+    } else {
+        const auto way = _hbt->clear(entry.pac, entry.rawAddr);
+        if (!way) {
+            // Raced with an older clear of the same bounds: the second
+            // free of the pair is the faulting one.
+            entry.state = McqState::kFail;
+            entry.fault = FaultKind::kClearFailure;
+            ++_stats.clearFailures;
+            return;
+        }
+        entry.way = *way;
+    }
+    _mem->boundsAccess(_hbt->wayAddr(entry.pac, entry.way), true);
+    ++_stats.boundsStores;
+    replayYounger(entry);
+    entry.state = McqState::kDone;
+    entry.readyAt = now;
+}
+
+void
+MemoryCheckUnit::stepEntry(McqEntry &entry, Tick now, unsigned &ports)
+{
+    if (entry.readyAt > now)
+        return;
+
+    switch (entry.state) {
+      case McqState::kInit:
+        if (entry.type == McqType::kLoadCheck ||
+            entry.type == McqType::kStoreCheck) {
+            if (!entry.signedPtr) {
+                entry.state = McqState::kDone;
+                if (!entry.counted) {
+                    entry.counted = true;
+                    ++_stats.uncheckedOps;
+                }
+                return;
+            }
+            if (!entry.counted) {
+                entry.counted = true;
+                ++_stats.checkedOps;
+            }
+            if (tryForward(entry)) {
+                entry.state = McqState::kDone;
+                return;
+            }
+            entry.way = (_config.useBwb && _bwb)
+                            ? _bwb->lookup(entry.rawAddr, entry.ahc,
+                                           entry.pac) %
+                                  _hbt->ways()
+                            : 0;
+            entry.count = 0;
+            entry.state = McqState::kBndChk;
+            entry.started = false;
+        } else {
+            // bndstr always retrieves way 0 first (SV-C).
+            entry.way = 0;
+            entry.count = 0;
+            entry.state = McqState::kOccChk;
+            entry.started = false;
+        }
+        break;
+
+      case McqState::kOccChk: {
+        if (!entry.started) {
+            // Acquire a bounds port and issue the way-line load.
+            if (ports > 0) {
+                --ports;
+                startWayAccess(entry, now);
+                entry.started = true;
+            } else {
+                entry.readyAt = now + 1;
+            }
+            break;
+        }
+        entry.started = false;
+        const bounds::WayLine line = _hbt->readWay(entry.pac, entry.way);
+        bool ok = false;
+        if (entry.type == McqType::kBndstr) {
+            for (unsigned s = 0; s < line.count; ++s) {
+                if (line.slots[s] == bounds::kEmpty) {
+                    ok = true;
+                    break;
+                }
+            }
+        } else {
+            for (unsigned s = 0; s < line.count; ++s) {
+                if (bounds::matchesBase(line.slots[s], entry.rawAddr)) {
+                    ok = true;
+                    break;
+                }
+            }
+        }
+        entry.state = ok ? McqState::kBndStr : McqState::kIncCnt;
+        break;
+      }
+
+      case McqState::kBndChk: {
+        if (!entry.started) {
+            if (ports > 0) {
+                --ports;
+                startWayAccess(entry, now);
+                entry.started = true;
+            } else {
+                entry.readyAt = now + 1;
+            }
+            break;
+        }
+        entry.started = false;
+        const bounds::WayLine line = _hbt->readWay(entry.pac, entry.way);
+        bool found = false;
+        for (unsigned s = 0; s < line.count; ++s) {
+            if (bounds::inBounds(line.slots[s], entry.rawAddr)) {
+                found = true;
+                break;
+            }
+        }
+        finishCheck(entry, found, entry.way);
+        break;
+      }
+
+      case McqState::kIncCnt:
+        ++entry.count;
+        if (entry.count >= _hbt->ways()) {
+            entry.state = McqState::kFail;
+            if (entry.type == McqType::kBndstr) {
+                entry.fault = FaultKind::kStoreOverflow;
+                ++_stats.storeOverflows;
+            } else if (entry.type == McqType::kBndclr) {
+                entry.fault = FaultKind::kClearFailure;
+                ++_stats.clearFailures;
+            } else {
+                entry.fault = FaultKind::kBoundsViolation;
+                ++_stats.boundsFailures;
+            }
+        } else {
+            entry.way = (entry.way + 1) % _hbt->ways();
+            entry.state = (entry.type == McqType::kBndstr ||
+                           entry.type == McqType::kBndclr)
+                              ? McqState::kOccChk
+                              : McqState::kBndChk;
+            entry.started = false;
+        }
+        break;
+
+      case McqState::kBndStr:
+        if (entry.committed)
+            commitMutation(entry, now);
+        break;
+
+      case McqState::kFail:
+      case McqState::kDone:
+        break;
+    }
+}
+
+void
+MemoryCheckUnit::tick(Tick now)
+{
+    // The micro-architectural table manager migrates rows in the
+    // background during a gradual resize (SV-F3).
+    if (_hbt->resizing()) {
+        for (unsigned i = 0; i < _config.migrationRowsPerCycle; ++i) {
+            if (_config.chargeMigrationTraffic &&
+                _hbt->migrationRow() < _hbt->rows()) {
+                // One row: read old ways, write them to the new table.
+                const u64 row = _hbt->migrationRow();
+                const unsigned assoc = _hbt->primaryAssoc();
+                for (unsigned w = 0; w < assoc; ++w)
+                    _mem->boundsAccess(_hbt->wayAddr(row, w), false);
+            }
+            if (_hbt->migrateRow()) {
+                if (_bwb)
+                    _bwb->invalidate();
+                break;
+            }
+        }
+    }
+
+    unsigned ports = _config.boundsPortsPerCycle;
+    for (auto &entry : _queue)
+        stepEntry(entry, now, ports);
+
+    // Head-of-queue fault handling: raise the AOS exception.
+    if (!_queue.empty() && _queue.front().state == McqState::kFail) {
+        McqEntry &head = _queue.front();
+        bool handled = false;
+        if (onFault) {
+            handled = onFault(head.fault, head);
+        } else if (head.fault == FaultKind::kStoreOverflow) {
+            // Default OS policy: resize the HBT and retry (SIV-D).
+            if (!_hbt->resizing())
+                _hbt->beginResize();
+            handled = true;
+        }
+        if (handled) {
+            head.state = McqState::kInit;
+            head.count = 0;
+            head.way = 0;
+            head.fault = FaultKind::kNone;
+            head.forwarded = false;
+            head.started = false;
+            head.readyAt = now + 1;
+        } else {
+            // Report-and-resume policy: the violation was counted when
+            // the entry entered Fail; complete the instruction.
+            head.state = McqState::kDone;
+        }
+    }
+}
+
+void
+MemoryCheckUnit::drainRetired()
+{
+    while (!_queue.empty()) {
+        McqEntry &head = _queue.front();
+        if (head.state != McqState::kDone || !head.committed)
+            break;
+        if (_config.useBwb && _bwb && head.signedPtr && !head.forwarded &&
+            (head.type == McqType::kLoadCheck ||
+             head.type == McqType::kStoreCheck)) {
+            _bwb->update(head.rawAddr, head.ahc, head.pac, head.way);
+        }
+        _stats.waysTouchedTotal += head.waysTouched;
+        _queue.pop_front();
+    }
+}
+
+void
+MemoryCheckUnit::restartHead()
+{
+    if (_queue.empty())
+        return;
+    McqEntry &head = _queue.front();
+    head.state = McqState::kInit;
+    head.count = 0;
+    head.way = 0;
+    head.started = false;
+    head.fault = FaultKind::kNone;
+}
+
+} // namespace aos::mcu

@@ -1,0 +1,154 @@
+#include "memsim/cache.hh"
+
+#include "common/bitfield.hh"
+#include "common/logging.hh"
+
+namespace aos::memsim {
+
+Cache::Cache(const CacheParams &params, MemLevel *below)
+    : _params(params), _below(below)
+{
+    fatal_if(!isPowerOf2(params.lineSize), "line size must be 2^n");
+    fatal_if(params.size % (u64{params.assoc} * params.lineSize) != 0,
+             "%s: size not divisible by assoc * line", params.name.c_str());
+    _numSets = static_cast<unsigned>(
+        params.size / (u64{params.assoc} * params.lineSize));
+    fatal_if(!isPowerOf2(_numSets), "%s: set count must be 2^n",
+             params.name.c_str());
+    _lineShift = log2i(params.lineSize);
+    _lines.resize(u64{_numSets} * params.assoc);
+}
+
+u64
+Cache::setIndex(Addr addr) const
+{
+    return (addr >> _lineShift) & (_numSets - 1);
+}
+
+u64
+Cache::tagOf(Addr addr) const
+{
+    return addr >> (_lineShift + log2i(_numSets));
+}
+
+Addr
+Cache::lineAddr(u64 tag, u64 set) const
+{
+    return ((tag << log2i(_numSets)) | set) << _lineShift;
+}
+
+void
+Cache::fill(Addr addr)
+{
+    const u64 set = setIndex(addr);
+    const u64 tag = tagOf(addr);
+    Line *ways = &_lines[set * _params.assoc];
+    for (unsigned w = 0; w < _params.assoc; ++w) {
+        if (ways[w].valid && ways[w].tag == tag)
+            return; // already resident
+    }
+    Line *victim = &ways[0];
+    for (unsigned w = 1; w < _params.assoc; ++w) {
+        if (!ways[w].valid) {
+            victim = &ways[w];
+            break;
+        }
+        if (ways[w].lru < victim->lru)
+            victim = &ways[w];
+    }
+    if (victim->valid && victim->dirty) {
+        ++_stats.writebacks;
+        _stats.bytesWrittenBack += _params.lineSize;
+        _below->access(lineAddr(victim->tag, set), true);
+    }
+    _below->access(addr, false);
+    _stats.bytesFilled += _params.lineSize;
+    ++_stats.prefetches;
+    victim->valid = true;
+    victim->dirty = false;
+    victim->prefetched = true;
+    victim->tag = tag;
+    victim->lru = ++_stamp;
+}
+
+Cycles
+Cache::access(Addr addr, bool write)
+{
+    const u64 set = setIndex(addr);
+    const u64 tag = tagOf(addr);
+    Line *ways = &_lines[set * _params.assoc];
+
+    for (unsigned w = 0; w < _params.assoc; ++w) {
+        Line &line = ways[w];
+        if (line.valid && line.tag == tag) {
+            ++_stats.hits;
+            line.lru = ++_stamp;
+            line.dirty = line.dirty || write;
+            if (line.prefetched) {
+                // First touch of a prefetched line: the stream is
+                // confirmed, keep running ahead of it.
+                line.prefetched = false;
+                if (_params.nextLinePrefetch)
+                    fill(addr + _params.lineSize);
+            }
+            return _params.latency;
+        }
+    }
+
+    // Miss: pick the LRU victim.
+    ++_stats.misses;
+    Line *victim = &ways[0];
+    for (unsigned w = 1; w < _params.assoc; ++w) {
+        if (!ways[w].valid) {
+            victim = &ways[w];
+            break;
+        }
+        if (ways[w].lru < victim->lru)
+            victim = &ways[w];
+    }
+
+    if (victim->valid && victim->dirty) {
+        ++_stats.writebacks;
+        _stats.bytesWrittenBack += _params.lineSize;
+        // Writebacks are off the critical path; latency not charged.
+        _below->access(lineAddr(victim->tag, set), true);
+    }
+
+    const Cycles below = _below->access(addr, false);
+    _stats.bytesFilled += _params.lineSize;
+
+    victim->valid = true;
+    victim->dirty = write;
+    victim->prefetched = false;
+    victim->tag = tag;
+    victim->lru = ++_stamp;
+
+    // Stream detection: the previous line resident means we are
+    // walking forward; hide the next line's latency.
+    if (_params.nextLinePrefetch && contains(addr - _params.lineSize))
+        fill(addr + _params.lineSize);
+
+    return _params.latency + below;
+}
+
+bool
+Cache::contains(Addr addr) const
+{
+    const u64 set = setIndex(addr);
+    const u64 tag = tagOf(addr);
+    const Line *ways = &_lines[set * _params.assoc];
+    for (unsigned w = 0; w < _params.assoc; ++w) {
+        if (ways[w].valid && ways[w].tag == tag)
+            return true;
+    }
+    return false;
+}
+
+void
+Cache::flush()
+{
+    for (auto &line : _lines)
+        line = Line();
+}
+
+} // namespace aos::memsim

@@ -1,0 +1,40 @@
+#include "memsim/memory_system.hh"
+
+namespace aos::memsim {
+
+MemorySystem::MemorySystem(const MemoryConfig &config) : _config(config)
+{
+    _dram = std::make_unique<MainMemory>("dram", config.dramLatency);
+    _l2 = std::make_unique<Cache>(config.l2, _dram.get());
+    _l1i = std::make_unique<Cache>(config.l1i, _l2.get());
+    _l1d = std::make_unique<Cache>(config.l1d, _l2.get());
+    if (config.useBoundsCache) {
+        _l1b = std::make_unique<Cache>(config.l1b, _l2.get());
+        _l1bOwned = true;
+        _boundsCache = _l1b.get();
+    } else {
+        _boundsCache = _l1d.get();
+    }
+}
+
+u64
+MemorySystem::networkTraffic() const
+{
+    u64 bytes = _l1i->stats().trafficBelow() + _l1d->stats().trafficBelow() +
+                _l2->stats().trafficBelow();
+    if (_l1bOwned)
+        bytes += _l1b->stats().trafficBelow();
+    return bytes;
+}
+
+void
+MemorySystem::flushAll()
+{
+    _l1i->flush();
+    _l1d->flush();
+    _l2->flush();
+    if (_l1bOwned)
+        _l1b->flush();
+}
+
+} // namespace aos::memsim

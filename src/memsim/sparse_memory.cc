@@ -1,0 +1,76 @@
+#include "memsim/sparse_memory.hh"
+
+#include <cstring>
+
+namespace aos::memsim {
+
+SparseMemory::Page *
+SparseMemory::pageFor(Addr addr, bool create)
+{
+    const u64 key = addr >> kPageShift;
+    auto it = _pages.find(key);
+    if (it != _pages.end())
+        return it->second.get();
+    if (!create)
+        return nullptr;
+    auto page = std::make_unique<Page>();
+    page->fill(0);
+    Page *raw = page.get();
+    _pages.emplace(key, std::move(page));
+    return raw;
+}
+
+const SparseMemory::Page *
+SparseMemory::pageFor(Addr addr) const
+{
+    const u64 key = addr >> kPageShift;
+    auto it = _pages.find(key);
+    return it == _pages.end() ? nullptr : it->second.get();
+}
+
+u8
+SparseMemory::readByte(Addr addr) const
+{
+    const Page *page = pageFor(addr);
+    return page ? (*page)[addr & (kPageSize - 1)] : 0;
+}
+
+void
+SparseMemory::writeByte(Addr addr, u8 value)
+{
+    (*pageFor(addr, true))[addr & (kPageSize - 1)] = value;
+}
+
+u64
+SparseMemory::read64(Addr addr) const
+{
+    u64 value = 0;
+    for (unsigned i = 0; i < 8; ++i)
+        value |= static_cast<u64>(readByte(addr + i)) << (8 * i);
+    return value;
+}
+
+void
+SparseMemory::write64(Addr addr, u64 value)
+{
+    for (unsigned i = 0; i < 8; ++i)
+        writeByte(addr + i, static_cast<u8>(value >> (8 * i)));
+}
+
+void
+SparseMemory::writeBlock(Addr addr, const void *src, u64 len)
+{
+    const u8 *bytes = static_cast<const u8 *>(src);
+    for (u64 i = 0; i < len; ++i)
+        writeByte(addr + i, bytes[i]);
+}
+
+void
+SparseMemory::readBlock(Addr addr, void *dst, u64 len) const
+{
+    u8 *bytes = static_cast<u8 *>(dst);
+    for (u64 i = 0; i < len; ++i)
+        bytes[i] = readByte(addr + i);
+}
+
+} // namespace aos::memsim

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Sparse functional data memory: page-granular backing store for the
+ * simulated address space, so the protection layer can be exercised on
+ * real data values (secret leakage, corruption) and not just on
+ * addresses.
+ */
+
+#ifndef AOS_MEMSIM_SPARSE_MEMORY_HH
+#define AOS_MEMSIM_SPARSE_MEMORY_HH
+
+#include <array>
+#include <memory>
+#include <unordered_map>
+
+#include "common/types.hh"
+
+namespace aos::memsim {
+
+/** A sparse byte-addressable memory over the full simulated VA. */
+class SparseMemory
+{
+  public:
+    static constexpr unsigned kPageShift = 12;
+    static constexpr u64 kPageSize = u64{1} << kPageShift;
+
+    /** Read one byte (unmapped memory reads as zero). */
+    u8 readByte(Addr addr) const;
+
+    /** Write one byte, mapping the page on demand. */
+    void writeByte(Addr addr, u8 value);
+
+    /** Little-endian u64 read (may straddle pages). */
+    u64 read64(Addr addr) const;
+
+    /** Little-endian u64 write (may straddle pages). */
+    void write64(Addr addr, u64 value);
+
+    /** Copy a block in (e.g. a "secret" the examples plant). */
+    void writeBlock(Addr addr, const void *src, u64 len);
+
+    /** Copy a block out. */
+    void readBlock(Addr addr, void *dst, u64 len) const;
+
+    /** Number of pages materialized so far. */
+    u64 mappedPages() const { return _pages.size(); }
+
+    /** Drop every mapping. */
+    void clear() { _pages.clear(); }
+
+  private:
+    using Page = std::array<u8, kPageSize>;
+
+    Page *pageFor(Addr addr, bool create);
+    const Page *pageFor(Addr addr) const;
+
+    std::unordered_map<u64, std::unique_ptr<Page>> _pages;
+};
+
+} // namespace aos::memsim
+
+#endif // AOS_MEMSIM_SPARSE_MEMORY_HH

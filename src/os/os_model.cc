@@ -1,0 +1,40 @@
+#include "os/os_model.hh"
+
+namespace aos::os {
+
+namespace {
+
+/** Simulated address where the OS maps the initial bounds table. */
+constexpr Addr kHbtBase = 0x3000'0000'0000ull;
+
+} // namespace
+
+OsModel::OsModel(unsigned pac_bits, unsigned initial_assoc,
+                 unsigned records_per_way, FaultPolicy policy)
+    : _hbt(kHbtBase, pac_bits, initial_assoc, records_per_way),
+      _policy(policy)
+{
+}
+
+bool
+OsModel::handleFault(mcu::FaultKind kind, const mcu::McqEntry &entry)
+{
+    if (kind == mcu::FaultKind::kStoreOverflow) {
+        // Insufficient row capacity: allocate a larger table and let
+        // the table manager migrate in the background; the bndstr
+        // retries against the resized table.
+        if (!_hbt.resizing()) {
+            _hbt.beginResize();
+            ++_resizes;
+        }
+        return true;
+    }
+
+    const ViolationRecord record{kind, entry.addr, entry.pac, entry.seq};
+    _violations.push_back(record);
+    if (_policy == FaultPolicy::kTerminate)
+        throw ProcessTerminated(record);
+    return false; // report and resume
+}
+
+} // namespace aos::os

@@ -1,0 +1,81 @@
+#include "pa/pa_context.hh"
+
+#include "common/random.hh"
+
+namespace aos::pa {
+
+PaContext::PaContext(PointerLayout layout, u64 seed)
+    : _layout(layout), _cipher(qarma::Sbox::kSigma1, 7)
+{
+    Rng rng(seed);
+    for (auto &key : _keys) {
+        key.w0 = rng.next();
+        key.k0 = rng.next();
+    }
+}
+
+u64
+PaContext::computePac(Addr ptr, u64 modifier, PaKey key) const
+{
+    const auto &k = _keys[static_cast<unsigned>(key)];
+    const u64 ct = _cipher.encrypt(_layout.strip(ptr), modifier, k);
+    return ct & mask(_layout.pacSize());
+}
+
+Addr
+PaContext::signData(Addr ptr, u64 modifier, u64 size, PaKey key) const
+{
+    const Addr raw = _layout.strip(ptr);
+    const u64 pac = computePac(raw, modifier, key);
+    const u64 ahc = _layout.computeAhc(raw, size);
+    return _layout.compose(raw, pac, ahc);
+}
+
+Addr
+PaContext::pacma(Addr ptr, u64 modifier, u64 size) const
+{
+    return signData(ptr, modifier, size, PaKey::kModifierM);
+}
+
+Addr
+PaContext::pacmb(Addr ptr, u64 modifier, u64 size) const
+{
+    return signData(ptr, modifier, size, PaKey::kDataB);
+}
+
+AuthResult
+PaContext::autm(Addr ptr) const
+{
+    return _layout.signed_(ptr) ? AuthResult::kPass : AuthResult::kFail;
+}
+
+Addr
+PaContext::pacia(Addr ptr, u64 modifier) const
+{
+    const Addr raw = _layout.strip(ptr);
+    const u64 pac = computePac(raw, modifier, PaKey::kInstA);
+    // Code pointers carry no AHC: the PAC alone occupies the upper
+    // bits, matching baseline Armv8.3-A return-address signing.
+    return _layout.compose(raw, pac, 0);
+}
+
+AuthResult
+PaContext::autia(Addr ptr, u64 modifier, Addr *stripped) const
+{
+    const Addr raw = _layout.strip(ptr);
+    const u64 expected = computePac(raw, modifier, PaKey::kInstA);
+    if (stripped)
+        *stripped = raw;
+    return _layout.pac(ptr) == expected ? AuthResult::kPass
+                                        : AuthResult::kFail;
+}
+
+bool
+PaContext::pacMatches(Addr ptr, u64 modifier) const
+{
+    const Addr raw = _layout.strip(ptr);
+    return _layout.pac(ptr) ==
+           computePac(raw, modifier, PaKey::kModifierM);
+}
+
+} // namespace aos::pa

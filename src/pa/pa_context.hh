@@ -1,0 +1,102 @@
+/**
+ * @file
+ * The Arm PA / AOS signing primitives.
+ *
+ * PaContext models the per-process pointer-authentication state: the
+ * QARMA keys (held in privileged registers, invisible to user space in
+ * the threat model) and the pointer layout. It implements both the
+ * baseline Armv8.3-A primitives needed by the PA configuration
+ * (pacia/autia for return-address and code-pointer signing) and the new
+ * AOS instructions of paper SIV-A:
+ *
+ *   pacma/pacmb  sign a data pointer with a PAC plus a 2-bit AHC
+ *                derived from the allocation size;
+ *   xpacm        strip both PAC and AHC;
+ *   autm         authenticate that a pointer was signed by AOS
+ *                (nonzero AHC) without stripping it.
+ *
+ * bndstr/bndclr are bounds-table instructions and live in aos::bounds /
+ * aos::mcu; this module is purely about pointer bits.
+ */
+
+#ifndef AOS_PA_PA_CONTEXT_HH
+#define AOS_PA_PA_CONTEXT_HH
+
+#include "pa/pointer_layout.hh"
+#include "qarma/qarma64.hh"
+
+namespace aos::pa {
+
+/** Which architected key register a signing instruction uses. */
+enum class PaKey { kInstA, kInstB, kDataA, kDataB, kModifierM };
+
+/** Result of an authentication instruction. */
+enum class AuthResult { kPass, kFail };
+
+/** Per-process pointer-authentication state and signing operations. */
+class PaContext
+{
+  public:
+    /**
+     * @param layout Pointer bit layout (PAC/VA widths).
+     * @param seed Seed from which the five architected keys are derived
+     *        (a real OS would generate them at exec() time).
+     */
+    explicit PaContext(PointerLayout layout = PointerLayout(),
+                       u64 seed = 0x6a09e667f3bcc908ull);
+
+    /** Use the paper's published key/context pair (SVI) for key M. */
+    void setKeyM(const qarma::Key128 &key) { _keys[4] = key; }
+
+    const PointerLayout &layout() const { return _layout; }
+
+    /**
+     * Compute the PAC for @p ptr under @p modifier with key @p key,
+     * truncated to the layout's PAC width (the QARMA tweak is the
+     * modifier, as in Armv8.3-A).
+     */
+    u64 computePac(Addr ptr, u64 modifier, PaKey key) const;
+
+    /**
+     * pacma: sign a data pointer returned by malloc(). Embeds
+     * PAC(strip(ptr), modifier) and AHC(ptr, size). Passing size == 0
+     * models the xzr re-sign after free().
+     */
+    Addr pacma(Addr ptr, u64 modifier, u64 size) const;
+
+    /** pacmb: same as pacma with the B-family key. */
+    Addr pacmb(Addr ptr, u64 modifier, u64 size) const;
+
+    /** xpacm: strip PAC and AHC, recovering the raw address. */
+    Addr xpacm(Addr ptr) const { return _layout.strip(ptr); }
+
+    /**
+     * autm: authenticate an AOS-signed pointer by checking for a
+     * nonzero AHC (paper SIV-A). Does not strip the pointer.
+     */
+    AuthResult autm(Addr ptr) const;
+
+    /** pacia: sign a code pointer (return address) with key IA. */
+    Addr pacia(Addr ptr, u64 modifier) const;
+
+    /**
+     * autia: authenticate a pacia-signed pointer. On success returns
+     * the stripped pointer; on failure flags kFail (a real core would
+     * poison the pointer so later use faults).
+     */
+    AuthResult autia(Addr ptr, u64 modifier, Addr *stripped) const;
+
+    /** Verify that the PAC embedded in @p ptr matches key M. */
+    bool pacMatches(Addr ptr, u64 modifier) const;
+
+  private:
+    Addr signData(Addr ptr, u64 modifier, u64 size, PaKey key) const;
+
+    PointerLayout _layout;
+    qarma::Qarma64 _cipher;
+    qarma::Key128 _keys[5];
+};
+
+} // namespace aos::pa
+
+#endif // AOS_PA_PA_CONTEXT_HH

@@ -1,0 +1,32 @@
+#include "pa/pointer_layout.hh"
+
+#include "common/logging.hh"
+
+namespace aos::pa {
+
+PointerLayout::PointerLayout(unsigned pac_size, unsigned va_size)
+    : _pacSize(pac_size), _vaSize(va_size)
+{
+    fatal_if(pac_size < 1 || pac_size > 32,
+             "PAC size %u out of the architected 1..32 range", pac_size);
+    fatal_if(va_size + pac_size + 2 > 64,
+             "pointer layout overflows 64 bits (va=%u pac=%u)", va_size,
+             pac_size);
+}
+
+u64
+PointerLayout::computeAhc(Addr addr, u64 size) const
+{
+    // Alg. 1: tAddr = addr ^ (addr + size - 1); classify by the highest
+    // differing bit. size == 0 (the xzr re-sign after free()) degrades
+    // to addr ^ (addr - 1), which still yields a nonzero class.
+    const Addr last = addr + size - 1;
+    const u64 taddr = strip(addr) ^ strip(last);
+    if (bits(taddr, _vaSize - 1, 7) == 0)
+        return 1; // ~64-byte chunk
+    if (bits(taddr, _vaSize - 1, 10) == 0)
+        return 2; // ~256-byte chunk
+    return 3; // larger
+}
+
+} // namespace aos::pa

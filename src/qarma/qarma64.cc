@@ -1,0 +1,289 @@
+#include "qarma/qarma64.hh"
+
+#include <array>
+
+#include "common/bitfield.hh"
+#include "common/logging.hh"
+
+namespace aos::qarma {
+
+namespace {
+
+// The three specified 4-bit S-boxes (Avanzi, Table 2).
+constexpr u8 kSigma0[16] = {
+    0, 14, 2, 10, 9, 15, 8, 11, 6, 4, 3, 7, 13, 12, 1, 5};
+constexpr u8 kSigma1[16] = {
+    10, 13, 14, 6, 15, 7, 3, 5, 9, 8, 0, 12, 11, 1, 2, 4};
+constexpr u8 kSigma2[16] = {
+    11, 6, 8, 15, 12, 0, 9, 14, 3, 7, 4, 5, 13, 2, 1, 10};
+
+constexpr std::array<u8, 16>
+invert(const u8 (&box)[16])
+{
+    std::array<u8, 16> inv{};
+    for (unsigned i = 0; i < 16; ++i)
+        inv[box[i]] = static_cast<u8>(i);
+    return inv;
+}
+
+constexpr auto kSigma0Inv = invert(kSigma0);
+constexpr auto kSigma1Inv = invert(kSigma1);
+constexpr auto kSigma2Inv = invert(kSigma2);
+
+// Cell shuffle tau: new cell i takes old cell kTau[i].
+constexpr unsigned kTau[16] = {
+    0, 11, 6, 13, 10, 1, 12, 7, 5, 14, 3, 8, 15, 4, 9, 2};
+
+constexpr std::array<unsigned, 16>
+invertPerm(const unsigned (&perm)[16])
+{
+    std::array<unsigned, 16> inv{};
+    for (unsigned i = 0; i < 16; ++i)
+        inv[perm[i]] = i;
+    return inv;
+}
+
+constexpr auto kTauInv = invertPerm(kTau);
+
+// Tweak cell permutation h: new cell i takes old cell kTweakPerm[i].
+constexpr unsigned kTweakPerm[16] = {
+    6, 5, 14, 15, 0, 1, 2, 3, 7, 12, 13, 4, 8, 9, 10, 11};
+constexpr auto kTweakPermInv = invertPerm(kTweakPerm);
+
+// Cells of the tweak that pass through the LFSR omega each update.
+constexpr bool kLfsrCell[16] = {
+    true, true, false, true, true, false, false, false,
+    true, false, false, true, false, true, false, false};
+
+// Round constants derived from the digits of pi.
+constexpr u64 kRoundConst[8] = {
+    0x0000000000000000ull, 0x13198A2E03707344ull, 0xA4093822299F31D0ull,
+    0x082EFA98EC4E6C89ull, 0x452821E638D01377ull, 0xBE5466CF34E90C6Cull,
+    0x3F84D5B5B5470917ull, 0x9216D5D98979FB1Bull};
+
+constexpr u64 kAlpha = 0xC0AC29B7C97C50DDull;
+
+// omega: (b3 b2 b1 b0) -> (b0 ^ b1, b3, b2, b1).
+constexpr u64
+lfsr(u64 nib)
+{
+    const u64 b0 = nib & 1, b1 = (nib >> 1) & 1;
+    return ((b0 ^ b1) << 3) | (nib >> 1);
+}
+
+// omega^-1: (a3 a2 a1 a0) -> (a2, a1, a0, a3 ^ a0).
+constexpr u64
+lfsrInv(u64 nib)
+{
+    const u64 a3 = (nib >> 3) & 1, a0 = nib & 1;
+    return ((nib << 1) & 0xe) | (a3 ^ a0);
+}
+
+u64
+permuteCells(u64 state, const unsigned *perm)
+{
+    u64 out = 0;
+    for (unsigned i = 0; i < 16; ++i)
+        out = setCell(out, i, getCell(state, perm[i]));
+    return out;
+}
+
+} // namespace
+
+Qarma64::Qarma64(Sbox sbox, unsigned rounds) : _sbox(sbox), _rounds(rounds)
+{
+    panic_if(rounds < 1 || rounds > 8, "unsupported QARMA round count %u",
+             rounds);
+    switch (sbox) {
+      case Sbox::kSigma0:
+        _sub = kSigma0;
+        _subInv = kSigma0Inv.data();
+        break;
+      case Sbox::kSigma1:
+        _sub = kSigma1;
+        _subInv = kSigma1Inv.data();
+        break;
+      case Sbox::kSigma2:
+        _sub = kSigma2;
+        _subInv = kSigma2Inv.data();
+        break;
+      default:
+        panic("invalid QARMA S-box selector");
+    }
+}
+
+u64
+Qarma64::shuffleCells(u64 state)
+{
+    return permuteCells(state, kTau);
+}
+
+u64
+Qarma64::shuffleCellsInv(u64 state)
+{
+    return permuteCells(state, kTauInv.data());
+}
+
+u64
+Qarma64::mixColumns(u64 state)
+{
+    // M = circ(0, rho, rho^2, rho) acting column-wise on the 4x4 cell
+    // matrix; multiplication by rho^e rotates a nibble left by e. The
+    // matrix is an involution, so it serves as both M and M^-1 (and as
+    // the central matrix Q).
+    u64 out = 0;
+    for (unsigned row = 0; row < 4; ++row) {
+        for (unsigned col = 0; col < 4; ++col) {
+            const u64 a = getCell(state, 4 * ((row + 1) & 3) + col);
+            const u64 b = getCell(state, 4 * ((row + 2) & 3) + col);
+            const u64 c = getCell(state, 4 * ((row + 3) & 3) + col);
+            const u64 mixed = rotl4(a, 1) ^ rotl4(b, 2) ^ rotl4(c, 1);
+            out = setCell(out, 4 * row + col, mixed);
+        }
+    }
+    return out;
+}
+
+u64
+Qarma64::subCells(u64 state) const
+{
+    u64 out = 0;
+    for (unsigned i = 0; i < 16; ++i)
+        out = setCell(out, i, _sub[getCell(state, i)]);
+    return out;
+}
+
+u64
+Qarma64::subCellsInv(u64 state) const
+{
+    u64 out = 0;
+    for (unsigned i = 0; i < 16; ++i)
+        out = setCell(out, i, _subInv[getCell(state, i)]);
+    return out;
+}
+
+u64
+Qarma64::forwardTweak(u64 tweak)
+{
+    u64 out = permuteCells(tweak, kTweakPerm);
+    for (unsigned i = 0; i < 16; ++i) {
+        if (kLfsrCell[i])
+            out = setCell(out, i, lfsr(getCell(out, i)));
+    }
+    return out;
+}
+
+u64
+Qarma64::backwardTweak(u64 tweak)
+{
+    u64 out = tweak;
+    for (unsigned i = 0; i < 16; ++i) {
+        if (kLfsrCell[i])
+            out = setCell(out, i, lfsrInv(getCell(out, i)));
+    }
+    return permuteCells(out, kTweakPermInv.data());
+}
+
+u64
+Qarma64::deriveW1(u64 w0)
+{
+    return rotr64(w0, 1) ^ (w0 >> 63);
+}
+
+u64
+Qarma64::deriveK1(u64 k0)
+{
+    return mixColumns(k0);
+}
+
+u64
+Qarma64::forwardRound(u64 state, u64 tweakey, bool full) const
+{
+    state ^= tweakey;
+    if (full) {
+        state = shuffleCells(state);
+        state = mixColumns(state);
+    }
+    return subCells(state);
+}
+
+u64
+Qarma64::backwardRound(u64 state, u64 tweakey, bool full) const
+{
+    state = subCellsInv(state);
+    if (full) {
+        state = mixColumns(state);
+        state = shuffleCellsInv(state);
+    }
+    return state ^ tweakey;
+}
+
+u64
+Qarma64::reflect(u64 state, u64 k1) const
+{
+    state = shuffleCells(state);
+    state = mixColumns(state);
+    state ^= k1;
+    return shuffleCellsInv(state);
+}
+
+u64
+Qarma64::reflectInv(u64 state, u64 k1) const
+{
+    state = shuffleCells(state);
+    state ^= k1;
+    state = mixColumns(state);
+    return shuffleCellsInv(state);
+}
+
+u64
+Qarma64::encrypt(u64 plaintext, u64 tweak, const Key128 &key) const
+{
+    const u64 w0 = key.w0;
+    const u64 w1 = deriveW1(w0);
+    const u64 k0 = key.k0;
+    const u64 k1 = deriveK1(k0);
+
+    u64 state = plaintext ^ w0;
+    u64 t = tweak;
+    for (unsigned i = 0; i < _rounds; ++i) {
+        state = forwardRound(state, k0 ^ t ^ kRoundConst[i], i != 0);
+        t = forwardTweak(t);
+    }
+    state = forwardRound(state, w1 ^ t, true);
+    state = reflect(state, k1);
+    state = backwardRound(state, w0 ^ t, true);
+    for (unsigned i = _rounds; i-- > 0;) {
+        t = backwardTweak(t);
+        state = backwardRound(state, k0 ^ t ^ kRoundConst[i] ^ kAlpha,
+                              i != 0);
+    }
+    return state ^ w1;
+}
+
+u64
+Qarma64::decrypt(u64 ciphertext, u64 tweak, const Key128 &key) const
+{
+    const u64 w0 = key.w0;
+    const u64 w1 = deriveW1(w0);
+    const u64 k0 = key.k0;
+    const u64 k1 = deriveK1(k0);
+
+    u64 state = ciphertext ^ w1;
+    u64 t = tweak;
+    for (unsigned i = 0; i < _rounds; ++i) {
+        state = forwardRound(state, k0 ^ t ^ kRoundConst[i] ^ kAlpha,
+                             i != 0);
+        t = forwardTweak(t);
+    }
+    state = forwardRound(state, w0 ^ t, true);
+    state = reflectInv(state, k1);
+    state = backwardRound(state, w1 ^ t, true);
+    for (unsigned i = _rounds; i-- > 0;) {
+        t = backwardTweak(t);
+        state = backwardRound(state, k0 ^ t ^ kRoundConst[i], i != 0);
+    }
+    return state ^ w0;
+}
+
+} // namespace aos::qarma

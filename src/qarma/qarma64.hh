@@ -1,0 +1,84 @@
+/**
+ * @file
+ * QARMA-64: the lightweight tweakable block cipher used by Arm Pointer
+ * Authentication to compute PACs (Avanzi, ToSC 2017).
+ *
+ * This is a from-scratch implementation of the 64-bit variant,
+ * parameterized by the S-box (sigma0/sigma1/sigma2) and the number of
+ * forward rounds r (5..7 are the specified instances). The cipher takes
+ * a 64-bit plaintext, a 64-bit tweak and a 128-bit key (w0 || k0) and
+ * produces a 64-bit ciphertext. AOS truncates the ciphertext to the PAC
+ * width (pa::PaContext).
+ *
+ * The state is 16 four-bit cells; cell 0 is the most significant nibble,
+ * matching the specification's ordering. Decryption is implemented as
+ * the exact structural inverse of encryption so that round-trip
+ * properties hold for every (sbox, rounds) instance.
+ */
+
+#ifndef AOS_QARMA_QARMA64_HH
+#define AOS_QARMA_QARMA64_HH
+
+#include "common/types.hh"
+
+namespace aos::qarma {
+
+/** Which of the three specified 4-bit S-boxes to use. */
+enum class Sbox { kSigma0, kSigma1, kSigma2 };
+
+/** 128-bit QARMA key: whitening half w0 and core half k0. */
+struct Key128
+{
+    u64 w0 = 0;
+    u64 k0 = 0;
+};
+
+/** A QARMA-64 cipher instance (immutable configuration). */
+class Qarma64
+{
+  public:
+    /**
+     * @param sbox S-box family (Arm PA uses sigma1).
+     * @param rounds Number of forward rounds r; the spec defines 5..7.
+     */
+    explicit Qarma64(Sbox sbox = Sbox::kSigma1, unsigned rounds = 7);
+
+    /** Encrypt one 64-bit block under @p key and @p tweak. */
+    u64 encrypt(u64 plaintext, u64 tweak, const Key128 &key) const;
+
+    /** Decrypt one 64-bit block under @p key and @p tweak. */
+    u64 decrypt(u64 ciphertext, u64 tweak, const Key128 &key) const;
+
+    unsigned rounds() const { return _rounds; }
+    Sbox sbox() const { return _sbox; }
+
+    /** Derived whitening key w1 = (w0 >>> 1) ^ (w0 >> 63). */
+    static u64 deriveW1(u64 w0);
+
+    /** Derived central key k1 = M * k0. */
+    static u64 deriveK1(u64 k0);
+
+    // Exposed building blocks (public for unit testing).
+    static u64 shuffleCells(u64 state);
+    static u64 shuffleCellsInv(u64 state);
+    static u64 mixColumns(u64 state);
+    static u64 forwardTweak(u64 tweak);
+    static u64 backwardTweak(u64 tweak);
+    u64 subCells(u64 state) const;
+    u64 subCellsInv(u64 state) const;
+
+  private:
+    u64 forwardRound(u64 state, u64 tweakey, bool full) const;
+    u64 backwardRound(u64 state, u64 tweakey, bool full) const;
+    u64 reflect(u64 state, u64 k1) const;
+    u64 reflectInv(u64 state, u64 k1) const;
+
+    Sbox _sbox;
+    unsigned _rounds;
+    const u8 *_sub;    // active S-box table
+    const u8 *_subInv; // its inverse
+};
+
+} // namespace aos::qarma
+
+#endif // AOS_QARMA_QARMA64_HH

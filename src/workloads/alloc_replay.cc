@@ -1,0 +1,75 @@
+#include "workloads/alloc_replay.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+#include "common/random.hh"
+
+namespace aos::workloads {
+
+ReplayResult
+replayProfile(const WorkloadProfile &profile, u64 scale_divisor)
+{
+    Rng rng(profile.name);
+    alloc::HeapAllocator heap;
+
+    u64 allocs = std::max<u64>(profile.fullAllocCalls / scale_divisor, 1);
+    u64 frees = profile.fullDeallocCalls / scale_divisor;
+    u64 max_active = profile.fullMaxActive;
+    if (scale_divisor > 1) {
+        // Keep the invariant peak <= allocs and final >= 0.
+        max_active = std::min(max_active, allocs);
+        frees = std::min(frees, allocs);
+    }
+    const u64 final_active = allocs - frees;
+    if (final_active > max_active) {
+        // Some published rows (e.g. soplex: 98955 allocs, 34025 frees,
+        // peak 140) are internally inconsistent — the final live count
+        // already exceeds the reported peak. Reproduce the call counts
+        // exactly and let the peak follow; EXPERIMENTS.md records the
+        // discrepancy against the paper's number.
+        max_active = final_active;
+    }
+
+    auto random_size = [&]() -> u64 {
+        // Small-object-dominated mixture, as heap profiles typically
+        // are; the exact sizes do not affect the table's columns.
+        const u64 roll = rng.below(100);
+        if (roll < 70)
+            return 16 + rng.below(112);
+        if (roll < 95)
+            return 128 + rng.below(896);
+        return 1024 + rng.below(63 * 1024);
+    };
+
+    auto free_random = [&]() {
+        const u64 live = heap.liveCount();
+        panic_if(live == 0, "replay tried to free with no live chunks");
+        const Addr victim = heap.liveChunk(rng.below(live));
+        const auto result = heap.free(victim);
+        panic_if(result != alloc::FreeResult::kOk,
+                 "replay free of a live chunk failed");
+    };
+
+    // Phase 1: grow to the peak.
+    u64 done_allocs = 0;
+    const u64 growth = std::min(max_active, allocs);
+    for (; done_allocs < growth; ++done_allocs)
+        heap.malloc(random_size());
+
+    // Phase 2: steady-state churn — one free per subsequent malloc.
+    for (; done_allocs < allocs; ++done_allocs) {
+        free_random();
+        heap.malloc(random_size());
+    }
+
+    // Phase 3: trailing frees down to the final live-set size.
+    while (heap.stats().freeCalls < frees)
+        free_random();
+
+    const auto &stats = heap.stats();
+    return ReplayResult{stats.maxActive, stats.allocCalls,
+                        stats.freeCalls};
+}
+
+} // namespace aos::workloads

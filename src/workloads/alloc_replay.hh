@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Full-profile allocation replay for reproducing paper Tables II/III.
+ *
+ * Replays a benchmark's complete allocation history against the heap
+ * allocator: the exact number of malloc() and free() calls with the
+ * exact peak live-set size from the paper's Valgrind profiles.
+ */
+
+#ifndef AOS_WORKLOADS_ALLOC_REPLAY_HH
+#define AOS_WORKLOADS_ALLOC_REPLAY_HH
+
+#include "alloc/heap_allocator.hh"
+#include "workloads/workload_profile.hh"
+
+namespace aos::workloads {
+
+/** Result of replaying one profile. */
+struct ReplayResult
+{
+    u64 maxActive = 0;
+    u64 allocCalls = 0;
+    u64 deallocCalls = 0;
+};
+
+/**
+ * Replay @p profile's full allocation history (optionally scaled down
+ * by @p scale_divisor for quick runs; peak active is preserved when
+ * possible). Returns the allocator-observed profile, which the Table
+ * II/III benches print next to the paper's numbers.
+ */
+ReplayResult replayProfile(const WorkloadProfile &profile,
+                           u64 scale_divisor = 1);
+
+} // namespace aos::workloads
+
+#endif // AOS_WORKLOADS_ALLOC_REPLAY_HH

@@ -1,0 +1,361 @@
+#include "workloads/workload_profile.hh"
+
+#include "common/logging.hh"
+
+namespace aos::workloads {
+
+namespace {
+
+std::vector<WorkloadProfile>
+buildSpec()
+{
+    std::vector<WorkloadProfile> profiles;
+
+    auto add = [&](WorkloadProfile profile) {
+        profiles.push_back(std::move(profile));
+    };
+
+    // Values in comments refer to paper Table II and Fig. 16.
+    {
+        // bzip2: 29 allocs / 10 active; large block buffers; >80% of
+        // accesses go through signed pointers (Fig. 16).
+        WorkloadProfile p;
+        p.name = "bzip2";
+        p.fullMaxActive = 10; p.fullAllocCalls = 29; p.fullDeallocCalls = 25;
+        p.targetActive = 10; p.allocsPerKOp = 0.002;
+        p.heapFraction = 0.85;
+        p.loadPerMille = 280; p.storePerMille = 130; p.branchPerMille = 130;
+        p.fpPerMille = 5; p.callPerMille = 8;
+        p.numBranches = 192; p.hardBranchFraction = 0.25;
+        p.heapChunkMin = 64 * 1024; p.heapChunkMax = 4 << 20;
+        p.globalFootprint = 1 << 20; p.codeFootprint = 24 * 1024;
+        p.reuse = 0.80; p.pointerLoadFraction = 0.05;
+        p.ptrArithFraction = 0.12;
+        add(p);
+    }
+    {
+        // gcc: 1.85M allocs / 81825 active; large code and data
+        // footprints; worst AOS slowdown without optimizations.
+        WorkloadProfile p;
+        p.name = "gcc";
+        p.fullMaxActive = 81825; p.fullAllocCalls = 1846825;
+        p.fullDeallocCalls = 1829255;
+        p.targetActive = 81825; p.allocsPerKOp = 0.5;
+        p.heapFraction = 0.80;
+        p.loadPerMille = 310; p.storePerMille = 150; p.branchPerMille = 150;
+        p.fpPerMille = 2; p.callPerMille = 28;
+        p.numBranches = 2048; p.hardBranchFraction = 0.30;
+        p.heapChunkMin = 16; p.heapChunkMax = 256;
+        p.globalFootprint = 2 << 20; p.codeFootprint = 1 << 20;
+        p.reuse = 0.60; p.pointerLoadFraction = 0.25;
+        p.ptrArithFraction = 0.22;
+        add(p);
+    }
+    {
+        // mcf: 8 allocs / 6 active; a handful of giant arrays walked by
+        // pointer chasing; strongly memory bound.
+        WorkloadProfile p;
+        p.name = "mcf";
+        p.fullMaxActive = 6; p.fullAllocCalls = 8; p.fullDeallocCalls = 8;
+        p.targetActive = 6; p.allocsPerKOp = 0.001;
+        p.heapFraction = 0.60;
+        p.loadPerMille = 360; p.storePerMille = 90; p.branchPerMille = 140;
+        p.fpPerMille = 0; p.callPerMille = 4;
+        p.numBranches = 128; p.hardBranchFraction = 0.35;
+        p.heapChunkMin = 8 << 20; p.heapChunkMax = 48 << 20;
+        p.globalFootprint = 512 * 1024; p.codeFootprint = 8 * 1024;
+        p.reuse = 0.35; p.pointerLoadFraction = 0.50;
+        p.ptrArithFraction = 0.30;
+        add(p);
+    }
+    {
+        // milc: 6523 allocs / 61 active; FP lattice QCD on large
+        // arrays; one of the slightly-faster-than-baseline cases.
+        WorkloadProfile p;
+        p.name = "milc";
+        p.fullMaxActive = 61; p.fullAllocCalls = 6523;
+        p.fullDeallocCalls = 6474;
+        p.targetActive = 61; p.allocsPerKOp = 0.02;
+        p.heapFraction = 0.35;
+        p.loadPerMille = 300; p.storePerMille = 150; p.branchPerMille = 60;
+        p.fpPerMille = 260; p.callPerMille = 10;
+        p.numBranches = 96; p.hardBranchFraction = 0.10;
+        p.heapChunkMin = 64 * 1024; p.heapChunkMax = 8 << 20;
+        p.globalFootprint = 4 << 20; p.codeFootprint = 48 * 1024;
+        p.reuse = 0.65; p.pointerLoadFraction = 0.03;
+        p.ptrArithFraction = 0.08;
+        add(p);
+    }
+    {
+        // namd: 1328 allocs / 1316 active; cache-friendly FP.
+        WorkloadProfile p;
+        p.name = "namd";
+        p.fullMaxActive = 1316; p.fullAllocCalls = 1328;
+        p.fullDeallocCalls = 1326;
+        p.targetActive = 1316; p.allocsPerKOp = 0.01;
+        p.heapFraction = 0.35;
+        p.loadPerMille = 320; p.storePerMille = 120; p.branchPerMille = 50;
+        p.fpPerMille = 310; p.callPerMille = 8;
+        p.numBranches = 64; p.hardBranchFraction = 0.08;
+        p.heapChunkMin = 1024; p.heapChunkMax = 256 * 1024;
+        p.globalFootprint = 2 << 20; p.codeFootprint = 96 * 1024;
+        p.reuse = 0.90; p.pointerLoadFraction = 0.04;
+        p.ptrArithFraction = 0.08;
+        add(p);
+    }
+    {
+        // gobmk: 137k allocs / 1021 active; branchy game-tree search.
+        WorkloadProfile p;
+        p.name = "gobmk";
+        p.fullMaxActive = 1021; p.fullAllocCalls = 137369;
+        p.fullDeallocCalls = 137358;
+        p.targetActive = 1021; p.allocsPerKOp = 0.1;
+        p.heapFraction = 0.30;
+        p.loadPerMille = 250; p.storePerMille = 120; p.branchPerMille = 190;
+        p.fpPerMille = 2; p.callPerMille = 32;
+        p.numBranches = 4096; p.hardBranchFraction = 0.40;
+        p.heapChunkMin = 32; p.heapChunkMax = 8192;
+        p.globalFootprint = 8 << 20; p.codeFootprint = 512 * 1024;
+        p.reuse = 0.75; p.pointerLoadFraction = 0.12;
+        p.ptrArithFraction = 0.15;
+        add(p);
+    }
+    {
+        // soplex: 99k allocs / 140 active; sparse LP solver, FP-heavy.
+        WorkloadProfile p;
+        p.name = "soplex";
+        p.fullMaxActive = 140; p.fullAllocCalls = 98955;
+        p.fullDeallocCalls = 34025;
+        p.targetActive = 140; p.allocsPerKOp = 0.15;
+        p.heapFraction = 0.50;
+        p.loadPerMille = 320; p.storePerMille = 140; p.branchPerMille = 100;
+        p.fpPerMille = 160; p.callPerMille = 16;
+        p.numBranches = 512; p.hardBranchFraction = 0.20;
+        p.heapChunkMin = 1024; p.heapChunkMax = 1 << 20;
+        p.globalFootprint = 4 << 20; p.codeFootprint = 192 * 1024;
+        p.reuse = 0.70; p.pointerLoadFraction = 0.10;
+        p.ptrArithFraction = 0.12;
+        add(p);
+    }
+    {
+        // povray: 2.46M allocs / 11667 active; small objects, many
+        // calls (ray tracing).
+        WorkloadProfile p;
+        p.name = "povray";
+        p.fullMaxActive = 11667; p.fullAllocCalls = 2461247;
+        p.fullDeallocCalls = 2461107;
+        p.targetActive = 11667; p.allocsPerKOp = 0.8;
+        p.heapFraction = 0.50;
+        p.loadPerMille = 300; p.storePerMille = 140; p.branchPerMille = 120;
+        p.fpPerMille = 210; p.callPerMille = 42;
+        p.numBranches = 1024; p.hardBranchFraction = 0.15;
+        p.heapChunkMin = 16; p.heapChunkMax = 512;
+        p.globalFootprint = 2 << 20; p.codeFootprint = 384 * 1024;
+        p.reuse = 0.85; p.pointerLoadFraction = 0.18;
+        p.ptrArithFraction = 0.15;
+        add(p);
+    }
+    {
+        // hmmer: 1.47M allocs / 1450 active; >99% of accesses need
+        // checking (Fig. 16) but the working set is cache resident,
+        // so the 41% overhead is delayed retirement, not misses.
+        WorkloadProfile p;
+        p.name = "hmmer";
+        p.fullMaxActive = 1450; p.fullAllocCalls = 1474128;
+        p.fullDeallocCalls = 1474128;
+        p.targetActive = 1450; p.allocsPerKOp = 0.5;
+        p.heapFraction = 0.99;
+        p.loadPerMille = 390; p.storePerMille = 180; p.branchPerMille = 80;
+        p.fpPerMille = 25; p.callPerMille = 38;
+        p.numBranches = 128; p.hardBranchFraction = 0.05;
+        p.heapChunkMin = 128; p.heapChunkMax = 2048;
+        p.globalFootprint = 256 * 1024; p.codeFootprint = 32 * 1024;
+        p.reuse = 0.955; p.pointerLoadFraction = 0.06;
+        p.ptrArithFraction = 0.10;
+        add(p);
+    }
+    {
+        // sjeng: 6 allocs / 6 active; chess search, branchy, almost no
+        // heap traffic.
+        WorkloadProfile p;
+        p.name = "sjeng";
+        p.fullMaxActive = 6; p.fullAllocCalls = 6; p.fullDeallocCalls = 2;
+        p.targetActive = 6; p.allocsPerKOp = 0.001;
+        p.heapFraction = 0.15;
+        p.loadPerMille = 230; p.storePerMille = 110; p.branchPerMille = 190;
+        p.fpPerMille = 0; p.callPerMille = 30;
+        p.numBranches = 4096; p.hardBranchFraction = 0.45;
+        p.heapChunkMin = 1 << 20; p.heapChunkMax = 16 << 20;
+        p.globalFootprint = 4 << 20; p.codeFootprint = 192 * 1024;
+        p.reuse = 0.70; p.pointerLoadFraction = 0.06;
+        p.ptrArithFraction = 0.10;
+        add(p);
+    }
+    {
+        // libquantum: 180 allocs / 5 active; one big streamed array.
+        WorkloadProfile p;
+        p.name = "libquantum";
+        p.fullMaxActive = 5; p.fullAllocCalls = 180;
+        p.fullDeallocCalls = 180;
+        p.targetActive = 5; p.allocsPerKOp = 0.002;
+        p.heapFraction = 0.75;
+        p.loadPerMille = 260; p.storePerMille = 140; p.branchPerMille = 110;
+        p.fpPerMille = 15; p.callPerMille = 5;
+        p.numBranches = 32; p.hardBranchFraction = 0.04;
+        p.heapChunkMin = 1 << 20; p.heapChunkMax = 32 << 20;
+        p.globalFootprint = 256 * 1024; p.codeFootprint = 8 * 1024;
+        p.reuse = 0.55; p.pointerLoadFraction = 0.02;
+        p.ptrArithFraction = 0.10;
+        add(p);
+    }
+    {
+        // h264ref: 38k allocs / 13857 active; video encoder buffers.
+        WorkloadProfile p;
+        p.name = "h264ref";
+        p.fullMaxActive = 13857; p.fullAllocCalls = 38275;
+        p.fullDeallocCalls = 38273;
+        p.targetActive = 13857; p.allocsPerKOp = 0.1;
+        p.heapFraction = 0.60;
+        p.loadPerMille = 330; p.storePerMille = 160; p.branchPerMille = 110;
+        p.fpPerMille = 40; p.callPerMille = 24;
+        p.numBranches = 1024; p.hardBranchFraction = 0.15;
+        p.heapChunkMin = 256; p.heapChunkMax = 64 * 1024;
+        p.globalFootprint = 8 << 20; p.codeFootprint = 384 * 1024;
+        p.reuse = 0.85; p.pointerLoadFraction = 0.08;
+        p.ptrArithFraction = 0.12;
+        add(p);
+    }
+    {
+        // lbm: 7 allocs / 5 active; two giant lattice arrays, checked
+        // on nearly every access yet latency tolerant.
+        WorkloadProfile p;
+        p.name = "lbm";
+        p.fullMaxActive = 5; p.fullAllocCalls = 7; p.fullDeallocCalls = 7;
+        p.targetActive = 5; p.allocsPerKOp = 0.001;
+        p.heapFraction = 0.90;
+        p.loadPerMille = 210; p.storePerMille = 120; p.branchPerMille = 30;
+        p.fpPerMille = 280; p.callPerMille = 2;
+        p.numBranches = 16; p.hardBranchFraction = 0.03;
+        p.heapChunkMin = 16 << 20; p.heapChunkMax = 64 << 20;
+        p.globalFootprint = 128 * 1024; p.codeFootprint = 8 * 1024;
+        p.reuse = 0.65; p.pointerLoadFraction = 0.01;
+        p.ptrArithFraction = 0.06;
+        add(p);
+    }
+    {
+        // omnetpp: 21.2M allocs / ~2M active; discrete event simulator
+        // with the heaviest malloc pressure of the suite. The live set
+        // is scaled to 700K for the timing runs (still > the 512K
+        // capacity of the initial 1-way HBT, so resizing triggers as
+        // in SIX-A.1).
+        WorkloadProfile p;
+        p.name = "omnetpp";
+        p.fullMaxActive = 1993737; p.fullAllocCalls = 21244416;
+        p.fullDeallocCalls = 21244416;
+        p.targetActive = 700000; p.allocsPerKOp = 2.0;
+        p.heapFraction = 0.45;
+        p.loadPerMille = 300; p.storePerMille = 160; p.branchPerMille = 140;
+        p.fpPerMille = 2; p.callPerMille = 45;
+        p.numBranches = 2048; p.hardBranchFraction = 0.30;
+        p.heapChunkMin = 32; p.heapChunkMax = 512;
+        p.globalFootprint = 8 << 20; p.codeFootprint = 768 * 1024;
+        p.reuse = 0.88; p.pointerLoadFraction = 0.35;
+        p.ptrArithFraction = 0.25;
+        add(p);
+    }
+    {
+        // astar: 1.1M allocs / 190984 active; pathfinding with hard
+        // branches; slightly faster than baseline under AOS.
+        WorkloadProfile p;
+        p.name = "astar";
+        p.fullMaxActive = 190984; p.fullAllocCalls = 1116621;
+        p.fullDeallocCalls = 1116621;
+        p.targetActive = 190984; p.allocsPerKOp = 1.2;
+        p.heapFraction = 0.55;
+        p.loadPerMille = 310; p.storePerMille = 120; p.branchPerMille = 160;
+        p.fpPerMille = 15; p.callPerMille = 14;
+        p.numBranches = 512; p.hardBranchFraction = 0.40;
+        p.heapChunkMin = 32; p.heapChunkMax = 1024;
+        p.globalFootprint = 4 << 20; p.codeFootprint = 48 * 1024;
+        p.reuse = 0.70; p.pointerLoadFraction = 0.30;
+        p.ptrArithFraction = 0.20;
+        add(p);
+    }
+    {
+        // sphinx3: 14.2M allocs / 200686 active; speech decoder with
+        // tiny, rapidly recycled allocations (one HBT resize, SIX-A.1).
+        WorkloadProfile p;
+        p.name = "sphinx3";
+        p.fullMaxActive = 200686; p.fullAllocCalls = 14224690;
+        p.fullDeallocCalls = 14024020;
+        p.targetActive = 200686; p.allocsPerKOp = 2.5;
+        p.heapFraction = 0.65;
+        p.loadPerMille = 330; p.storePerMille = 120; p.branchPerMille = 100;
+        p.fpPerMille = 160; p.callPerMille = 26;
+        p.numBranches = 512; p.hardBranchFraction = 0.15;
+        p.heapChunkMin = 16; p.heapChunkMax = 256;
+        p.globalFootprint = 4 << 20; p.codeFootprint = 160 * 1024;
+        p.reuse = 0.74; p.pointerLoadFraction = 0.12;
+        p.ptrArithFraction = 0.12;
+        add(p);
+    }
+
+    return profiles;
+}
+
+std::vector<WorkloadProfile>
+buildRealWorld()
+{
+    std::vector<WorkloadProfile> profiles;
+    auto add = [&](const char *name, u64 active, u64 allocs, u64 frees) {
+        WorkloadProfile p;
+        p.name = name;
+        p.fullMaxActive = active;
+        p.fullAllocCalls = allocs;
+        p.fullDeallocCalls = frees;
+        p.targetActive = active;
+        p.allocsPerKOp = 2.5;
+        p.heapFraction = 0.65;
+        profiles.push_back(std::move(p));
+    };
+    // Paper Table III.
+    add("pbzip2", 110, 12425, 12423);
+    add("pigz", 110, 24511, 24511);
+    add("axel", 172, 473, 473);
+    add("md5sum", 32, 34, 34);
+    add("apache", 7592, 13360000, 13360000);
+    add("mysql", 5380, 28622, 28621);
+    return profiles;
+}
+
+} // namespace
+
+const std::vector<WorkloadProfile> &
+specProfiles()
+{
+    static const std::vector<WorkloadProfile> profiles = buildSpec();
+    return profiles;
+}
+
+const std::vector<WorkloadProfile> &
+realWorldProfiles()
+{
+    static const std::vector<WorkloadProfile> profiles = buildRealWorld();
+    return profiles;
+}
+
+const WorkloadProfile &
+profileByName(const std::string &name)
+{
+    for (const auto &p : specProfiles()) {
+        if (p.name == name)
+            return p;
+    }
+    for (const auto &p : realWorldProfiles()) {
+        if (p.name == name)
+            return p;
+    }
+    fatal("unknown workload profile '%s'", name.c_str());
+}
+
+} // namespace aos::workloads

@@ -1,0 +1,140 @@
+/**
+ * @file
+ * Unit tests for common/bitfield.hh.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/bitfield.hh"
+
+namespace aos {
+namespace {
+
+TEST(Mask, Widths)
+{
+    EXPECT_EQ(mask(0), 0u);
+    EXPECT_EQ(mask(1), 1u);
+    EXPECT_EQ(mask(8), 0xffu);
+    EXPECT_EQ(mask(32), 0xffffffffull);
+    EXPECT_EQ(mask(63), 0x7fffffffffffffffull);
+    EXPECT_EQ(mask(64), ~u64{0});
+}
+
+TEST(Bits, ExtractRanges)
+{
+    const u64 v = 0x0123456789abcdefull;
+    EXPECT_EQ(bits(v, 3, 0), 0xfu);
+    EXPECT_EQ(bits(v, 7, 4), 0xeu);
+    EXPECT_EQ(bits(v, 63, 60), 0x0u);
+    EXPECT_EQ(bits(v, 59, 56), 0x1u);
+    EXPECT_EQ(bits(v, 31, 0), 0x89abcdefull);
+    EXPECT_EQ(bits(v, 63, 32), 0x01234567ull);
+    EXPECT_EQ(bits(v, 63, 0), v);
+}
+
+TEST(Bits, SingleBit)
+{
+    EXPECT_EQ(bits(u64{0x8}, 3), 1u);
+    EXPECT_EQ(bits(u64{0x8}, 2), 0u);
+    EXPECT_EQ(bits(~u64{0}, 63), 1u);
+}
+
+TEST(InsertBits, RoundTripsWithBits)
+{
+    u64 v = 0;
+    v = insertBits(v, 15, 8, 0xab);
+    EXPECT_EQ(v, 0xab00u);
+    EXPECT_EQ(bits(v, 15, 8), 0xabu);
+    // Overwrite with a field wider than the slot: truncated.
+    v = insertBits(v, 11, 8, 0xff);
+    EXPECT_EQ(bits(v, 15, 8), 0xafu);
+    // Other bits untouched.
+    v = insertBits(0xffffffffffffffffull, 31, 16, 0);
+    EXPECT_EQ(v, 0xffffffff0000ffffull);
+}
+
+TEST(SignExtend, Basics)
+{
+    EXPECT_EQ(signExtend(0x80, 8), 0xffffffffffffff80ull);
+    EXPECT_EQ(signExtend(0x7f, 8), 0x7full);
+    EXPECT_EQ(signExtend(0xffff, 16), ~u64{0});
+    EXPECT_EQ(signExtend(0x1, 64), 0x1u);
+}
+
+TEST(Rotl4, AllRotations)
+{
+    EXPECT_EQ(rotl4(0b0001, 0), 0b0001u);
+    EXPECT_EQ(rotl4(0b0001, 1), 0b0010u);
+    EXPECT_EQ(rotl4(0b0001, 2), 0b0100u);
+    EXPECT_EQ(rotl4(0b0001, 3), 0b1000u);
+    EXPECT_EQ(rotl4(0b1000, 1), 0b0001u);
+    EXPECT_EQ(rotl4(0b1001, 1), 0b0011u);
+    // Rotation count wraps mod 4.
+    EXPECT_EQ(rotl4(0b0010, 4), 0b0010u);
+    EXPECT_EQ(rotl4(0b0010, 5), 0b0100u);
+}
+
+TEST(PowerOf2, Predicate)
+{
+    EXPECT_FALSE(isPowerOf2(0));
+    EXPECT_TRUE(isPowerOf2(1));
+    EXPECT_TRUE(isPowerOf2(2));
+    EXPECT_FALSE(isPowerOf2(3));
+    EXPECT_TRUE(isPowerOf2(u64{1} << 63));
+    EXPECT_FALSE(isPowerOf2((u64{1} << 63) + 1));
+}
+
+TEST(Log2i, PowersOfTwo)
+{
+    EXPECT_EQ(log2i(1), 0u);
+    EXPECT_EQ(log2i(2), 1u);
+    EXPECT_EQ(log2i(64), 6u);
+    EXPECT_EQ(log2i(u64{1} << 40), 40u);
+}
+
+TEST(Rounding, UpAndDown)
+{
+    EXPECT_EQ(roundUp(0, 16), 0u);
+    EXPECT_EQ(roundUp(1, 16), 16u);
+    EXPECT_EQ(roundUp(16, 16), 16u);
+    EXPECT_EQ(roundUp(17, 16), 32u);
+    EXPECT_EQ(roundDown(17, 16), 16u);
+    EXPECT_EQ(roundDown(15, 16), 0u);
+}
+
+TEST(Cells, MsbFirstOrdering)
+{
+    const u64 v = 0x0123456789abcdefull;
+    EXPECT_EQ(getCell(v, 0), 0x0u);
+    EXPECT_EQ(getCell(v, 1), 0x1u);
+    EXPECT_EQ(getCell(v, 15), 0xfu);
+    EXPECT_EQ(setCell(0, 0, 0xf), 0xf000000000000000ull);
+    EXPECT_EQ(setCell(0, 15, 0xf), 0xfull);
+    // Round trip every cell.
+    u64 w = 0;
+    for (unsigned i = 0; i < 16; ++i)
+        w = setCell(w, i, getCell(v, i));
+    EXPECT_EQ(w, v);
+}
+
+class BitRangeTest : public ::testing::TestWithParam<unsigned>
+{
+};
+
+TEST_P(BitRangeTest, InsertThenExtractIsIdentity)
+{
+    const unsigned lo = GetParam();
+    const unsigned hi = lo + 7;
+    const u64 field = 0x5a;
+    const u64 v = insertBits(0, hi, lo, field);
+    EXPECT_EQ(bits(v, hi, lo), field);
+    // Nothing outside the range.
+    EXPECT_EQ(v & ~(mask(8) << lo), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllBytePositions, BitRangeTest,
+                         ::testing::Values(0u, 4u, 8u, 16u, 24u, 32u, 40u,
+                                           48u, 56u));
+
+} // namespace
+} // namespace aos

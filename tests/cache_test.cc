@@ -1,0 +1,191 @@
+/**
+ * @file
+ * Unit tests for the set-associative cache model.
+ */
+
+#include <gtest/gtest.h>
+
+#include "memsim/cache.hh"
+
+namespace aos::memsim {
+namespace {
+
+CacheParams
+smallCache()
+{
+    // 1 KB, 2-way, 64 B lines -> 8 sets.
+    return CacheParams{"test", 1024, 2, 64, 1};
+}
+
+TEST(Cache, ColdMissThenHit)
+{
+    MainMemory dram("dram", 100);
+    Cache cache(smallCache(), &dram);
+    EXPECT_EQ(cache.access(0x1000, false), 101u);
+    EXPECT_EQ(cache.stats().misses, 1u);
+    EXPECT_EQ(cache.access(0x1000, false), 1u);
+    EXPECT_EQ(cache.stats().hits, 1u);
+}
+
+TEST(Cache, SameLineHits)
+{
+    MainMemory dram;
+    Cache cache(smallCache(), &dram);
+    cache.access(0x1000, false);
+    for (unsigned off = 0; off < 64; off += 8)
+        EXPECT_EQ(cache.access(0x1000 + off, false), 1u);
+}
+
+TEST(Cache, AssociativityHoldsConflictingLines)
+{
+    MainMemory dram;
+    Cache cache(smallCache(), &dram);
+    // Two lines mapping to the same set (stride = 8 sets * 64 B).
+    cache.access(0x0000, false);
+    cache.access(0x0200, false);
+    EXPECT_EQ(cache.access(0x0000, false), 1u);
+    EXPECT_EQ(cache.access(0x0200, false), 1u);
+}
+
+TEST(Cache, LruEvictionOnConflict)
+{
+    MainMemory dram;
+    Cache cache(smallCache(), &dram);
+    cache.access(0x0000, false);
+    cache.access(0x0200, false);
+    cache.access(0x0000, false); // make 0x200 the LRU
+    cache.access(0x0400, false); // evicts 0x200
+    EXPECT_EQ(cache.access(0x0000, false), 1u);
+    EXPECT_GT(cache.access(0x0200, false), 1u) << "should have missed";
+}
+
+TEST(Cache, DirtyEvictionWritesBack)
+{
+    MainMemory dram;
+    Cache cache(smallCache(), &dram);
+    cache.access(0x0000, true); // dirty
+    cache.access(0x0200, false);
+    cache.access(0x0400, false); // evicts dirty 0x0000
+    EXPECT_EQ(cache.stats().writebacks, 1u);
+    EXPECT_EQ(cache.stats().bytesWrittenBack, 64u);
+}
+
+TEST(Cache, CleanEvictionSilent)
+{
+    MainMemory dram;
+    Cache cache(smallCache(), &dram);
+    cache.access(0x0000, false);
+    cache.access(0x0200, false);
+    cache.access(0x0400, false);
+    EXPECT_EQ(cache.stats().writebacks, 0u);
+}
+
+TEST(Cache, WriteHitSetsDirtyWithoutTraffic)
+{
+    MainMemory dram;
+    Cache cache(smallCache(), &dram);
+    cache.access(0x0000, false);
+    const u64 filled = cache.stats().bytesFilled;
+    cache.access(0x0000, true); // hit, marks dirty
+    EXPECT_EQ(cache.stats().bytesFilled, filled);
+    cache.access(0x0200, false);
+    cache.access(0x0400, false); // eviction must write back now
+    EXPECT_EQ(cache.stats().writebacks, 1u);
+}
+
+TEST(Cache, FillTrafficAccounting)
+{
+    MainMemory dram;
+    Cache cache(smallCache(), &dram);
+    for (int i = 0; i < 10; ++i)
+        cache.access(0x10000 + i * 64, false);
+    EXPECT_EQ(cache.stats().bytesFilled, 640u);
+    EXPECT_EQ(cache.stats().trafficBelow(), 640u);
+}
+
+TEST(Cache, ContainsProbesWithoutTouching)
+{
+    MainMemory dram;
+    Cache cache(smallCache(), &dram);
+    cache.access(0x1000, false);
+    const u64 hits = cache.stats().hits;
+    EXPECT_TRUE(cache.contains(0x1000));
+    EXPECT_TRUE(cache.contains(0x1030)); // same line
+    EXPECT_FALSE(cache.contains(0x2000));
+    EXPECT_EQ(cache.stats().hits, hits);
+}
+
+TEST(Cache, FlushInvalidatesEverything)
+{
+    MainMemory dram;
+    Cache cache(smallCache(), &dram);
+    cache.access(0x1000, false);
+    cache.flush();
+    EXPECT_FALSE(cache.contains(0x1000));
+    EXPECT_GT(cache.access(0x1000, false), 1u);
+}
+
+TEST(Cache, TwoLevelLatencyComposition)
+{
+    MainMemory dram("dram", 100);
+    Cache l2(CacheParams{"l2", 64 * 1024, 16, 64, 8}, &dram);
+    Cache l1(CacheParams{"l1", 1024, 2, 64, 1}, &l2);
+    // Cold: L1 miss + L2 miss + DRAM.
+    EXPECT_EQ(l1.access(0x8000, false), 1u + 8u + 100u);
+    // L1 hit.
+    EXPECT_EQ(l1.access(0x8000, false), 1u);
+    // Evict from L1 but not L2: L1 miss, L2 hit.
+    l1.access(0x8000 + 0x200, false);
+    l1.access(0x8000 + 0x400, false);
+    EXPECT_EQ(l1.access(0x8000, false), 1u + 8u);
+}
+
+TEST(Cache, MissRate)
+{
+    MainMemory dram;
+    Cache cache(smallCache(), &dram);
+    cache.access(0x0, false);
+    cache.access(0x0, false);
+    cache.access(0x0, false);
+    cache.access(0x40, false);
+    EXPECT_DOUBLE_EQ(cache.stats().missRate(), 0.5);
+}
+
+TEST(CacheDeath, RejectsBadGeometry)
+{
+    MainMemory dram;
+    // Non-power-of-two line size.
+    EXPECT_DEATH(Cache(CacheParams{"bad", 1024, 2, 48, 1}, &dram), "");
+    // Size not divisible by assoc * line.
+    EXPECT_DEATH(Cache(CacheParams{"bad", 1000, 2, 64, 1}, &dram), "");
+}
+
+class CacheGeometryTest
+    : public ::testing::TestWithParam<std::pair<u64, unsigned>>
+{
+};
+
+TEST_P(CacheGeometryTest, CapacityIsFullyUsable)
+{
+    // Touch exactly size/line distinct lines with a stride pattern that
+    // spreads over all sets: everything must still be resident.
+    const auto [size, assoc] = GetParam();
+    MainMemory dram;
+    Cache cache(CacheParams{"geom", size, assoc, 64, 1}, &dram);
+    const u64 lines = size / 64;
+    for (u64 i = 0; i < lines; ++i)
+        cache.access(i * 64, false);
+    EXPECT_EQ(cache.stats().misses, lines);
+    for (u64 i = 0; i < lines; ++i)
+        EXPECT_TRUE(cache.contains(i * 64)) << "line " << i;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    TableIVGeometries, CacheGeometryTest,
+    ::testing::Values(std::make_pair(u64{32} * 1024, 4u),   // L1-I / L1-B
+                      std::make_pair(u64{64} * 1024, 8u),   // L1-D
+                      std::make_pair(u64{1024} * 64, 16u),  // L2 slice
+                      std::make_pair(u64{4096}, 1u)));      // direct-mapped
+
+} // namespace
+} // namespace aos::memsim

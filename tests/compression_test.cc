@@ -1,0 +1,131 @@
+/**
+ * @file
+ * Unit and property tests for the Fig. 9 bounds-compression codec.
+ */
+
+#include <gtest/gtest.h>
+
+#include "bounds/compression.hh"
+#include "common/bitfield.hh"
+#include "common/random.hh"
+
+namespace aos::bounds {
+namespace {
+
+TEST(Compression, FieldLayout)
+{
+    // base bits [32:4] -> record [28:0]; size -> record [60:29].
+    const Compressed rec = compress(0x20000010, 0x100);
+    EXPECT_EQ(bits(rec, 28, 0), bits(u64{0x20000010}, 32, 4));
+    EXPECT_EQ(bits(rec, 60, 29), 0x100u);
+    EXPECT_EQ(bits(rec, 63, 61), 0u) << "reserved bits must stay zero";
+}
+
+TEST(Compression, DecompressRecoversBounds)
+{
+    const Decompressed d = decompress(compress(0x20000010, 0x100));
+    EXPECT_EQ(d.lower, 0x20000010u);
+    EXPECT_EQ(d.size, 0x100u);
+    EXPECT_EQ(d.upper, 0x20000110u);
+}
+
+TEST(Compression, EmptySentinelNeverMatches)
+{
+    EXPECT_FALSE(inBounds(kEmpty, 0));
+    EXPECT_FALSE(inBounds(kEmpty, 0x20000000));
+    EXPECT_FALSE(matchesBase(kEmpty, 0));
+}
+
+TEST(Compression, LiveRecordsNeverEncodeToEmpty)
+{
+    // malloc never returns address 0, so no real record is the
+    // sentinel.
+    Rng rng(1);
+    for (int i = 0; i < 1000; ++i) {
+        const Addr base = (0x10000 + rng.below(u64{1} << 32)) & ~u64{15};
+        const u64 size = 1 + rng.below(1u << 20);
+        EXPECT_NE(compress(base, size), kEmpty);
+    }
+}
+
+TEST(Compression, InBoundsEdges)
+{
+    const Compressed rec = compress(0x20000100, 64);
+    EXPECT_FALSE(inBounds(rec, 0x200000ff)); // one below
+    EXPECT_TRUE(inBounds(rec, 0x20000100));  // base
+    EXPECT_TRUE(inBounds(rec, 0x2000013f));  // last byte
+    EXPECT_FALSE(inBounds(rec, 0x20000140)); // one past
+}
+
+TEST(Compression, MatchesBaseOnlyAtBase)
+{
+    const Compressed rec = compress(0x20000100, 64);
+    EXPECT_TRUE(matchesBase(rec, 0x20000100));
+    EXPECT_FALSE(matchesBase(rec, 0x20000110));
+    EXPECT_FALSE(matchesBase(rec, 0x200000f0));
+}
+
+TEST(Compression, CarryCompensationAcrossBit33)
+{
+    // Object starting just below 2^33 and extending past it: the C bit
+    // compensates for the carry lost in the 33-bit truncated address.
+    const Addr base = (u64{1} << 33) - 64; // bit 32 set
+    const Compressed rec = compress(base, 128);
+    EXPECT_TRUE(inBounds(rec, base));
+    EXPECT_TRUE(inBounds(rec, base + 64));  // crossed 2^33: Addr[32]=0
+    EXPECT_TRUE(inBounds(rec, base + 127));
+    EXPECT_FALSE(inBounds(rec, base + 128));
+    EXPECT_FALSE(inBounds(rec, base - 1));
+}
+
+TEST(Compression, AliasesEightGigabytesApart)
+{
+    // Only the low 33 address bits are kept, so addresses 8 GB apart
+    // alias — the documented false-positive source of SVII-E (they
+    // must also share a PAC to matter).
+    const Compressed rec = compress(0x20000000, 64);
+    EXPECT_TRUE(inBounds(rec, 0x20000000 + (u64{1} << 34)));
+}
+
+TEST(CompressionDeath, RejectsMisalignedBase)
+{
+    EXPECT_DEATH(compress(0x20000008, 64), "aligned");
+}
+
+TEST(CompressionDeath, RejectsOversizedObject)
+{
+    EXPECT_DEATH(compress(0x20000000, u64{1} << 33), "32-bit");
+}
+
+class CompressionRoundTrip : public ::testing::TestWithParam<u64>
+{
+};
+
+TEST_P(CompressionRoundTrip, EveryInteriorByteChecks)
+{
+    const u64 size = GetParam();
+    Rng rng(size);
+    for (int trial = 0; trial < 50; ++trial) {
+        const Addr base =
+            (0x20000000 + rng.below(u64{1} << 30)) & ~u64{15};
+        const Compressed rec = compress(base, size);
+        const Decompressed d = decompress(rec);
+        EXPECT_EQ(d.size, size);
+        // Boundary probes.
+        EXPECT_TRUE(inBounds(rec, base));
+        EXPECT_TRUE(inBounds(rec, base + size - 1));
+        EXPECT_FALSE(inBounds(rec, base + size));
+        EXPECT_FALSE(inBounds(rec, base - 16));
+        // Random interior probes.
+        for (int i = 0; i < 8; ++i)
+            EXPECT_TRUE(inBounds(rec, base + rng.below(size)));
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, CompressionRoundTrip,
+                         ::testing::Values(u64{1}, u64{16}, u64{100},
+                                           u64{4096}, u64{1} << 20,
+                                           (u64{1} << 32) - 1));
+
+} // namespace
+} // namespace aos::bounds

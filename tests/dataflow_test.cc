@@ -1,0 +1,136 @@
+/**
+ * @file
+ * Data-carrying protection tests: the precise-exception property of
+ * SIII-C4 on real values — an illegal read leaks no secret, an illegal
+ * write corrupts nothing — plus the sparse memory substrate itself.
+ */
+
+#include <cstring>
+
+#include <gtest/gtest.h>
+
+#include "core/aos_runtime.hh"
+#include "memsim/sparse_memory.hh"
+
+namespace aos {
+namespace {
+
+TEST(SparseMemory, UnmappedReadsAsZero)
+{
+    memsim::SparseMemory mem;
+    EXPECT_EQ(mem.readByte(0x1234), 0u);
+    EXPECT_EQ(mem.read64(0xdeadbeef), 0u);
+    EXPECT_EQ(mem.mappedPages(), 0u);
+}
+
+TEST(SparseMemory, ByteAndWordRoundTrip)
+{
+    memsim::SparseMemory mem;
+    mem.writeByte(0x1000, 0xab);
+    EXPECT_EQ(mem.readByte(0x1000), 0xabu);
+    mem.write64(0x2000, 0x1122334455667788ull);
+    EXPECT_EQ(mem.read64(0x2000), 0x1122334455667788ull);
+    // Little-endian byte order.
+    EXPECT_EQ(mem.readByte(0x2000), 0x88u);
+    EXPECT_EQ(mem.readByte(0x2007), 0x11u);
+}
+
+TEST(SparseMemory, CrossPageAccesses)
+{
+    memsim::SparseMemory mem;
+    const Addr edge = memsim::SparseMemory::kPageSize - 4;
+    mem.write64(edge, 0xcafebabe12345678ull);
+    EXPECT_EQ(mem.read64(edge), 0xcafebabe12345678ull);
+    EXPECT_EQ(mem.mappedPages(), 2u);
+}
+
+TEST(SparseMemory, BlockCopies)
+{
+    memsim::SparseMemory mem;
+    const char secret[] = "SECRET_API_KEY_42";
+    mem.writeBlock(0x5000, secret, sizeof(secret));
+    char out[sizeof(secret)] = {};
+    mem.readBlock(0x5000, out, sizeof(secret));
+    EXPECT_STREQ(out, secret);
+}
+
+TEST(SparseMemory, SparsenessHolds)
+{
+    memsim::SparseMemory mem;
+    mem.writeByte(0, 1);
+    mem.writeByte(u64{1} << 40, 2);
+    EXPECT_EQ(mem.mappedPages(), 2u);
+    mem.clear();
+    EXPECT_EQ(mem.mappedPages(), 0u);
+    EXPECT_EQ(mem.readByte(0), 0u);
+}
+
+class DataFlowTest : public ::testing::Test
+{
+  protected:
+    core::AosRuntime rt;
+};
+
+TEST_F(DataFlowTest, CheckedWriteThenReadRoundTrips)
+{
+    const Addr p = rt.malloc(64);
+    ASSERT_EQ(rt.write64(p, 0x1234567890abcdefull), core::Status::kOk);
+    u64 value = 0;
+    ASSERT_EQ(rt.read64(p, &value), core::Status::kOk);
+    EXPECT_EQ(value, 0x1234567890abcdefull);
+}
+
+TEST_F(DataFlowTest, IllegalReadLeaksNothing)
+{
+    // A secret lives in a neighbouring object; the attacker's OOB read
+    // through their own pointer must fault *and* return no data.
+    const Addr attacker = rt.malloc(64);
+    const Addr secret_obj = rt.malloc(64);
+    ASSERT_EQ(rt.write64(secret_obj, 0x5ec12e70ull),
+              core::Status::kOk);
+
+    u64 leaked = 0xfefefefefefefefeull;
+    const Addr probe = attacker + (rt.strip(secret_obj) -
+                                   rt.strip(attacker));
+    EXPECT_EQ(rt.read64(probe, &leaked), core::Status::kBoundsViolation);
+    EXPECT_EQ(leaked, 0xfefefefefefefefeull)
+        << "the faulting read must not move data";
+}
+
+TEST_F(DataFlowTest, IllegalWriteCorruptsNothing)
+{
+    const Addr attacker = rt.malloc(64);
+    const Addr victim = rt.malloc(64);
+    ASSERT_EQ(rt.write64(victim, 0x600df00dull), core::Status::kOk);
+
+    const Addr probe =
+        attacker + (rt.strip(victim) - rt.strip(attacker));
+    EXPECT_EQ(rt.write64(probe, 0xbadbadbadull),
+              core::Status::kBoundsViolation);
+    u64 value = 0;
+    ASSERT_EQ(rt.read64(victim, &value), core::Status::kOk);
+    EXPECT_EQ(value, 0x600df00dull) << "victim data must be intact";
+}
+
+TEST_F(DataFlowTest, UafReadReturnsNoStaleData)
+{
+    const Addr p = rt.malloc(64);
+    ASSERT_EQ(rt.write64(p, 0xaaaa5555ull), core::Status::kOk);
+    ASSERT_EQ(rt.free(p), core::Status::kOk);
+    u64 value = 0;
+    EXPECT_EQ(rt.read64(p, &value), core::Status::kBoundsViolation);
+    EXPECT_EQ(value, 0u);
+}
+
+TEST_F(DataFlowTest, AttackerRawViewVsCheckedView)
+{
+    // The raw memory really does contain the secret (the attacker's
+    // model is right about that); only the checked path is closed.
+    const Addr secret_obj = rt.malloc(64);
+    ASSERT_EQ(rt.write64(secret_obj, 0x5ec0000dull), core::Status::kOk);
+    EXPECT_EQ(rt.dataMemory().read64(rt.strip(secret_obj)), 0x5ec0000dull)
+        << "data is physically there";
+}
+
+} // namespace
+} // namespace aos

@@ -1,0 +1,129 @@
+/**
+ * @file
+ * Tests for the paper's future-work extensions implemented here:
+ * stack-object protection (SIII-D) and bounds narrowing (SVII-F).
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/aos_runtime.hh"
+
+namespace aos::core {
+namespace {
+
+class ExtensionsTest : public ::testing::Test
+{
+  protected:
+    AosRuntime rt;
+    static constexpr Addr kFrame = 0x7ffff1000ull;
+};
+
+// ---- Stack protection ----
+
+TEST_F(ExtensionsTest, StackObjectIsSignedAndChecked)
+{
+    const Addr buf = rt.protectStack(kFrame, 128);
+    ASSERT_NE(buf, 0u);
+    EXPECT_TRUE(rt.isSigned(buf));
+    EXPECT_EQ(rt.load(buf), Status::kOk);
+    EXPECT_EQ(rt.store(buf + 120), Status::kOk);
+    EXPECT_EQ(rt.load(buf + 128), Status::kBoundsViolation);
+    EXPECT_EQ(rt.load(buf - 8), Status::kBoundsViolation);
+}
+
+TEST_F(ExtensionsTest, StackSmashingBlocked)
+{
+    // Classic stack buffer overflow: a 64-byte buffer below a saved
+    // return-address slot.
+    const Addr buf = rt.protectStack(kFrame, 64);
+    for (u64 off = 64; off <= 256; off += 8)
+        EXPECT_EQ(rt.store(buf + off), Status::kBoundsViolation)
+            << "offset " << off;
+}
+
+TEST_F(ExtensionsTest, UnprotectEndsChecValidity)
+{
+    const Addr buf = rt.protectStack(kFrame, 64);
+    EXPECT_EQ(rt.unprotectStack(buf), Status::kOk);
+    // Use after scope exit: the dangling stack pointer fails.
+    EXPECT_EQ(rt.load(buf), Status::kBoundsViolation);
+    // Double unprotect caught like a double free.
+    EXPECT_EQ(rt.unprotectStack(buf), Status::kDoubleFree);
+}
+
+TEST_F(ExtensionsTest, StackAndHeapCoexist)
+{
+    const Addr heap_obj = rt.malloc(64);
+    const Addr stack_obj = rt.protectStack(kFrame, 64);
+    EXPECT_EQ(rt.load(heap_obj + 8), Status::kOk);
+    EXPECT_EQ(rt.load(stack_obj + 8), Status::kOk);
+    EXPECT_EQ(rt.free(heap_obj), Status::kOk);
+    EXPECT_EQ(rt.unprotectStack(stack_obj), Status::kOk);
+    EXPECT_EQ(rt.stats().stackProtects, 1u);
+}
+
+TEST_F(ExtensionsTest, StackRejectsDegenerateSizes)
+{
+    EXPECT_EQ(rt.protectStack(kFrame, 0), 0u);
+    EXPECT_EQ(rt.protectStack(kFrame, u64{1} << 33), 0u);
+}
+
+// ---- Bounds narrowing ----
+
+TEST_F(ExtensionsTest, NarrowedFieldChecksItsOwnBounds)
+{
+    // struct { char name[16]; void (*cb)(); } at a 32-byte object.
+    const Addr obj = rt.malloc(32);
+    const Addr name = rt.narrow(obj, 0, 16);
+    ASSERT_NE(name, 0u);
+    EXPECT_EQ(rt.store(name + 8), Status::kOk);
+    // The intra-object overflow the base mechanism cannot catch
+    // (security_test asserts that) IS caught through the narrowed
+    // pointer.
+    EXPECT_EQ(rt.store(name + 24), Status::kBoundsViolation);
+}
+
+TEST_F(ExtensionsTest, ParentPointerStillCoversWholeObject)
+{
+    const Addr obj = rt.malloc(32);
+    const Addr name = rt.narrow(obj, 0, 16);
+    (void)name;
+    EXPECT_EQ(rt.store(obj + 24), Status::kOk)
+        << "narrowing must not restrict the parent pointer";
+}
+
+TEST_F(ExtensionsTest, NarrowValidatesAgainstParentBounds)
+{
+    const Addr obj = rt.malloc(32);
+    EXPECT_EQ(rt.narrow(obj, 24, 64), 0u)
+        << "field extending past the object must be rejected";
+    EXPECT_EQ(rt.narrow(obj, 0, 0), 0u);
+    EXPECT_EQ(rt.narrow(rt.strip(obj), 0, 8), 0u)
+        << "unsigned parent cannot be narrowed";
+}
+
+TEST_F(ExtensionsTest, WidenReleasesSubObject)
+{
+    const Addr obj = rt.malloc(64);
+    const Addr field = rt.narrow(obj, 16, 16);
+    ASSERT_NE(field, 0u);
+    EXPECT_EQ(rt.widen(field), Status::kOk);
+    EXPECT_EQ(rt.load(field), Status::kBoundsViolation);
+    EXPECT_EQ(rt.widen(field), Status::kDoubleFree);
+}
+
+TEST_F(ExtensionsTest, NarrowKeepsSixteenByteAlignment)
+{
+    // Unaligned field offsets widen down to the containing 16-byte
+    // granule (the compressed-bounds format requires it).
+    const Addr obj = rt.malloc(64);
+    const Addr field = rt.narrow(obj, 20, 8);
+    ASSERT_NE(field, 0u);
+    EXPECT_EQ(rt.strip(field) & 15, 0u);
+    // The granule containing [20, 28) is [16, 28): both check.
+    EXPECT_EQ(rt.load(field + 4), Status::kOk);
+    EXPECT_EQ(rt.load(field + 16), Status::kBoundsViolation);
+}
+
+} // namespace
+} // namespace aos::core

@@ -1,0 +1,173 @@
+/**
+ * @file
+ * Unit tests for the hashed bounds table (paper SV-B).
+ */
+
+#include <gtest/gtest.h>
+
+#include "bounds/compression.hh"
+#include "bounds/hashed_bounds_table.hh"
+#include "common/random.hh"
+
+namespace aos::bounds {
+namespace {
+
+constexpr Addr kBase = 0x3000'0000'0000ull;
+
+TEST(Hbt, AddressingFollowsEq1And2)
+{
+    // RowOffset = PAC << (log2(assoc)+6); BndAddr = base + RowOffset +
+    // (way << 6).
+    HashedBoundsTable hbt(kBase, 16, 4);
+    EXPECT_EQ(hbt.wayAddr(0, 0), kBase);
+    EXPECT_EQ(hbt.wayAddr(0, 3), kBase + 3 * 64);
+    EXPECT_EQ(hbt.wayAddr(5, 0), kBase + (u64{5} << (2 + 6)));
+    EXPECT_EQ(hbt.wayAddr(5, 2), kBase + (u64{5} << 8) + 128);
+    // Way addresses are always 64-byte aligned (single cache line).
+    Rng rng(1);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(hbt.wayAddr(rng.below(1 << 16), rng.below(4)) & 63, 0u);
+}
+
+TEST(Hbt, InitialTableMatchesTableIV)
+{
+    // 16-bit PAC, 1 way: 64K rows x 64 B = 4 MB.
+    HashedBoundsTable hbt(kBase, 16, 1);
+    EXPECT_EQ(hbt.rows(), u64{64} * 1024);
+    EXPECT_EQ(hbt.ways(), 1u);
+    const u64 bytes = hbt.rows() * hbt.ways() * 64;
+    EXPECT_EQ(bytes, u64{4} << 20);
+}
+
+TEST(Hbt, InsertThenCheckFinds)
+{
+    HashedBoundsTable hbt(kBase, 8, 1);
+    const Addr base = 0x20000100;
+    ASSERT_TRUE(hbt.insert(42, compress(base, 64)).has_value());
+    unsigned touched = 0;
+    const auto way = hbt.check(42, base + 10, 0, &touched);
+    ASSERT_TRUE(way.has_value());
+    EXPECT_EQ(*way, 0u);
+    EXPECT_EQ(touched, 1u);
+}
+
+TEST(Hbt, CheckWrongPacMisses)
+{
+    HashedBoundsTable hbt(kBase, 8, 1);
+    hbt.insert(42, compress(0x20000100, 64));
+    EXPECT_FALSE(hbt.check(43, 0x20000110, 0, nullptr).has_value());
+}
+
+TEST(Hbt, CheckOutOfBoundsMisses)
+{
+    HashedBoundsTable hbt(kBase, 8, 1);
+    hbt.insert(42, compress(0x20000100, 64));
+    EXPECT_FALSE(hbt.check(42, 0x20000140, 0, nullptr).has_value());
+    EXPECT_FALSE(hbt.check(42, 0x200000f0, 0, nullptr).has_value());
+}
+
+TEST(Hbt, EightRecordsPerWayThenOverflow)
+{
+    HashedBoundsTable hbt(kBase, 8, 1);
+    for (int i = 0; i < 8; ++i) {
+        EXPECT_TRUE(hbt.insert(7, compress(0x20000000 + 0x100 * i, 64))
+                        .has_value())
+            << "slot " << i;
+    }
+    // Ninth record in the same row: insertion failure -> AOS exception.
+    EXPECT_FALSE(hbt.insert(7, compress(0x20010000, 64)).has_value());
+    EXPECT_EQ(hbt.stats().insertFailures, 1u);
+    EXPECT_EQ(hbt.rowOccupancy(7), 8u);
+}
+
+TEST(Hbt, WideRecordsHalveCapacity)
+{
+    // The no-compression ablation: 16-byte records, 4 per line.
+    HashedBoundsTable hbt(kBase, 8, 1, kWideSlotsPerWay);
+    for (int i = 0; i < 4; ++i)
+        EXPECT_TRUE(hbt.insert(7, compress(0x20000000 + 0x100 * i, 64))
+                        .has_value());
+    EXPECT_FALSE(hbt.insert(7, compress(0x20010000, 64)).has_value());
+}
+
+TEST(Hbt, ClearRemovesExactBase)
+{
+    HashedBoundsTable hbt(kBase, 8, 1);
+    hbt.insert(42, compress(0x20000100, 64));
+    hbt.insert(42, compress(0x20000200, 64));
+    ASSERT_TRUE(hbt.clear(42, 0x20000100).has_value());
+    // The cleared object no longer checks; its neighbour still does.
+    EXPECT_FALSE(hbt.check(42, 0x20000100, 0, nullptr).has_value());
+    EXPECT_TRUE(hbt.check(42, 0x20000200, 0, nullptr).has_value());
+    EXPECT_EQ(hbt.rowOccupancy(42), 1u);
+}
+
+TEST(Hbt, ClearOfAbsentBoundsFails)
+{
+    // The double-free / invalid-free detection path.
+    HashedBoundsTable hbt(kBase, 8, 1);
+    hbt.insert(42, compress(0x20000100, 64));
+    EXPECT_FALSE(hbt.clear(42, 0x20000200).has_value());
+    ASSERT_TRUE(hbt.clear(42, 0x20000100).has_value());
+    EXPECT_FALSE(hbt.clear(42, 0x20000100).has_value()) << "double free";
+    EXPECT_EQ(hbt.stats().clearFailures, 2u);
+}
+
+TEST(Hbt, ClearedSlotIsReused)
+{
+    HashedBoundsTable hbt(kBase, 8, 1);
+    for (int i = 0; i < 8; ++i)
+        hbt.insert(7, compress(0x20000000 + 0x100 * i, 64));
+    hbt.clear(7, 0x20000300);
+    // The freed slot accommodates a new object with the same PAC.
+    EXPECT_TRUE(hbt.insert(7, compress(0x20020000, 32)).has_value());
+    EXPECT_EQ(hbt.rowOccupancy(7), 8u);
+}
+
+TEST(Hbt, CheckStartsAtHintedWay)
+{
+    HashedBoundsTable hbt(kBase, 8, 2);
+    // Fill way 0 of row 3 with decoys; target lands in way 1.
+    for (int i = 0; i < 8; ++i)
+        hbt.insert(3, compress(0x30000000 + 0x100 * i, 64));
+    hbt.insert(3, compress(0x20000100, 64));
+    unsigned touched = 0;
+    // Without a hint: two way accesses.
+    auto way = hbt.check(3, 0x20000110, 0, &touched);
+    ASSERT_TRUE(way.has_value());
+    EXPECT_EQ(*way, 1u);
+    EXPECT_EQ(touched, 2u);
+    // With the (BWB-provided) hint: one access.
+    way = hbt.check(3, 0x20000110, 1, &touched);
+    ASSERT_TRUE(way.has_value());
+    EXPECT_EQ(touched, 1u);
+}
+
+TEST(Hbt, PacRowsAreIndependent)
+{
+    HashedBoundsTable hbt(kBase, 8, 1);
+    Rng rng(3);
+    for (u64 pac = 0; pac < 256; ++pac)
+        hbt.insert(pac, compress(0x20000000 + pac * 0x1000, 256));
+    for (u64 pac = 0; pac < 256; ++pac) {
+        EXPECT_TRUE(hbt.check(pac, 0x20000000 + pac * 0x1000 + 128, 0,
+                              nullptr)
+                        .has_value());
+    }
+    EXPECT_EQ(hbt.stats().occupied, 256u);
+}
+
+TEST(Hbt, OccupancyStatsTrackInsertsAndClears)
+{
+    HashedBoundsTable hbt(kBase, 8, 1);
+    hbt.insert(1, compress(0x20000100, 64));
+    hbt.insert(2, compress(0x20000200, 64));
+    EXPECT_EQ(hbt.stats().occupied, 2u);
+    EXPECT_EQ(hbt.stats().maxOccupied, 2u);
+    hbt.clear(1, 0x20000100);
+    EXPECT_EQ(hbt.stats().occupied, 1u);
+    EXPECT_EQ(hbt.stats().maxOccupied, 2u);
+}
+
+} // namespace
+} // namespace aos::bounds

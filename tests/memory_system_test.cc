@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Tests for the assembled Table IV memory hierarchy.
+ */
+
+#include <gtest/gtest.h>
+
+#include "memsim/memory_system.hh"
+
+namespace aos::memsim {
+namespace {
+
+TEST(MemorySystem, TableIVDefaults)
+{
+    MemorySystem mem;
+    EXPECT_EQ(mem.l1i().params().size, u64{32} * 1024);
+    EXPECT_EQ(mem.l1i().params().assoc, 4u);
+    EXPECT_EQ(mem.l1d().params().size, u64{64} * 1024);
+    EXPECT_EQ(mem.l1d().params().assoc, 8u);
+    EXPECT_EQ(mem.l2().params().size, u64{8} * 1024 * 1024);
+    EXPECT_EQ(mem.l2().params().assoc, 16u);
+    ASSERT_NE(mem.l1b(), nullptr);
+    EXPECT_EQ(mem.l1b()->params().size, u64{32} * 1024);
+}
+
+TEST(MemorySystem, BoundsRouteToL1BWhenEnabled)
+{
+    MemorySystem mem;
+    mem.boundsAccess(0x3000'0000'0000ull, false);
+    EXPECT_EQ(mem.l1b()->stats().accesses(), 1u);
+    EXPECT_EQ(mem.l1d().stats().accesses(), 0u);
+}
+
+TEST(MemorySystem, BoundsPolluteL1DWhenDisabled)
+{
+    MemoryConfig config;
+    config.useBoundsCache = false;
+    MemorySystem mem(config);
+    EXPECT_EQ(mem.l1b(), nullptr);
+    mem.boundsAccess(0x3000'0000'0000ull, false);
+    EXPECT_EQ(mem.l1d().stats().accesses(), 1u);
+}
+
+TEST(MemorySystem, L1bIsolatesDataCacheFromBoundsTraffic)
+{
+    // The pollution mechanism behind the Fig. 15 ablation: with the
+    // L1-B, a bounds stream does not evict data lines.
+    MemorySystem with_b;
+    MemoryConfig no_b_config;
+    no_b_config.useBoundsCache = false;
+    MemorySystem no_b(no_b_config);
+
+    for (auto *mem : {&with_b, &no_b}) {
+        // Load a data working set.
+        for (u64 i = 0; i < 512; ++i)
+            mem->dataAccess(0x20000000 + i * 64, false);
+        // Stream a large bounds region over it.
+        for (u64 i = 0; i < 4096; ++i)
+            mem->boundsAccess(0x3000'0000'0000ull + i * 64, false);
+        // Re-touch the data set.
+        for (u64 i = 0; i < 512; ++i)
+            mem->dataAccess(0x20000000 + i * 64, false);
+    }
+    const u64 misses_with = with_b.l1d().stats().misses;
+    const u64 misses_without = no_b.l1d().stats().misses;
+    EXPECT_LT(misses_with, misses_without);
+    // With the L1-B, the data set stays resident: the second sweep is
+    // all hits (the first sweep costs a couple of cold misses before
+    // the stream prefetcher locks on).
+    EXPECT_LT(misses_with, 10u) << "data set should be fully resident";
+}
+
+TEST(MemorySystem, SharedL2SeesBothStreams)
+{
+    MemorySystem mem;
+    mem.dataAccess(0x20000000, false);
+    mem.boundsAccess(0x3000'0000'0000ull, false);
+    mem.fetchAccess(0x400000);
+    EXPECT_EQ(mem.l2().stats().accesses(), 3u);
+}
+
+TEST(MemorySystem, NetworkTrafficAggregatesAllLinks)
+{
+    MemorySystem mem;
+    EXPECT_EQ(mem.networkTraffic(), 0u);
+    mem.dataAccess(0x20000000, false);
+    // L1D fill (64) + L2 fill (64).
+    EXPECT_EQ(mem.networkTraffic(), 128u);
+    mem.fetchAccess(0x400000);
+    EXPECT_EQ(mem.networkTraffic(), 256u);
+    // A hit adds nothing.
+    mem.dataAccess(0x20000000, false);
+    EXPECT_EQ(mem.networkTraffic(), 256u);
+}
+
+TEST(MemorySystem, DramLatencyDominatesColdMisses)
+{
+    MemorySystem mem;
+    const Cycles cold = mem.dataAccess(0x7000000, false);
+    EXPECT_EQ(cold, 1u + 8u + 100u);
+    const Cycles l2_hit_after_l1_evict = [&] {
+        // Evict from the small L1 by filling its set.
+        for (int i = 1; i <= 8; ++i)
+            mem.dataAccess(0x7000000 + i * 64 * 128, false);
+        return mem.dataAccess(0x7000000, false);
+    }();
+    EXPECT_EQ(l2_hit_after_l1_evict, 1u + 8u);
+}
+
+TEST(MemorySystem, FlushAllColdMissesEverywhere)
+{
+    MemorySystem mem;
+    mem.dataAccess(0x20000000, false);
+    mem.flushAll();
+    EXPECT_EQ(mem.dataAccess(0x20000000, false), 109u);
+}
+
+} // namespace
+} // namespace aos::memsim

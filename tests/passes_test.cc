@@ -1,0 +1,347 @@
+/**
+ * @file
+ * Tests for the instrumentation pipeline: the AOS two-phase passes
+ * (Fig. 7), the PA pass (Figs. 3/13) and the Watchdog pass (Fig. 5a).
+ */
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "compiler/aos_passes.hh"
+#include "compiler/asan_pass.hh"
+#include "compiler/op_counter.hh"
+#include "compiler/pa_pass.hh"
+#include "compiler/watchdog_pass.hh"
+#include "pa/pa_context.hh"
+
+namespace aos::compiler {
+namespace {
+
+using ir::MicroOp;
+using ir::OpKind;
+
+MicroOp
+op(OpKind kind, Addr addr = 0, Addr chunk = 0, u32 size = 0)
+{
+    MicroOp out;
+    out.kind = kind;
+    out.addr = addr;
+    out.chunkBase = chunk;
+    out.size = size;
+    return out;
+}
+
+std::vector<MicroOp>
+drain(ir::InstStream &stream)
+{
+    std::vector<MicroOp> out;
+    MicroOp next;
+    while (stream.next(next))
+        out.push_back(next);
+    return out;
+}
+
+std::vector<OpKind>
+kinds(const std::vector<MicroOp> &ops)
+{
+    std::vector<OpKind> out;
+    for (const auto &o : ops)
+        out.push_back(o.kind);
+    return out;
+}
+
+TEST(IdentityPass, ForwardsUnchanged)
+{
+    ir::VectorStream source({op(OpKind::kIntAlu), op(OpKind::kLoad, 0x10)});
+    IdentityPass pass(&source);
+    const auto out = drain(pass);
+    ASSERT_EQ(out.size(), 2u);
+    EXPECT_EQ(out[1].addr, 0x10u);
+}
+
+TEST(AosOptPass, InsertsIntrinsics)
+{
+    ir::VectorStream source({op(OpKind::kMallocMark, 0, 0x20001000, 64),
+                             op(OpKind::kIntAlu),
+                             op(OpKind::kFreeMark, 0, 0x20001000)});
+    AosOptPass pass(&source);
+    const auto out = kinds(drain(pass));
+    const std::vector<OpKind> expect{
+        OpKind::kMallocMark, OpKind::kAosMallocIntr, OpKind::kIntAlu,
+        OpKind::kFreeMark, OpKind::kAosFreeIntr};
+    EXPECT_EQ(out, expect);
+}
+
+class AosPipelineTest : public ::testing::Test
+{
+  protected:
+    AosPipelineTest() : pa(pa::PointerLayout(16, 46)) {}
+
+    std::vector<MicroOp>
+    lower(std::vector<MicroOp> input)
+    {
+        ir::VectorStream source(std::move(input));
+        AosOptPass opt(&source);
+        AosBackendPass backend(&opt, &pa);
+        return drain(backend);
+    }
+
+    pa::PaContext pa;
+};
+
+TEST_F(AosPipelineTest, MallocLoweredPerFig7a)
+{
+    const auto out =
+        lower({op(OpKind::kMallocMark, 0, 0x20001000, 64)});
+    // malloc marker ; pacma ; bndstr
+    ASSERT_EQ(out.size(), 3u);
+    EXPECT_EQ(out[0].kind, OpKind::kMallocMark);
+    EXPECT_EQ(out[1].kind, OpKind::kPacma);
+    EXPECT_EQ(out[2].kind, OpKind::kBndstr);
+    // The bndstr carries the signed pointer and the size.
+    EXPECT_TRUE(pa.layout().signed_(out[2].addr));
+    EXPECT_EQ(pa.layout().strip(out[2].addr), 0x20001000u);
+    EXPECT_EQ(out[2].size, 64u);
+}
+
+TEST_F(AosPipelineTest, FreeLoweredPerFig7b)
+{
+    const auto out = lower({op(OpKind::kMallocMark, 0, 0x20001000, 64),
+                            op(OpKind::kFreeMark, 0, 0x20001000)});
+    // ... free marker ; bndclr ; xpacm ; pacma(re-sign)
+    const std::vector<OpKind> expect{
+        OpKind::kMallocMark, OpKind::kPacma, OpKind::kBndstr,
+        OpKind::kFreeMark, OpKind::kBndclr, OpKind::kXpacm,
+        OpKind::kPacma};
+    EXPECT_EQ(kinds(out), expect);
+    // bndclr targets the same signed pointer pacma produced.
+    EXPECT_EQ(out[4].addr, out[2].addr);
+}
+
+TEST_F(AosPipelineTest, HeapAccessesGetSigned)
+{
+    const auto out = lower({op(OpKind::kMallocMark, 0, 0x20001000, 64),
+                            op(OpKind::kLoad, 0x20001010, 0x20001000),
+                            op(OpKind::kStore, 0x20001020, 0x20001000)});
+    const auto &load = out[3];
+    const auto &store = out[4];
+    ASSERT_EQ(load.kind, OpKind::kLoad);
+    EXPECT_TRUE(pa.layout().signed_(load.addr));
+    EXPECT_EQ(pa.layout().strip(load.addr), 0x20001010u);
+    EXPECT_TRUE(pa.layout().signed_(store.addr));
+    // PAC of interior pointers equals the chunk's PAC (propagation by
+    // pointer arithmetic).
+    EXPECT_EQ(pa.layout().pac(load.addr), pa.layout().pac(store.addr));
+}
+
+TEST_F(AosPipelineTest, NonHeapAccessesStayUnsigned)
+{
+    const auto out = lower({op(OpKind::kLoad, 0x00601000)});
+    EXPECT_FALSE(pa.layout().signed_(out[0].addr));
+}
+
+TEST_F(AosPipelineTest, AccessAfterFreeStillSigned)
+{
+    // After free, the program's pointer is re-signed (locked): a UAF
+    // access still carries a PAC so the MCU will check (and fail) it.
+    const auto out = lower({op(OpKind::kMallocMark, 0, 0x20001000, 64),
+                            op(OpKind::kFreeMark, 0, 0x20001000),
+                            op(OpKind::kLoad, 0x20001010, 0x20001000)});
+    const auto &uaf = out.back();
+    ASSERT_EQ(uaf.kind, OpKind::kLoad);
+    EXPECT_TRUE(pa.layout().signed_(uaf.addr));
+}
+
+TEST_F(AosPipelineTest, ReuseOfChunkGetsFreshSigning)
+{
+    const auto out = lower({op(OpKind::kMallocMark, 0, 0x20001000, 64),
+                            op(OpKind::kFreeMark, 0, 0x20001000),
+                            op(OpKind::kMallocMark, 0, 0x20001000, 32),
+                            op(OpKind::kLoad, 0x20001008, 0x20001000)});
+    const auto &load = out.back();
+    EXPECT_TRUE(pa.layout().signed_(load.addr));
+    // Same base and modifier -> same PAC, but AHC reflects new size.
+    EXPECT_EQ(pa.layout().ahc(load.addr),
+              pa.layout().computeAhc(0x20001000, 32));
+}
+
+TEST(PaPass, SignsCallsAndAuthenticatesReturns)
+{
+    ir::VectorStream source({op(OpKind::kCall), op(OpKind::kIntAlu),
+                             op(OpKind::kRet)});
+    PaPass pass(&source, PaMode::kPaOnly);
+    const auto out = kinds(drain(pass));
+    const std::vector<OpKind> expect{OpKind::kCall, OpKind::kPacia,
+                                     OpKind::kIntAlu, OpKind::kAutia,
+                                     OpKind::kRet};
+    EXPECT_EQ(out, expect);
+}
+
+TEST(PaPass, OnLoadAuthForPointerLoads)
+{
+    MicroOp ptr_load = op(OpKind::kLoad, 0x20001000);
+    ptr_load.loadsPointer = true;
+    ir::VectorStream source({ptr_load, op(OpKind::kLoad, 0x20002000)});
+    PaPass pass(&source, PaMode::kPaOnly);
+    const auto out = kinds(drain(pass));
+    const std::vector<OpKind> expect{OpKind::kLoad, OpKind::kAutia,
+                                     OpKind::kLoad};
+    EXPECT_EQ(out, expect);
+}
+
+TEST(PaPass, PaAosUsesCheapAutm)
+{
+    // Fig. 13: AOS pointers are authenticated with autm, not autia.
+    MicroOp ptr_load = op(OpKind::kLoad, 0x20001000);
+    ptr_load.loadsPointer = true;
+    ir::VectorStream source({ptr_load});
+    PaPass pass(&source, PaMode::kPaAos);
+    const auto out = kinds(drain(pass));
+    const std::vector<OpKind> expect{OpKind::kLoad, OpKind::kAutm};
+    EXPECT_EQ(out, expect);
+}
+
+TEST(WatchdogPass, ChecksEveryMemoryAccess)
+{
+    ir::VectorStream source({op(OpKind::kLoad, 0x00601000),
+                             op(OpKind::kStore, 0x00602000)});
+    WatchdogPass pass(&source);
+    const auto out = kinds(drain(pass));
+    const std::vector<OpKind> expect{OpKind::kWdCheck, OpKind::kLoad,
+                                     OpKind::kWdCheck, OpKind::kStore};
+    EXPECT_EQ(out, expect);
+}
+
+TEST(WatchdogPass, HeapAccessLoadsLockLocation)
+{
+    ir::VectorStream source({op(OpKind::kLoad, 0x20001010, 0x20001000)});
+    WatchdogPass pass(&source);
+    const auto out = drain(pass);
+    ASSERT_EQ(out.size(), 3u);
+    EXPECT_EQ(out[0].kind, OpKind::kWdCheck);
+    EXPECT_EQ(out[1].kind, OpKind::kWdMetaLoad);
+    EXPECT_GE(out[1].addr, 0x5000'0000'0000ull);
+    EXPECT_EQ(out[2].kind, OpKind::kLoad);
+}
+
+TEST(WatchdogPass, LockCacheFiltersRepeatedChecks)
+{
+    std::vector<MicroOp> input;
+    for (int i = 0; i < 10; ++i)
+        input.push_back(op(OpKind::kLoad, 0x20001010, 0x20001000));
+    ir::VectorStream source(std::move(input));
+    WatchdogPass pass(&source);
+    unsigned meta_loads = 0;
+    for (const auto &o : drain(pass))
+        meta_loads += o.kind == OpKind::kWdMetaLoad;
+    EXPECT_EQ(meta_loads, 1u) << "only the first check misses the cache";
+}
+
+TEST(WatchdogPass, MallocFreeManageMetadata)
+{
+    ir::VectorStream source({op(OpKind::kMallocMark, 0, 0x20001000, 64),
+                             op(OpKind::kFreeMark, 0, 0x20001000)});
+    WatchdogPass pass(&source);
+    unsigned meta_stores = 0;
+    for (const auto &o : drain(pass))
+        meta_stores += o.kind == OpKind::kWdMetaStore;
+    EXPECT_EQ(meta_stores, 3u) << "setid (2) + lock invalidation (1)";
+}
+
+TEST(WatchdogPass, PropagatesPointerArithmetic)
+{
+    MicroOp arith = op(OpKind::kIntAlu);
+    arith.isPtrArith = true;
+    ir::VectorStream source({arith, op(OpKind::kIntAlu)});
+    WatchdogPass pass(&source);
+    const auto out = kinds(drain(pass));
+    const std::vector<OpKind> expect{OpKind::kIntAlu, OpKind::kWdPropagate,
+                                     OpKind::kIntAlu};
+    EXPECT_EQ(out, expect);
+}
+
+TEST(OpCounter, CountsFig16Categories)
+{
+    pa::PointerLayout layout(16, 46);
+    const Addr signed_addr = layout.compose(0x20001000, 5, 1);
+    ir::VectorStream source(
+        {op(OpKind::kLoad, 0x00601000), op(OpKind::kLoad, signed_addr),
+         op(OpKind::kStore, signed_addr), op(OpKind::kBndstr, signed_addr),
+         op(OpKind::kPacma, signed_addr), op(OpKind::kXpacm, signed_addr),
+         op(OpKind::kBranch), op(OpKind::kWdCheck)});
+    OpCounter counter(&source, layout);
+    drain(counter);
+    const auto &mix = counter.mix();
+    EXPECT_EQ(mix.total, 8u);
+    EXPECT_EQ(mix.unsignedLoads, 1u);
+    EXPECT_EQ(mix.signedLoads, 1u);
+    EXPECT_EQ(mix.signedStores, 1u);
+    EXPECT_EQ(mix.boundsOps, 1u);
+    EXPECT_EQ(mix.pacOps, 2u);
+    EXPECT_EQ(mix.branches, 1u);
+    EXPECT_EQ(mix.wdOps, 1u);
+}
+
+TEST(AsanPass, InstrumentsEveryMemoryAccess)
+{
+    ir::VectorStream source({op(OpKind::kLoad, 0x20001000),
+                             op(OpKind::kIntAlu),
+                             op(OpKind::kStore, 0x20002000)});
+    AsanPass pass(&source);
+    const auto out = kinds(drain(pass));
+    const std::vector<OpKind> expect{
+        OpKind::kLoad, OpKind::kBranch, OpKind::kLoad,  // shadow+cmp+ld
+        OpKind::kIntAlu,
+        OpKind::kLoad, OpKind::kBranch, OpKind::kStore};
+    EXPECT_EQ(out, expect);
+}
+
+TEST(AsanPass, ShadowAddressIsOneEighthScale)
+{
+    ir::VectorStream source({op(OpKind::kLoad, 0x20001000),
+                             op(OpKind::kLoad, 0x20001007)});
+    AsanPass pass(&source);
+    const auto out = drain(pass);
+    ASSERT_EQ(out.size(), 6u);
+    // Addresses within the same 8-byte granule share one shadow byte.
+    EXPECT_EQ(out[0].addr, out[3].addr);
+    EXPECT_GE(out[0].addr, 0x1000'0000'0000ull);
+    // The next granule gets the next shadow byte.
+    ir::VectorStream source2({op(OpKind::kLoad, 0x20001008)});
+    AsanPass pass2(&source2);
+    const auto out2 = drain(pass2);
+    EXPECT_EQ(out2[0].addr, out[0].addr + 1);
+}
+
+TEST(AsanPass, MallocPoisonsRedzones)
+{
+    ir::VectorStream source({op(OpKind::kMallocMark, 0, 0x20001000, 64),
+                             op(OpKind::kFreeMark, 0, 0x20001000)});
+    AsanPass pass(&source);
+    unsigned shadow_stores = 0;
+    for (const auto &o : drain(pass))
+        shadow_stores += o.kind == OpKind::kStore;
+    EXPECT_GE(shadow_stores, 6u) << "redzone poison + unpoison + free";
+}
+
+TEST(PassManager, ChainsPassesInOrder)
+{
+    ir::VectorStream source({op(OpKind::kMallocMark, 0, 0x20001000, 64)});
+    PassManager manager(&source);
+    manager.add<AosOptPass>();
+    pa::PaContext pa(pa::PointerLayout(16, 46));
+    manager.add<AosBackendPass>(&pa);
+    auto *counter =
+        manager.add<OpCounter>(pa::PointerLayout(16, 46));
+    MicroOp next;
+    unsigned count = 0;
+    while (manager.next(next))
+        ++count;
+    EXPECT_EQ(count, 3u); // marker + pacma + bndstr
+    EXPECT_EQ(counter->mix().boundsOps, 1u);
+    EXPECT_EQ(counter->mix().pacOps, 1u);
+}
+
+} // namespace
+} // namespace aos::compiler

@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Unit tests for the AHC/PAC/VA pointer layout and Algorithm 1.
+ */
+
+#include <gtest/gtest.h>
+
+#include "pa/pointer_layout.hh"
+
+namespace aos::pa {
+namespace {
+
+TEST(PointerLayout, DefaultGeometry)
+{
+    PointerLayout layout;
+    EXPECT_EQ(layout.pacSize(), 16u);
+    EXPECT_EQ(layout.vaSize(), 46u);
+    EXPECT_EQ(layout.pacSpace(), u64{1} << 16);
+}
+
+TEST(PointerLayout, ComposeAndExtract)
+{
+    PointerLayout layout;
+    const Addr raw = 0x20000010ull;
+    const Addr ptr = layout.compose(raw, 0xabcd, 2);
+    EXPECT_EQ(layout.strip(ptr), raw);
+    EXPECT_EQ(layout.pac(ptr), 0xabcdu);
+    EXPECT_EQ(layout.ahc(ptr), 2u);
+    EXPECT_TRUE(layout.signed_(ptr));
+    EXPECT_FALSE(layout.signed_(raw));
+}
+
+TEST(PointerLayout, StripClearsAllMetadata)
+{
+    PointerLayout layout;
+    const Addr ptr = layout.compose(0x123456789a0ull, 0xffff, 3);
+    EXPECT_EQ(layout.strip(ptr), 0x123456789a0ull);
+    EXPECT_EQ(layout.ahc(layout.strip(ptr)), 0u);
+    EXPECT_EQ(layout.pac(layout.strip(ptr)), 0u);
+}
+
+TEST(PointerLayout, PointerArithmeticPreservesMetadata)
+{
+    // Adding an in-object offset must not disturb PAC/AHC — the
+    // property that eliminates metadata propagation instructions.
+    PointerLayout layout;
+    const Addr ptr = layout.compose(0x20000000ull, 0x1234, 1);
+    const Addr elem = ptr + 40;
+    EXPECT_EQ(layout.pac(elem), 0x1234u);
+    EXPECT_EQ(layout.ahc(elem), 1u);
+    EXPECT_EQ(layout.strip(elem), 0x20000028ull);
+}
+
+TEST(PointerLayout, NarrowAndWidePacSizes)
+{
+    // The architected range is 11..32 bits depending on the VA scheme.
+    for (unsigned pac_bits : {11u, 16u, 24u, 32u}) {
+        PointerLayout layout(pac_bits, 30);
+        const Addr ptr = layout.compose(0x1000, (u64{1} << pac_bits) - 1,
+                                        3);
+        EXPECT_EQ(layout.pac(ptr), (u64{1} << pac_bits) - 1);
+        EXPECT_EQ(layout.strip(ptr), 0x1000u);
+    }
+}
+
+TEST(Ahc, SmallMediumLargeClasses)
+{
+    PointerLayout layout;
+    // A 64-byte-aligned small object: all address bits above bit 6
+    // invariant -> class 1.
+    EXPECT_EQ(layout.computeAhc(0x20000000, 64), 1u);
+    EXPECT_EQ(layout.computeAhc(0x20000000, 32), 1u);
+    // ~256-byte object aligned within a 1 KB line window -> class 2.
+    EXPECT_EQ(layout.computeAhc(0x20000000, 256), 2u);
+    // Large object -> class 3.
+    EXPECT_EQ(layout.computeAhc(0x20000000, 4096), 3u);
+}
+
+TEST(Ahc, StraddlingObjectsFallIntoLargerClass)
+{
+    PointerLayout layout;
+    // 64 bytes starting at offset 0x20 crosses a 128-byte boundary but
+    // stays within bits [9:7] -> still class 2, not 1.
+    EXPECT_EQ(layout.computeAhc(0x20000060, 64), 2u);
+    // 200 bytes near the top of a 1 KB region crosses bit 10 -> 3.
+    EXPECT_EQ(layout.computeAhc(0x200003c0, 200), 3u);
+}
+
+TEST(Ahc, NeverZero)
+{
+    PointerLayout layout;
+    // Including the degenerate xzr (size 0) re-sign after free().
+    for (u64 size : {u64{0}, u64{1}, u64{16}, u64{100}, u64{1} << 20}) {
+        for (Addr addr : {Addr{0x20000000}, Addr{0x2ffffff0},
+                          Addr{0x100000000ull}}) {
+            EXPECT_NE(layout.computeAhc(addr, size), 0u)
+                << "addr " << addr << " size " << size;
+        }
+    }
+}
+
+TEST(Ahc, SizeZeroUsesPrecedingBlock)
+{
+    PointerLayout layout;
+    // addr ^ (addr - 1): alignment of the address drives the class.
+    EXPECT_EQ(layout.computeAhc(0x20000008, 0), 1u);
+    EXPECT_EQ(layout.computeAhc(0x20000400, 0), 3u);
+}
+
+TEST(PointerLayoutDeath, RejectsOverflowingGeometry)
+{
+    // 2 (AHC) + 33 (PAC) would exceed the architected 32-bit cap.
+    EXPECT_DEATH(PointerLayout(33, 29), "");
+    // 2 + 32 + 31 > 64.
+    EXPECT_DEATH(PointerLayout(32, 31), "");
+    EXPECT_DEATH(PointerLayout(0, 46), "");
+}
+
+} // namespace
+} // namespace aos::pa

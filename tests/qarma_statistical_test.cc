@@ -1,0 +1,132 @@
+/**
+ * @file
+ * Statistical tests of QARMA-64 as a PAC generator: the properties
+ * SVI actually relies on (uniformity over the truncated output,
+ * per-bit balance, independence from allocator address patterns).
+ */
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "alloc/heap_allocator.hh"
+#include "common/random.hh"
+#include "qarma/qarma64.hh"
+
+namespace aos::qarma {
+namespace {
+
+constexpr Key128 kKey{0x84be85ce9804e94bull, 0xec2802d4e0a488e9ull};
+constexpr u64 kContext = 0x477d469dec0b8762ull;
+
+TEST(QarmaStats, CiphertextBitsAreBalanced)
+{
+    // Over sequential plaintexts, every ciphertext bit should be set
+    // ~50% of the time.
+    const Qarma64 cipher(Sbox::kSigma1, 7);
+    constexpr int kN = 8192;
+    int counts[64] = {};
+    for (int i = 0; i < kN; ++i) {
+        const u64 ct = cipher.encrypt(0x20000000 + i * 16, kContext, kKey);
+        for (int b = 0; b < 64; ++b)
+            counts[b] += (ct >> b) & 1;
+    }
+    for (int b = 0; b < 64; ++b) {
+        EXPECT_NEAR(static_cast<double>(counts[b]) / kN, 0.5, 0.05)
+            << "bit " << b;
+    }
+}
+
+TEST(QarmaStats, TruncatedPacUniformityChiSquare)
+{
+    // 16-bit PAC buckets over 2^18 sequential allocator-like inputs:
+    // chi-square against uniform must be unremarkable.
+    const Qarma64 cipher(Sbox::kSigma1, 7);
+    constexpr u64 kBuckets = 1 << 12; // 12-bit PACs for test speed
+    constexpr u64 kSamples = u64{1} << 18;
+    std::vector<u64> hist(kBuckets, 0);
+    for (u64 i = 0; i < kSamples; ++i) {
+        const u64 ct =
+            cipher.encrypt(0x20000000 + i * 16, kContext, kKey);
+        ++hist[ct & (kBuckets - 1)];
+    }
+    const double expected =
+        static_cast<double>(kSamples) / static_cast<double>(kBuckets);
+    double chi2 = 0;
+    for (const u64 observed : hist) {
+        const double d = static_cast<double>(observed) - expected;
+        chi2 += d * d / expected;
+    }
+    // Degrees of freedom = 4095; mean 4095, stdev ~ sqrt(2*4095) ~ 90.
+    // Accept within ~5 sigma.
+    EXPECT_GT(chi2, 4095.0 - 450.0);
+    EXPECT_LT(chi2, 4095.0 + 450.0);
+}
+
+TEST(QarmaStats, AlignedAddressesDoNotBiasLowPacBits)
+{
+    // malloc() returns 16-aligned addresses: the four zero input bits
+    // must not leak structure into the PAC's low bits.
+    const Qarma64 cipher(Sbox::kSigma1, 7);
+    constexpr int kN = 1 << 14;
+    int low_bit = 0;
+    for (int i = 0; i < kN; ++i) {
+        const u64 ct =
+            cipher.encrypt(0x30000000 + static_cast<u64>(i) * 16, kContext, kKey);
+        low_bit += ct & 1;
+    }
+    EXPECT_NEAR(static_cast<double>(low_bit) / kN, 0.5, 0.03);
+}
+
+TEST(QarmaStats, RealAllocatorStreamLooksUniform)
+{
+    // End to end with the actual allocator (mixed sizes, reuse): the
+    // per-row occupancy must match Poisson, as in Fig. 11.
+    const Qarma64 cipher(Sbox::kSigma1, 7);
+    alloc::HeapAllocator heap;
+    Rng rng(0x57a7);
+    constexpr u64 kBuckets = 1 << 10;
+    constexpr u64 kSamples = 1 << 16; // lambda = 64
+    std::vector<u64> hist(kBuckets, 0);
+    for (u64 i = 0; i < kSamples; ++i) {
+        const Addr p = heap.malloc(16 + rng.below(2048));
+        ASSERT_NE(p, 0u);
+        ++hist[cipher.encrypt(p, kContext, kKey) & (kBuckets - 1)];
+    }
+    double mean = 0, m2 = 0;
+    for (const u64 h : hist)
+        mean += static_cast<double>(h);
+    mean /= kBuckets;
+    for (const u64 h : hist) {
+        const double d = static_cast<double>(h) - mean;
+        m2 += d * d;
+    }
+    const double stdev = std::sqrt(m2 / kBuckets);
+    EXPECT_NEAR(mean, 64.0, 0.01);
+    // Poisson(64): sigma = 8.
+    EXPECT_NEAR(stdev, 8.0, 1.6);
+}
+
+TEST(QarmaStats, DifferentInstancesDecorrelate)
+{
+    // sigma0/sigma1/sigma2 and different round counts must produce
+    // unrelated streams for the same inputs.
+    const Qarma64 a(Sbox::kSigma1, 7);
+    const Qarma64 b(Sbox::kSigma2, 7);
+    const Qarma64 c(Sbox::kSigma1, 5);
+    int same_ab = 0, same_ac = 0;
+    constexpr int kN = 4096;
+    for (int i = 0; i < kN; ++i) {
+        const u64 x = 0x20000000 + static_cast<u64>(i) * 16;
+        const u64 ca = a.encrypt(x, kContext, kKey) & 0xffff;
+        same_ab += ca == (b.encrypt(x, kContext, kKey) & 0xffff);
+        same_ac += ca == (c.encrypt(x, kContext, kKey) & 0xffff);
+    }
+    // Chance collisions only: ~ kN / 65536 ~ 0.06 expected.
+    EXPECT_LT(same_ab, 5);
+    EXPECT_LT(same_ac, 5);
+}
+
+} // namespace
+} // namespace aos::qarma

@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Unit tests for the xoshiro256** generator.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/random.hh"
+
+namespace aos {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed)
+{
+    Rng a(42), b(42);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 100; ++i) {
+        if (a.next() == b.next())
+            ++same;
+    }
+    EXPECT_LT(same, 2);
+}
+
+TEST(Rng, NameSeedingIsStable)
+{
+    Rng a(std::string_view("gcc")), b(std::string_view("gcc"));
+    Rng c(std::string_view("mcf"));
+    EXPECT_EQ(a.next(), b.next());
+    EXPECT_NE(a.next(), c.next());
+}
+
+TEST(Rng, BelowRespectsBound)
+{
+    Rng rng(7);
+    for (int i = 0; i < 10000; ++i)
+        EXPECT_LT(rng.below(17), 17u);
+}
+
+TEST(Rng, RangeInclusive)
+{
+    Rng rng(7);
+    bool saw_lo = false, saw_hi = false;
+    for (int i = 0; i < 10000; ++i) {
+        const u64 v = rng.range(3, 5);
+        EXPECT_GE(v, 3u);
+        EXPECT_LE(v, 5u);
+        saw_lo = saw_lo || v == 3;
+        saw_hi = saw_hi || v == 5;
+    }
+    EXPECT_TRUE(saw_lo);
+    EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, UniformInUnitInterval)
+{
+    Rng rng(9);
+    double sum = 0;
+    constexpr int kN = 100000;
+    for (int i = 0; i < kN; ++i) {
+        const double u = rng.uniform();
+        ASSERT_GE(u, 0.0);
+        ASSERT_LT(u, 1.0);
+        sum += u;
+    }
+    EXPECT_NEAR(sum / kN, 0.5, 0.01);
+}
+
+TEST(Rng, ChanceExtremes)
+{
+    Rng rng(11);
+    for (int i = 0; i < 1000; ++i) {
+        EXPECT_FALSE(rng.chance(0.0));
+        EXPECT_TRUE(rng.chance(1.0));
+    }
+}
+
+TEST(Rng, ChanceFrequency)
+{
+    Rng rng(13);
+    int hits = 0;
+    constexpr int kN = 100000;
+    for (int i = 0; i < kN; ++i)
+        hits += rng.chance(0.3);
+    EXPECT_NEAR(static_cast<double>(hits) / kN, 0.3, 0.02);
+}
+
+TEST(Rng, SkewedFavorsSmallValues)
+{
+    Rng rng(17);
+    constexpr u64 kBound = 1000;
+    u64 below_half = 0;
+    constexpr int kN = 100000;
+    for (int i = 0; i < kN; ++i) {
+        const u64 v = rng.skewed(kBound);
+        ASSERT_LT(v, kBound);
+        below_half += v < kBound / 2;
+    }
+    // Quadratic skew: P(v < n/2) = sqrt(1/2) ~ 0.707.
+    EXPECT_GT(static_cast<double>(below_half) / kN, 0.65);
+}
+
+TEST(Rng, SkewedDegenerateBounds)
+{
+    Rng rng(19);
+    EXPECT_EQ(rng.skewed(0), 0u);
+    EXPECT_EQ(rng.skewed(1), 0u);
+}
+
+TEST(Rng, BitUniformity)
+{
+    // Every output bit should be set roughly half the time.
+    Rng rng(23);
+    constexpr int kN = 20000;
+    int counts[64] = {};
+    for (int i = 0; i < kN; ++i) {
+        u64 v = rng.next();
+        for (int b = 0; b < 64; ++b)
+            counts[b] += (v >> b) & 1;
+    }
+    for (int b = 0; b < 64; ++b)
+        EXPECT_NEAR(static_cast<double>(counts[b]) / kN, 0.5, 0.03)
+            << "bit " << b;
+}
+
+} // namespace
+} // namespace aos

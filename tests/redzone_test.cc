@@ -1,0 +1,126 @@
+/**
+ * @file
+ * The trip-wire coverage gap (paper SI / SX), demonstrated: REST-style
+ * redzones catch adjacent overflows but structurally miss non-adjacent
+ * violations — the same probes AOS catches (security_test.cc).
+ */
+
+#include <gtest/gtest.h>
+
+#include "baselines/redzone_runtime.hh"
+#include "core/aos_runtime.hh"
+
+namespace aos::baselines {
+namespace {
+
+TEST(Redzone, AllocationsGetRedzonesOnBothSides)
+{
+    RedzoneRuntime rz;
+    const Addr p = rz.malloc(64);
+    ASSERT_NE(p, 0u);
+    EXPECT_EQ(rz.access(p), RedzoneStatus::kOk);
+    EXPECT_EQ(rz.access(p + 63), RedzoneStatus::kOk);
+    EXPECT_EQ(rz.access(p - 1), RedzoneStatus::kTripwire);
+    EXPECT_EQ(rz.access(p + 64), RedzoneStatus::kTripwire);
+    EXPECT_EQ(rz.access(p + 64 + 63), RedzoneStatus::kTripwire);
+}
+
+TEST(Redzone, AdjacentOverflowCaught)
+{
+    RedzoneRuntime rz;
+    const Addr buf = rz.malloc(64);
+    // A byte-by-byte overrun trips on the very first out-of-bounds
+    // byte — the case trip-wires are good at.
+    EXPECT_EQ(rz.access(buf + 64), RedzoneStatus::kTripwire);
+    EXPECT_EQ(rz.stats().tripwires, 1u);
+}
+
+TEST(Redzone, NonAdjacentViolationMissed)
+{
+    // THE structural gap (SI): an access that jumps over the redzone
+    // lands in plain memory and is not detected.
+    RedzoneRuntime rz;
+    const Addr buf = rz.malloc(64);
+    const Addr victim = rz.malloc(64);
+    // buf + large offset lands inside the *other* object's payload.
+    const Addr jump = victim + 8;
+    ASSERT_GT(jump, buf);
+    EXPECT_EQ(rz.access(jump), RedzoneStatus::kOk)
+        << "trip-wires cannot see this";
+}
+
+TEST(Redzone, SameProbeCaughtByAos)
+{
+    // The control: AOS detects the identical non-adjacent pattern
+    // because checking is bounds-based, not location-based.
+    core::AosRuntime rt;
+    const Addr buf = rt.malloc(64);
+    rt.malloc(64);
+    // Far out-of-bounds through buf's pointer.
+    EXPECT_EQ(rt.load(buf + 160), core::Status::kBoundsViolation);
+}
+
+TEST(Redzone, QuarantineGivesTemporalSafetyTemporarily)
+{
+    RedzoneRuntime rz(64, /*quarantine_depth=*/4);
+    const Addr p = rz.malloc(64);
+    ASSERT_EQ(rz.free(p), RedzoneStatus::kOk);
+    // While quarantined, the freed object is blacklisted: UAF caught.
+    EXPECT_EQ(rz.access(p), RedzoneStatus::kTripwire);
+    EXPECT_EQ(rz.stats().quarantined, 1u);
+}
+
+TEST(Redzone, QuarantineEvictionReopensTheWindow)
+{
+    // Once churned out of the quarantine, the stale pointer's memory
+    // is reusable and the UAF is silent — AOS needs no such pool
+    // because freed bounds simply stop existing (SIV-C).
+    RedzoneRuntime rz(64, /*quarantine_depth=*/1);
+    const Addr p = rz.malloc(64);
+    rz.free(p);
+    // One more free pushes p out of the 1-deep quarantine...
+    rz.free(rz.malloc(512));
+    // ...so p's block is back on the free list and the next same-size
+    // allocation lands exactly there:
+    const Addr victim = rz.malloc(64);
+    ASSERT_EQ(victim, p);
+    // The stale pointer now reads the new owner's data with no
+    // detection: the reopened UAF window.
+    EXPECT_EQ(rz.access(p), RedzoneStatus::kOk)
+        << "UAF detection lapsed after quarantine eviction";
+}
+
+TEST(Redzone, AosTemporalSafetyDoesNotLapse)
+{
+    core::AosRuntime rt;
+    const Addr p = rt.malloc(64);
+    rt.free(p);
+    // Arbitrary later churn (different size class: no reuse of p).
+    for (int i = 0; i < 64; ++i)
+        rt.free(rt.malloc(512));
+    EXPECT_EQ(rt.load(p), core::Status::kBoundsViolation);
+}
+
+TEST(Redzone, InvalidFreeRejected)
+{
+    RedzoneRuntime rz;
+    rz.malloc(64);
+    EXPECT_EQ(rz.free(0x1234560), RedzoneStatus::kInvalidFree);
+}
+
+TEST(Redzone, MemoryOverheadTracked)
+{
+    RedzoneRuntime rz(64, 8);
+    for (int i = 0; i < 10; ++i)
+        rz.malloc(32);
+    // Two 64-byte zones per 32-byte object: 4x blacklist overhead.
+    EXPECT_EQ(rz.stats().redzoneBytes, 10u * 128);
+}
+
+TEST(RedzoneDeath, ZeroRedzoneRejected)
+{
+    EXPECT_DEATH(RedzoneRuntime(0, 8), "");
+}
+
+} // namespace
+} // namespace aos::baselines

@@ -1,0 +1,192 @@
+/**
+ * @file
+ * Integration tests for the full timing stack (AosSystem): all five
+ * configurations run real workload profiles end to end, and the
+ * first-order relationships the paper reports must hold.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hh"
+#include "core/aos_system.hh"
+
+namespace aos::core {
+namespace {
+
+using baselines::Mechanism;
+using baselines::SystemOptions;
+
+class SystemTest : public ::testing::Test
+{
+  protected:
+    static void SetUpTestSuite() { setQuiet(true); }
+
+    RunResult
+    runOne(const std::string &workload, Mechanism mech, u64 ops = 60000)
+    {
+        SystemOptions options;
+        options.mech = mech;
+        options.measureOps = ops;
+        AosSystem system(workloads::profileByName(workload), options);
+        return system.run();
+    }
+};
+
+TEST_F(SystemTest, BaselineRunsToCompletion)
+{
+    const RunResult r = runOne("namd", Mechanism::kBaseline);
+    EXPECT_GE(r.mix.total, 60000u);
+    EXPECT_GT(r.core.cycles, 0u);
+    EXPECT_GT(r.core.ipc(), 0.1);
+    EXPECT_EQ(r.mcuStats.checkedOps, 0u);
+}
+
+TEST_F(SystemTest, EveryMechanismCompletesEveryTinyRun)
+{
+    for (const char *name : {"mcf", "sjeng", "milc"}) {
+        for (Mechanism mech :
+             {Mechanism::kBaseline, Mechanism::kWatchdog, Mechanism::kPa,
+              Mechanism::kAos, Mechanism::kPaAos}) {
+            const RunResult r = runOne(name, mech, 20000);
+            EXPECT_GT(r.core.committed, 0u)
+                << name << "/" << baselines::mechanismName(mech);
+        }
+    }
+}
+
+TEST_F(SystemTest, InstrumentationAddsOpsAosRunsSameWork)
+{
+    const RunResult base = runOne("hmmer", Mechanism::kBaseline);
+    const RunResult aos = runOne("hmmer", Mechanism::kAos);
+    // Same program work (source-op bound), more committed micro-ops.
+    EXPECT_GT(aos.core.committed, base.core.committed);
+    // AOS instrumentation present: bounds ops and pac ops.
+    EXPECT_GT(aos.mix.boundsOps, 0u);
+    EXPECT_GT(aos.mix.pacOps, 0u);
+    EXPECT_EQ(base.mix.boundsOps, 0u);
+}
+
+TEST_F(SystemTest, AosChecksSignedAccessesOnly)
+{
+    const RunResult r = runOne("hmmer", Mechanism::kAos);
+    EXPECT_GT(r.mcuStats.checkedOps, 0u);
+    EXPECT_GT(r.mcuStats.uncheckedOps, 0u);
+    // hmmer: almost all data accesses go through signed pointers.
+    EXPECT_GT(r.mix.signedLoads + r.mix.signedStores,
+              (r.mix.unsignedLoads + r.mix.unsignedStores) / 2);
+    // No violations in a benign workload.
+    EXPECT_EQ(r.violations, 0u);
+    EXPECT_EQ(r.mcuStats.boundsFailures, 0u);
+}
+
+TEST_F(SystemTest, BaselineHasNoSignedAccesses)
+{
+    const RunResult r = runOne("hmmer", Mechanism::kBaseline);
+    EXPECT_EQ(r.mix.signedLoads, 0u);
+    EXPECT_EQ(r.mix.signedStores, 0u);
+}
+
+TEST_F(SystemTest, WatchdogAddsCheckMicroOps)
+{
+    const RunResult r = runOne("hmmer", Mechanism::kWatchdog);
+    EXPECT_GT(r.mix.wdOps, 0u);
+    // Dynamic instruction inflation in the paper's reported ballpark
+    // (+29..44% for check-heavy workloads).
+    const double inflation =
+        static_cast<double>(r.mix.total) / 60000.0;
+    EXPECT_GT(inflation, 1.2);
+    EXPECT_LT(inflation, 2.0);
+}
+
+TEST_F(SystemTest, PaSignsCallsAndPointerLoads)
+{
+    const RunResult r = runOne("povray", Mechanism::kPa);
+    EXPECT_GT(r.mix.pacOps, 0u);
+    EXPECT_EQ(r.mix.boundsOps, 0u);
+}
+
+TEST_F(SystemTest, PaAosCombinesBoth)
+{
+    const RunResult r = runOne("povray", Mechanism::kPaAos);
+    EXPECT_GT(r.mix.boundsOps, 0u);
+    EXPECT_GT(r.mix.pacOps, r.mix.boundsOps)
+        << "pacma/pacia/autm should outnumber bndstr/bndclr";
+    EXPECT_GE(r.core.cycles, runOne("povray", Mechanism::kAos).core.cycles)
+        << "PA+AOS adds overhead on top of AOS";
+}
+
+TEST_F(SystemTest, AosSlowerThanBaselineOnCheckedWorkload)
+{
+    const RunResult base = runOne("hmmer", Mechanism::kBaseline, 100000);
+    const RunResult aos = runOne("hmmer", Mechanism::kAos, 100000);
+    EXPECT_GT(aos.core.cycles, base.core.cycles);
+    // And within sanity: well under the Watchdog-class blowup.
+    EXPECT_LT(static_cast<double>(aos.core.cycles) / base.core.cycles,
+              2.0);
+}
+
+TEST_F(SystemTest, AosAddsNetworkTraffic)
+{
+    const RunResult base = runOne("gcc", Mechanism::kBaseline);
+    const RunResult aos = runOne("gcc", Mechanism::kAos);
+    EXPECT_GT(aos.networkTraffic, base.networkTraffic);
+}
+
+TEST_F(SystemTest, BwbGetsExercised)
+{
+    const RunResult r = runOne("hmmer", Mechanism::kAos);
+    EXPECT_GT(r.bwb.hits + r.bwb.misses, 0u);
+}
+
+TEST_F(SystemTest, L1bOffPollutesDataCache)
+{
+    SystemOptions with_b;
+    with_b.mech = Mechanism::kAos;
+    with_b.measureOps = 60000;
+    SystemOptions no_b = with_b;
+    no_b.useL1B = false;
+
+    AosSystem sys_with(workloads::profileByName("gcc"), with_b);
+    const RunResult r_with = sys_with.run();
+    const u64 l1d_misses_with = sys_with.memory().l1d().stats().misses;
+
+    AosSystem sys_without(workloads::profileByName("gcc"), no_b);
+    const RunResult r_without = sys_without.run();
+    const u64 l1d_misses_without =
+        sys_without.memory().l1d().stats().misses;
+
+    EXPECT_GT(l1d_misses_without, l1d_misses_with);
+    EXPECT_GE(r_without.core.cycles * 101 / 100, r_with.core.cycles)
+        << "removing the L1-B should generally not help";
+    (void)r_with;
+    (void)r_without;
+}
+
+TEST_F(SystemTest, MallocHeavyWorkloadPopulatesHbt)
+{
+    const RunResult r = runOne("sphinx3", Mechanism::kAos, 30000);
+    EXPECT_GT(r.hbt.inserts, 0u);
+    EXPECT_GT(r.hbt.clears, 0u);
+    EXPECT_GT(r.hbt.occupied, 0u);
+}
+
+TEST_F(SystemTest, LargeLiveSetTriggersGradualResize)
+{
+    // omnetpp's scaled 700K live objects exceed the 512K-record
+    // initial table: warmup must resize it, as in SIX-A.1.
+    const RunResult r = runOne("omnetpp", Mechanism::kAos, 20000);
+    EXPECT_GE(r.hbt.resizes, 1u);
+    EXPECT_GE(r.hbt.occupied, 600000u);
+}
+
+TEST_F(SystemTest, DeterministicAcrossRuns)
+{
+    const RunResult a = runOne("gobmk", Mechanism::kAos);
+    const RunResult b = runOne("gobmk", Mechanism::kAos);
+    EXPECT_EQ(a.core.cycles, b.core.cycles);
+    EXPECT_EQ(a.core.committed, b.core.committed);
+    EXPECT_EQ(a.networkTraffic, b.networkTraffic);
+}
+
+} // namespace
+} // namespace aos::core

@@ -1,0 +1,130 @@
+/**
+ * @file
+ * Tests for micro-op trace recording and replay.
+ */
+
+#include <cstdio>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "ir/trace.hh"
+#include "workloads/synthetic_workload.hh"
+
+namespace aos::ir {
+namespace {
+
+class TraceTest : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        _path = std::string(::testing::TempDir()) + "/aos_trace_" +
+                ::testing::UnitTest::GetInstance()
+                    ->current_test_info()
+                    ->name() +
+                ".trc";
+    }
+
+    void TearDown() override { std::remove(_path.c_str()); }
+
+    std::string _path;
+};
+
+MicroOp
+sampleOp(unsigned i)
+{
+    MicroOp op;
+    op.kind = static_cast<OpKind>(i % 8);
+    op.addr = 0x20000000 + i * 8;
+    op.chunkBase = i % 3 ? 0x20000000 : 0;
+    op.size = 8 + (i % 4) * 8;
+    op.taken = i % 2;
+    op.isPtrArith = i % 5 == 0;
+    op.loadsPointer = i % 7 == 0;
+    op.branchId = i;
+    return op;
+}
+
+TEST_F(TraceTest, RoundTripPreservesEveryField)
+{
+    {
+        TraceWriter writer(_path);
+        for (unsigned i = 0; i < 500; ++i)
+            writer.write(sampleOp(i));
+        EXPECT_EQ(writer.count(), 500u);
+    }
+    TraceReader reader(_path);
+    MicroOp op;
+    for (unsigned i = 0; i < 500; ++i) {
+        ASSERT_TRUE(reader.next(op)) << i;
+        const MicroOp want = sampleOp(i);
+        EXPECT_EQ(op.kind, want.kind);
+        EXPECT_EQ(op.addr, want.addr);
+        EXPECT_EQ(op.chunkBase, want.chunkBase);
+        EXPECT_EQ(op.size, want.size);
+        EXPECT_EQ(op.taken, want.taken);
+        EXPECT_EQ(op.isPtrArith, want.isPtrArith);
+        EXPECT_EQ(op.loadsPointer, want.loadsPointer);
+        EXPECT_EQ(op.branchId, want.branchId);
+    }
+    EXPECT_FALSE(reader.next(op)) << "stream must end cleanly";
+}
+
+TEST_F(TraceTest, EmptyTraceEndsImmediately)
+{
+    {
+        TraceWriter writer(_path);
+    }
+    TraceReader reader(_path);
+    MicroOp op;
+    EXPECT_FALSE(reader.next(op));
+}
+
+TEST_F(TraceTest, RecordingStreamTeesWithoutAltering)
+{
+    workloads::SyntheticWorkload source(
+        workloads::profileByName("namd"), 2000);
+    {
+        TraceWriter writer(_path);
+        RecordingStream tee(&source, &writer);
+        MicroOp op;
+        while (tee.next(op)) {
+        }
+        EXPECT_GT(writer.count(), 2000u);
+    }
+
+    // Replaying must reproduce the generator byte for byte.
+    workloads::SyntheticWorkload fresh(
+        workloads::profileByName("namd"), 2000);
+    TraceReader reader(_path);
+    MicroOp a, b;
+    while (true) {
+        const bool ha = fresh.next(a);
+        const bool hb = reader.next(b);
+        ASSERT_EQ(ha, hb);
+        if (!ha)
+            break;
+        ASSERT_EQ(a.kind, b.kind);
+        ASSERT_EQ(a.addr, b.addr);
+        ASSERT_EQ(a.chunkBase, b.chunkBase);
+    }
+}
+
+TEST_F(TraceTest, RejectsCorruptHeader)
+{
+    std::FILE *f = std::fopen(_path.c_str(), "wb");
+    ASSERT_NE(f, nullptr);
+    std::fputs("this is not a trace file at all", f);
+    std::fclose(f);
+    EXPECT_DEATH(TraceReader reader(_path), "not an AOS trace");
+}
+
+TEST_F(TraceTest, RejectsMissingFile)
+{
+    EXPECT_DEATH(TraceReader reader("/nonexistent/zzz.trc"), "cannot");
+}
+
+} // namespace
+} // namespace aos::ir

@@ -1,0 +1,259 @@
+/**
+ * @file
+ * Tests for the workload profiles, the synthetic generator and the
+ * Table II/III allocation replay.
+ */
+
+#include <map>
+
+#include <gtest/gtest.h>
+
+#include "workloads/alloc_replay.hh"
+#include "workloads/synthetic_workload.hh"
+#include "workloads/workload_profile.hh"
+
+namespace aos::workloads {
+namespace {
+
+TEST(Profiles, AllSixteenSpecBenchmarksPresent)
+{
+    const auto &profiles = specProfiles();
+    ASSERT_EQ(profiles.size(), 16u);
+    const char *expected[] = {
+        "bzip2", "gcc", "mcf", "milc", "namd", "gobmk", "soplex",
+        "povray", "hmmer", "sjeng", "libquantum", "h264ref", "lbm",
+        "omnetpp", "astar", "sphinx3"};
+    for (size_t i = 0; i < 16; ++i)
+        EXPECT_EQ(profiles[i].name, expected[i]);
+}
+
+TEST(Profiles, TableIIGroundTruthPreserved)
+{
+    // Spot-check the paper's Table II rows encoded in the profiles.
+    EXPECT_EQ(profileByName("gcc").fullAllocCalls, 1846825u);
+    EXPECT_EQ(profileByName("gcc").fullMaxActive, 81825u);
+    EXPECT_EQ(profileByName("mcf").fullAllocCalls, 8u);
+    EXPECT_EQ(profileByName("omnetpp").fullAllocCalls, 21244416u);
+    EXPECT_EQ(profileByName("omnetpp").fullMaxActive, 1993737u);
+    EXPECT_EQ(profileByName("sphinx3").fullDeallocCalls, 14024020u);
+    EXPECT_EQ(profileByName("sjeng").fullDeallocCalls, 2u);
+}
+
+TEST(Profiles, RealWorldTableIIIPresent)
+{
+    ASSERT_EQ(realWorldProfiles().size(), 6u);
+    EXPECT_EQ(profileByName("apache").fullMaxActive, 7592u);
+    EXPECT_EQ(profileByName("pbzip2").fullAllocCalls, 12425u);
+    EXPECT_EQ(profileByName("mysql").fullDeallocCalls, 28621u);
+}
+
+TEST(Profiles, UnknownNameDies)
+{
+    EXPECT_DEATH(profileByName("doom"), "unknown workload");
+}
+
+TEST(Profiles, MixesAreSane)
+{
+    for (const auto &p : specProfiles()) {
+        const unsigned total = p.loadPerMille + p.storePerMille +
+                               p.branchPerMille + p.fpPerMille +
+                               p.callPerMille;
+        EXPECT_LT(total, 1000u) << p.name;
+        EXPECT_GT(p.heapFraction, 0.0) << p.name;
+        EXPECT_LE(p.heapFraction, 1.0) << p.name;
+        EXPECT_GE(p.heapChunkMax, p.heapChunkMin) << p.name;
+        EXPECT_GT(p.targetActive, 0u) << p.name;
+    }
+}
+
+TEST(Synthetic, WarmupBuildsLiveSetThenMarksPhase)
+{
+    const auto &profile = profileByName("namd"); // 1316 active
+    SyntheticWorkload workload(profile);
+    ir::MicroOp op;
+    u64 guard = 0;
+    while (workload.next(op) && op.kind != ir::OpKind::kPhaseMark) {
+        ASSERT_LT(++guard, 1'000'000u) << "phase mark never arrived";
+    }
+    EXPECT_EQ(op.kind, ir::OpKind::kPhaseMark);
+    EXPECT_EQ(workload.allocator().liveCount(), profile.targetActive);
+}
+
+TEST(Synthetic, MeasureOpsBoundsTheStream)
+{
+    SyntheticWorkload workload(profileByName("namd"), 5000);
+    ir::MicroOp op;
+    bool in_measure = false;
+    u64 measured = 0;
+    while (workload.next(op)) {
+        if (op.kind == ir::OpKind::kPhaseMark) {
+            in_measure = true;
+            continue;
+        }
+        measured += in_measure;
+    }
+    // A multi-op event (malloc/free sequence) may straddle the bound;
+    // the stream ends at the first refill past the limit.
+    EXPECT_GE(measured, 5000u);
+    EXPECT_LE(measured, 5012u);
+}
+
+TEST(Synthetic, DeterministicForSameSeed)
+{
+    SyntheticWorkload a(profileByName("gobmk"), 2000);
+    SyntheticWorkload b(profileByName("gobmk"), 2000);
+    ir::MicroOp oa, ob;
+    while (true) {
+        const bool ha = a.next(oa);
+        const bool hb = b.next(ob);
+        ASSERT_EQ(ha, hb);
+        if (!ha)
+            break;
+        ASSERT_EQ(oa.kind, ob.kind);
+        ASSERT_EQ(oa.addr, ob.addr);
+        ASSERT_EQ(oa.taken, ob.taken);
+    }
+}
+
+TEST(Synthetic, SaltChangesTheStream)
+{
+    SyntheticWorkload a(profileByName("gobmk"), 2000, 1);
+    SyntheticWorkload b(profileByName("gobmk"), 2000, 2);
+    ir::MicroOp oa, ob;
+    unsigned diff = 0;
+    for (int i = 0; i < 500; ++i) {
+        if (!a.next(oa) || !b.next(ob))
+            break;
+        diff += oa.kind != ob.kind || oa.addr != ob.addr;
+    }
+    EXPECT_GT(diff, 0u);
+}
+
+TEST(Synthetic, MixApproximatesProfile)
+{
+    const auto &profile = profileByName("hmmer");
+    SyntheticWorkload workload(profile, 200000);
+    ir::MicroOp op;
+    bool in_measure = false;
+    std::map<ir::OpKind, u64> counts;
+    u64 total = 0;
+    while (workload.next(op)) {
+        if (op.kind == ir::OpKind::kPhaseMark) {
+            in_measure = true;
+            continue;
+        }
+        if (!in_measure)
+            continue;
+        ++counts[op.kind];
+        ++total;
+    }
+    const double loads =
+        static_cast<double>(counts[ir::OpKind::kLoad]) / total;
+    const double branches =
+        static_cast<double>(counts[ir::OpKind::kBranch]) / total;
+    EXPECT_NEAR(loads, profile.loadPerMille / 1000.0, 0.05);
+    EXPECT_NEAR(branches, profile.branchPerMille / 1000.0, 0.03);
+    EXPECT_GT(counts[ir::OpKind::kMallocMark], 0u);
+    EXPECT_GT(counts[ir::OpKind::kFreeMark], 0u);
+}
+
+TEST(Synthetic, HeapAccessesCarryChunkAnnotations)
+{
+    SyntheticWorkload workload(profileByName("hmmer"), 50000);
+    auto &heap = workload.allocator();
+    ir::MicroOp op;
+    bool in_measure = false;
+    u64 heap_ops = 0, checked = 0;
+    while (workload.next(op)) {
+        if (op.kind == ir::OpKind::kPhaseMark) {
+            in_measure = true;
+            continue;
+        }
+        if (!in_measure || op.kind != ir::OpKind::kLoad)
+            continue;
+        if (op.chunkBase != 0) {
+            ++heap_ops;
+            // The annotated chunk must exist and contain the address
+            // at generation time.
+            if (++checked <= 2000) {
+                ASSERT_TRUE(heap.inBounds(op.chunkBase, op.addr))
+                    << "generator produced an out-of-bounds access";
+            }
+        }
+    }
+    EXPECT_GT(heap_ops, 10000u) << "hmmer should be heap-dominated";
+}
+
+TEST(Synthetic, SteadyStateKeepsLiveSetNearTarget)
+{
+    const auto &profile = profileByName("povray");
+    SyntheticWorkload workload(profile, 300000);
+    ir::MicroOp op;
+    while (workload.next(op)) {
+    }
+    const u64 live = workload.allocator().liveCount();
+    EXPECT_NEAR(static_cast<double>(live),
+                static_cast<double>(profile.targetActive),
+                static_cast<double>(profile.targetActive) * 0.05);
+}
+
+TEST(Synthetic, CallsAndReturnsBalance)
+{
+    SyntheticWorkload workload(profileByName("povray"), 100000);
+    ir::MicroOp op;
+    i64 depth = 0;
+    i64 max_depth = 0;
+    while (workload.next(op)) {
+        if (op.kind == ir::OpKind::kCall)
+            ++depth;
+        else if (op.kind == ir::OpKind::kRet)
+            --depth;
+        ASSERT_GE(depth, 0) << "return without a call";
+        max_depth = std::max(max_depth, depth);
+    }
+    EXPECT_LE(max_depth, 13);
+}
+
+TEST(Replay, ReproducesTableIIColumns)
+{
+    // Small benchmarks replay exactly.
+    for (const char *name : {"mcf", "sjeng", "lbm", "bzip2", "milc"}) {
+        const auto &p = profileByName(name);
+        const ReplayResult r = replayProfile(p);
+        EXPECT_EQ(r.allocCalls, p.fullAllocCalls) << name;
+        EXPECT_EQ(r.deallocCalls, p.fullDeallocCalls) << name;
+        EXPECT_EQ(r.maxActive, p.fullMaxActive) << name;
+    }
+}
+
+TEST(Replay, ReproducesMediumBenchmark)
+{
+    const auto &p = profileByName("gobmk");
+    const ReplayResult r = replayProfile(p);
+    EXPECT_EQ(r.allocCalls, p.fullAllocCalls);
+    EXPECT_EQ(r.deallocCalls, p.fullDeallocCalls);
+    EXPECT_EQ(r.maxActive, p.fullMaxActive);
+}
+
+TEST(Replay, ScalingPreservesInvariants)
+{
+    const auto &p = profileByName("povray");
+    const ReplayResult r = replayProfile(p, 100);
+    EXPECT_EQ(r.allocCalls, p.fullAllocCalls / 100);
+    EXPECT_LE(r.maxActive, r.allocCalls);
+    EXPECT_LE(r.deallocCalls, r.allocCalls);
+}
+
+TEST(Replay, InconsistentRowFollowsCallCounts)
+{
+    // soplex's published row is internally inconsistent (see
+    // alloc_replay.cc); the call counts win.
+    const auto &p = profileByName("soplex");
+    const ReplayResult r = replayProfile(p);
+    EXPECT_EQ(r.allocCalls, p.fullAllocCalls);
+    EXPECT_EQ(r.deallocCalls, p.fullDeallocCalls);
+    EXPECT_EQ(r.maxActive, p.fullAllocCalls - p.fullDeallocCalls);
+}
+
+} // namespace
+} // namespace aos::workloads
