@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig02_trend_data.dir/fig02_trend_data.cc.o"
+  "CMakeFiles/fig02_trend_data.dir/fig02_trend_data.cc.o.d"
+  "fig02_trend_data"
+  "fig02_trend_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig02_trend_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

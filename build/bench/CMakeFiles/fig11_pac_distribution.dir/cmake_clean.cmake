@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_pac_distribution.dir/fig11_pac_distribution.cc.o"
+  "CMakeFiles/fig11_pac_distribution.dir/fig11_pac_distribution.cc.o.d"
+  "fig11_pac_distribution"
+  "fig11_pac_distribution.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_pac_distribution.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

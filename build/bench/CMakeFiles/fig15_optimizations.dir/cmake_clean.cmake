@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig15_optimizations.dir/fig15_optimizations.cc.o"
+  "CMakeFiles/fig15_optimizations.dir/fig15_optimizations.cc.o.d"
+  "fig15_optimizations"
+  "fig15_optimizations.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig15_optimizations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig16_inst_stats.dir/fig16_inst_stats.cc.o"
+  "CMakeFiles/fig16_inst_stats.dir/fig16_inst_stats.cc.o.d"
+  "fig16_inst_stats"
+  "fig16_inst_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig16_inst_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

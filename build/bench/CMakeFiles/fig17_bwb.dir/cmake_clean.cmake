@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig17_bwb.dir/fig17_bwb.cc.o"
+  "CMakeFiles/fig17_bwb.dir/fig17_bwb.cc.o.d"
+  "fig17_bwb"
+  "fig17_bwb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig17_bwb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig18_traffic.dir/fig18_traffic.cc.o"
+  "CMakeFiles/fig18_traffic.dir/fig18_traffic.cc.o.d"
+  "fig18_traffic"
+  "fig18_traffic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig18_traffic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_hbt.dir/micro_hbt.cc.o"
+  "CMakeFiles/micro_hbt.dir/micro_hbt.cc.o.d"
+  "micro_hbt"
+  "micro_hbt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_hbt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

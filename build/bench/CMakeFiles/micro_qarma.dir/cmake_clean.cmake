@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_qarma.dir/micro_qarma.cc.o"
+  "CMakeFiles/micro_qarma.dir/micro_qarma.cc.o.d"
+  "micro_qarma"
+  "micro_qarma.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_qarma.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

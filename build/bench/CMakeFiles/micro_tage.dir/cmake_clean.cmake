@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_tage.dir/micro_tage.cc.o"
+  "CMakeFiles/micro_tage.dir/micro_tage.cc.o.d"
+  "micro_tage"
+  "micro_tage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_tage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

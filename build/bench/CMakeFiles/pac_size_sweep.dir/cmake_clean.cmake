@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pac_size_sweep.dir/pac_size_sweep.cc.o"
+  "CMakeFiles/pac_size_sweep.dir/pac_size_sweep.cc.o.d"
+  "pac_size_sweep"
+  "pac_size_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pac_size_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/softcheck_comparison.dir/softcheck_comparison.cc.o"
+  "CMakeFiles/softcheck_comparison.dir/softcheck_comparison.cc.o.d"
+  "softcheck_comparison"
+  "softcheck_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/softcheck_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

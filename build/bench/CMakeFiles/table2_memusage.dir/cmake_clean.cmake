@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_memusage.dir/table2_memusage.cc.o"
+  "CMakeFiles/table2_memusage.dir/table2_memusage.cc.o.d"
+  "table2_memusage"
+  "table2_memusage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_memusage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_realworld.dir/table3_realworld.cc.o"
+  "CMakeFiles/table3_realworld.dir/table3_realworld.cc.o.d"
+  "table3_realworld"
+  "table3_realworld.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_realworld.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

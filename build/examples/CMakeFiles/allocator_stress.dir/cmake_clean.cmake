@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/allocator_stress.dir/allocator_stress.cc.o"
+  "CMakeFiles/allocator_stress.dir/allocator_stress.cc.o.d"
+  "allocator_stress"
+  "allocator_stress.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/allocator_stress.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

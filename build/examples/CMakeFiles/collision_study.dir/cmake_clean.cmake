@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/collision_study.dir/collision_study.cc.o"
+  "CMakeFiles/collision_study.dir/collision_study.cc.o.d"
+  "collision_study"
+  "collision_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/collision_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

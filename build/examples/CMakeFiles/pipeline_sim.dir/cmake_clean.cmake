@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pipeline_sim.dir/pipeline_sim.cc.o"
+  "CMakeFiles/pipeline_sim.dir/pipeline_sim.cc.o.d"
+  "pipeline_sim"
+  "pipeline_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pipeline_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

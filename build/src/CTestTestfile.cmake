@@ -1,0 +1,22 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("qarma")
+subdirs("pa")
+subdirs("alloc")
+subdirs("memsim")
+subdirs("bounds")
+subdirs("mcu")
+subdirs("ir")
+subdirs("compiler")
+subdirs("cpu")
+subdirs("workloads")
+subdirs("os")
+subdirs("baselines")
+subdirs("core")
+subdirs("hwcost")
+subdirs("analysis")

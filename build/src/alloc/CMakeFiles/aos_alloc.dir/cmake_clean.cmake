@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aos_alloc.dir/heap_allocator.cc.o"
+  "CMakeFiles/aos_alloc.dir/heap_allocator.cc.o.d"
+  "libaos_alloc.a"
+  "libaos_alloc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aos_alloc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

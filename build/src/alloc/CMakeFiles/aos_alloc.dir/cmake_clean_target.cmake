@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libaos_alloc.a"
+)

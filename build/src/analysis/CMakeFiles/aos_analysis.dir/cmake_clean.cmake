@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aos_analysis.dir/pac_analysis.cc.o"
+  "CMakeFiles/aos_analysis.dir/pac_analysis.cc.o.d"
+  "libaos_analysis.a"
+  "libaos_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aos_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/redzone_runtime.cc" "src/baselines/CMakeFiles/aos_baselines.dir/redzone_runtime.cc.o" "gcc" "src/baselines/CMakeFiles/aos_baselines.dir/redzone_runtime.cc.o.d"
+  "/root/repo/src/baselines/system_config.cc" "src/baselines/CMakeFiles/aos_baselines.dir/system_config.cc.o" "gcc" "src/baselines/CMakeFiles/aos_baselines.dir/system_config.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/aos_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/alloc/CMakeFiles/aos_alloc.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aos_baselines.dir/redzone_runtime.cc.o"
+  "CMakeFiles/aos_baselines.dir/redzone_runtime.cc.o.d"
+  "CMakeFiles/aos_baselines.dir/system_config.cc.o"
+  "CMakeFiles/aos_baselines.dir/system_config.cc.o.d"
+  "libaos_baselines.a"
+  "libaos_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aos_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/bounds/bounds_way_buffer.cc" "src/bounds/CMakeFiles/aos_bounds.dir/bounds_way_buffer.cc.o" "gcc" "src/bounds/CMakeFiles/aos_bounds.dir/bounds_way_buffer.cc.o.d"
+  "/root/repo/src/bounds/compression.cc" "src/bounds/CMakeFiles/aos_bounds.dir/compression.cc.o" "gcc" "src/bounds/CMakeFiles/aos_bounds.dir/compression.cc.o.d"
+  "/root/repo/src/bounds/hashed_bounds_table.cc" "src/bounds/CMakeFiles/aos_bounds.dir/hashed_bounds_table.cc.o" "gcc" "src/bounds/CMakeFiles/aos_bounds.dir/hashed_bounds_table.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/aos_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/pa/CMakeFiles/aos_pa.dir/DependInfo.cmake"
+  "/root/repo/build/src/qarma/CMakeFiles/aos_qarma.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aos_bounds.dir/bounds_way_buffer.cc.o"
+  "CMakeFiles/aos_bounds.dir/bounds_way_buffer.cc.o.d"
+  "CMakeFiles/aos_bounds.dir/compression.cc.o"
+  "CMakeFiles/aos_bounds.dir/compression.cc.o.d"
+  "CMakeFiles/aos_bounds.dir/hashed_bounds_table.cc.o"
+  "CMakeFiles/aos_bounds.dir/hashed_bounds_table.cc.o.d"
+  "libaos_bounds.a"
+  "libaos_bounds.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aos_bounds.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aos_common.dir/logging.cc.o"
+  "CMakeFiles/aos_common.dir/logging.cc.o.d"
+  "CMakeFiles/aos_common.dir/stats.cc.o"
+  "CMakeFiles/aos_common.dir/stats.cc.o.d"
+  "libaos_common.a"
+  "libaos_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aos_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/compiler/aos_passes.cc" "src/compiler/CMakeFiles/aos_compiler.dir/aos_passes.cc.o" "gcc" "src/compiler/CMakeFiles/aos_compiler.dir/aos_passes.cc.o.d"
+  "/root/repo/src/compiler/asan_pass.cc" "src/compiler/CMakeFiles/aos_compiler.dir/asan_pass.cc.o" "gcc" "src/compiler/CMakeFiles/aos_compiler.dir/asan_pass.cc.o.d"
+  "/root/repo/src/compiler/op_counter.cc" "src/compiler/CMakeFiles/aos_compiler.dir/op_counter.cc.o" "gcc" "src/compiler/CMakeFiles/aos_compiler.dir/op_counter.cc.o.d"
+  "/root/repo/src/compiler/pa_pass.cc" "src/compiler/CMakeFiles/aos_compiler.dir/pa_pass.cc.o" "gcc" "src/compiler/CMakeFiles/aos_compiler.dir/pa_pass.cc.o.d"
+  "/root/repo/src/compiler/pass.cc" "src/compiler/CMakeFiles/aos_compiler.dir/pass.cc.o" "gcc" "src/compiler/CMakeFiles/aos_compiler.dir/pass.cc.o.d"
+  "/root/repo/src/compiler/watchdog_pass.cc" "src/compiler/CMakeFiles/aos_compiler.dir/watchdog_pass.cc.o" "gcc" "src/compiler/CMakeFiles/aos_compiler.dir/watchdog_pass.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/aos_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/aos_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/pa/CMakeFiles/aos_pa.dir/DependInfo.cmake"
+  "/root/repo/build/src/qarma/CMakeFiles/aos_qarma.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aos_compiler.dir/aos_passes.cc.o"
+  "CMakeFiles/aos_compiler.dir/aos_passes.cc.o.d"
+  "CMakeFiles/aos_compiler.dir/asan_pass.cc.o"
+  "CMakeFiles/aos_compiler.dir/asan_pass.cc.o.d"
+  "CMakeFiles/aos_compiler.dir/op_counter.cc.o"
+  "CMakeFiles/aos_compiler.dir/op_counter.cc.o.d"
+  "CMakeFiles/aos_compiler.dir/pa_pass.cc.o"
+  "CMakeFiles/aos_compiler.dir/pa_pass.cc.o.d"
+  "CMakeFiles/aos_compiler.dir/pass.cc.o"
+  "CMakeFiles/aos_compiler.dir/pass.cc.o.d"
+  "CMakeFiles/aos_compiler.dir/watchdog_pass.cc.o"
+  "CMakeFiles/aos_compiler.dir/watchdog_pass.cc.o.d"
+  "libaos_compiler.a"
+  "libaos_compiler.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aos_compiler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aos_core.dir/aos_runtime.cc.o"
+  "CMakeFiles/aos_core.dir/aos_runtime.cc.o.d"
+  "CMakeFiles/aos_core.dir/aos_system.cc.o"
+  "CMakeFiles/aos_core.dir/aos_system.cc.o.d"
+  "libaos_core.a"
+  "libaos_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aos_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

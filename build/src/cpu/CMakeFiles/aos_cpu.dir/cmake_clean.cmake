@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aos_cpu.dir/ooo_core.cc.o"
+  "CMakeFiles/aos_cpu.dir/ooo_core.cc.o.d"
+  "CMakeFiles/aos_cpu.dir/tage.cc.o"
+  "CMakeFiles/aos_cpu.dir/tage.cc.o.d"
+  "libaos_cpu.a"
+  "libaos_cpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aos_cpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

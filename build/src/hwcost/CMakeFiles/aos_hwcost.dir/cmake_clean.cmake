@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aos_hwcost.dir/sram_model.cc.o"
+  "CMakeFiles/aos_hwcost.dir/sram_model.cc.o.d"
+  "libaos_hwcost.a"
+  "libaos_hwcost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aos_hwcost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

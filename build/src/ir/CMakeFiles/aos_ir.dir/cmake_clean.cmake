@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aos_ir.dir/micro_op.cc.o"
+  "CMakeFiles/aos_ir.dir/micro_op.cc.o.d"
+  "CMakeFiles/aos_ir.dir/trace.cc.o"
+  "CMakeFiles/aos_ir.dir/trace.cc.o.d"
+  "libaos_ir.a"
+  "libaos_ir.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aos_ir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mcu/memory_check_unit.cc" "src/mcu/CMakeFiles/aos_mcu.dir/memory_check_unit.cc.o" "gcc" "src/mcu/CMakeFiles/aos_mcu.dir/memory_check_unit.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/aos_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/pa/CMakeFiles/aos_pa.dir/DependInfo.cmake"
+  "/root/repo/build/src/bounds/CMakeFiles/aos_bounds.dir/DependInfo.cmake"
+  "/root/repo/build/src/memsim/CMakeFiles/aos_memsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/aos_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/qarma/CMakeFiles/aos_qarma.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

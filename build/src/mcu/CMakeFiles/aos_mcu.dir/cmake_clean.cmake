@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aos_mcu.dir/memory_check_unit.cc.o"
+  "CMakeFiles/aos_mcu.dir/memory_check_unit.cc.o.d"
+  "libaos_mcu.a"
+  "libaos_mcu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aos_mcu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

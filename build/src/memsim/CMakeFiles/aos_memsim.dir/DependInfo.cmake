@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/memsim/cache.cc" "src/memsim/CMakeFiles/aos_memsim.dir/cache.cc.o" "gcc" "src/memsim/CMakeFiles/aos_memsim.dir/cache.cc.o.d"
+  "/root/repo/src/memsim/memory_system.cc" "src/memsim/CMakeFiles/aos_memsim.dir/memory_system.cc.o" "gcc" "src/memsim/CMakeFiles/aos_memsim.dir/memory_system.cc.o.d"
+  "/root/repo/src/memsim/sparse_memory.cc" "src/memsim/CMakeFiles/aos_memsim.dir/sparse_memory.cc.o" "gcc" "src/memsim/CMakeFiles/aos_memsim.dir/sparse_memory.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/aos_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aos_memsim.dir/cache.cc.o"
+  "CMakeFiles/aos_memsim.dir/cache.cc.o.d"
+  "CMakeFiles/aos_memsim.dir/memory_system.cc.o"
+  "CMakeFiles/aos_memsim.dir/memory_system.cc.o.d"
+  "CMakeFiles/aos_memsim.dir/sparse_memory.cc.o"
+  "CMakeFiles/aos_memsim.dir/sparse_memory.cc.o.d"
+  "libaos_memsim.a"
+  "libaos_memsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aos_memsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

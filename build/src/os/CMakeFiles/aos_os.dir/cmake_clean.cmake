@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aos_os.dir/os_model.cc.o"
+  "CMakeFiles/aos_os.dir/os_model.cc.o.d"
+  "libaos_os.a"
+  "libaos_os.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aos_os.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/pa/pa_context.cc" "src/pa/CMakeFiles/aos_pa.dir/pa_context.cc.o" "gcc" "src/pa/CMakeFiles/aos_pa.dir/pa_context.cc.o.d"
+  "/root/repo/src/pa/pointer_layout.cc" "src/pa/CMakeFiles/aos_pa.dir/pointer_layout.cc.o" "gcc" "src/pa/CMakeFiles/aos_pa.dir/pointer_layout.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/aos_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/qarma/CMakeFiles/aos_qarma.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aos_pa.dir/pa_context.cc.o"
+  "CMakeFiles/aos_pa.dir/pa_context.cc.o.d"
+  "CMakeFiles/aos_pa.dir/pointer_layout.cc.o"
+  "CMakeFiles/aos_pa.dir/pointer_layout.cc.o.d"
+  "libaos_pa.a"
+  "libaos_pa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aos_pa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

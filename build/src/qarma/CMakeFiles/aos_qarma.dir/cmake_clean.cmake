@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aos_qarma.dir/qarma64.cc.o"
+  "CMakeFiles/aos_qarma.dir/qarma64.cc.o.d"
+  "libaos_qarma.a"
+  "libaos_qarma.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aos_qarma.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workloads/alloc_replay.cc" "src/workloads/CMakeFiles/aos_workloads.dir/alloc_replay.cc.o" "gcc" "src/workloads/CMakeFiles/aos_workloads.dir/alloc_replay.cc.o.d"
+  "/root/repo/src/workloads/synthetic_workload.cc" "src/workloads/CMakeFiles/aos_workloads.dir/synthetic_workload.cc.o" "gcc" "src/workloads/CMakeFiles/aos_workloads.dir/synthetic_workload.cc.o.d"
+  "/root/repo/src/workloads/workload_profile.cc" "src/workloads/CMakeFiles/aos_workloads.dir/workload_profile.cc.o" "gcc" "src/workloads/CMakeFiles/aos_workloads.dir/workload_profile.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/aos_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/aos_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/alloc/CMakeFiles/aos_alloc.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aos_workloads.dir/alloc_replay.cc.o"
+  "CMakeFiles/aos_workloads.dir/alloc_replay.cc.o.d"
+  "CMakeFiles/aos_workloads.dir/synthetic_workload.cc.o"
+  "CMakeFiles/aos_workloads.dir/synthetic_workload.cc.o.d"
+  "CMakeFiles/aos_workloads.dir/workload_profile.cc.o"
+  "CMakeFiles/aos_workloads.dir/workload_profile.cc.o.d"
+  "libaos_workloads.a"
+  "libaos_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aos_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/bitfield_test.cc" "tests/CMakeFiles/bitfield_test.dir/bitfield_test.cc.o" "gcc" "tests/CMakeFiles/bitfield_test.dir/bitfield_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/aos_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/hwcost/CMakeFiles/aos_hwcost.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/aos_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/compiler/CMakeFiles/aos_compiler.dir/DependInfo.cmake"
+  "/root/repo/build/src/cpu/CMakeFiles/aos_cpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/aos_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/os/CMakeFiles/aos_os.dir/DependInfo.cmake"
+  "/root/repo/build/src/mcu/CMakeFiles/aos_mcu.dir/DependInfo.cmake"
+  "/root/repo/build/src/memsim/CMakeFiles/aos_memsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/bounds/CMakeFiles/aos_bounds.dir/DependInfo.cmake"
+  "/root/repo/build/src/pa/CMakeFiles/aos_pa.dir/DependInfo.cmake"
+  "/root/repo/build/src/qarma/CMakeFiles/aos_qarma.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/aos_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/aos_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/alloc/CMakeFiles/aos_alloc.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/aos_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bwb_test.dir/bwb_test.cc.o"
+  "CMakeFiles/bwb_test.dir/bwb_test.cc.o.d"
+  "bwb_test"
+  "bwb_test.pdb"
+  "bwb_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bwb_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hbt_resize_test.dir/hbt_resize_test.cc.o"
+  "CMakeFiles/hbt_resize_test.dir/hbt_resize_test.cc.o.d"
+  "hbt_resize_test"
+  "hbt_resize_test.pdb"
+  "hbt_resize_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hbt_resize_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

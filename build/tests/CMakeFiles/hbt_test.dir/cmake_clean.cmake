@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hbt_test.dir/hbt_test.cc.o"
+  "CMakeFiles/hbt_test.dir/hbt_test.cc.o.d"
+  "hbt_test"
+  "hbt_test.pdb"
+  "hbt_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hbt_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

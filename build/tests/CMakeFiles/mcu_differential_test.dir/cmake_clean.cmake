@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mcu_differential_test.dir/mcu_differential_test.cc.o"
+  "CMakeFiles/mcu_differential_test.dir/mcu_differential_test.cc.o.d"
+  "mcu_differential_test"
+  "mcu_differential_test.pdb"
+  "mcu_differential_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mcu_differential_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

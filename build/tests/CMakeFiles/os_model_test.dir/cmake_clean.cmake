@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/os_model_test.dir/os_model_test.cc.o"
+  "CMakeFiles/os_model_test.dir/os_model_test.cc.o.d"
+  "os_model_test"
+  "os_model_test.pdb"
+  "os_model_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/os_model_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

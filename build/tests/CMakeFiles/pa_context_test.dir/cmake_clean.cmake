@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pa_context_test.dir/pa_context_test.cc.o"
+  "CMakeFiles/pa_context_test.dir/pa_context_test.cc.o.d"
+  "pa_context_test"
+  "pa_context_test.pdb"
+  "pa_context_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pa_context_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

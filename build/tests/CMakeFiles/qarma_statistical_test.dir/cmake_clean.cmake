@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qarma_statistical_test.dir/qarma_statistical_test.cc.o"
+  "CMakeFiles/qarma_statistical_test.dir/qarma_statistical_test.cc.o.d"
+  "qarma_statistical_test"
+  "qarma_statistical_test.pdb"
+  "qarma_statistical_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qarma_statistical_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

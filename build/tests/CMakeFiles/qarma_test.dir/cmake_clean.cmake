@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qarma_test.dir/qarma_test.cc.o"
+  "CMakeFiles/qarma_test.dir/qarma_test.cc.o.d"
+  "qarma_test"
+  "qarma_test.pdb"
+  "qarma_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qarma_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

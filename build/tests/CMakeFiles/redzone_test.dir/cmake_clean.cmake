@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/redzone_test.dir/redzone_test.cc.o"
+  "CMakeFiles/redzone_test.dir/redzone_test.cc.o.d"
+  "redzone_test"
+  "redzone_test.pdb"
+  "redzone_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/redzone_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tage_test.dir/tage_test.cc.o"
+  "CMakeFiles/tage_test.dir/tage_test.cc.o.d"
+  "tage_test"
+  "tage_test.pdb"
+  "tage_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tage_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
