@@ -30,7 +30,9 @@ envU64(const char *name, u64 fallback)
     const char *value = std::getenv(name);
     if (!value || !*value)
         return fallback;
-    return std::strtoull(value, nullptr, 0);
+    // Unparsable or zero op counts would stall the measurement loop.
+    const u64 parsed = std::strtoull(value, nullptr, 0);
+    return parsed ? parsed : fallback;
 }
 
 inline u64

@@ -1,0 +1,33 @@
+#!/usr/bin/env bash
+# Full local gate: default build + tier-1 tests, sanitizer build +
+# tests, and clang-tidy lint. Run from the repository root:
+#
+#   scripts/check.sh              # everything
+#   AOS_CHECK_SKIP_SANITIZE=1 scripts/check.sh   # skip the ASan pass
+#
+# Exits non-zero on the first failure.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+JOBS="${AOS_CHECK_JOBS:-$(nproc)}"
+
+echo "== [1/4] default build =="
+cmake --preset default
+cmake --build --preset default -j "${JOBS}"
+
+echo "== [2/4] tier-1 tests =="
+ctest --preset default -j "${JOBS}"
+
+if [ "${AOS_CHECK_SKIP_SANITIZE:-0}" != "1" ]; then
+    echo "== [3/4] sanitizer build + tests (ASan+UBSan) =="
+    cmake --preset sanitize
+    cmake --build --preset sanitize -j "${JOBS}"
+    ctest --preset sanitize -j "${JOBS}"
+else
+    echo "== [3/4] sanitizer pass skipped (AOS_CHECK_SKIP_SANITIZE=1) =="
+fi
+
+echo "== [4/4] lint =="
+cmake --build --preset default --target lint
+
+echo "All checks passed."

@@ -50,6 +50,10 @@ struct SystemOptions
 
     u64 measureOps = 1'000'000;  //!< Committed micro-ops to simulate.
 
+    // Static-analysis layer (DESIGN.md "Static analysis layer").
+    bool aosElision = false;  //!< Elide provably-redundant autm ops.
+    bool verifyStream = false;//!< Lint the instrumented stream online.
+
     bool usesAos() const
     {
         return mech == Mechanism::kAos || mech == Mechanism::kPaAos;

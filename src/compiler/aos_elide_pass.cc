@@ -1,0 +1,56 @@
+#include "compiler/aos_elide_pass.hh"
+
+namespace aos::compiler {
+
+void
+AosElidePass::invalidate(Addr chunk)
+{
+    if (chunk != 0 && _authed.erase(chunk) != 0)
+        ++_stats.invalidations;
+}
+
+void
+AosElidePass::transform(const ir::MicroOp &in)
+{
+    switch (in.kind) {
+      case ir::OpKind::kAutm: {
+        ++_stats.autmSeen;
+        // Only a signed value whose chunk provenance is known can be
+        // proven redundant; unsigned operands must keep their autm —
+        // its failure is the AHC-stripping detection itself.
+        if (_layout.signed_(in.addr) && in.chunkBase != 0) {
+            const u64 meta = metaOf(in.addr);
+            auto it = _authed.find(in.chunkBase);
+            if (it != _authed.end() && it->second == meta) {
+                ++_stats.autmElided;
+                return; // provably redundant: elide
+            }
+            _authed[in.chunkBase] = meta;
+        }
+        ++_stats.autmKept;
+        emit(in);
+        return;
+      }
+
+      // Any event that re-signs or unbinds the chunk's pointer kills
+      // the proof: the next autm must execute again.
+      case ir::OpKind::kBndclr:
+      case ir::OpKind::kFreeMark:
+        invalidate(in.chunkBase);
+        emit(in);
+        return;
+
+      case ir::OpKind::kPacma:
+        // A fresh signing (malloc or the free-path re-sign) changes
+        // the value's metadata; conservatively forget the chunk.
+        invalidate(in.chunkBase);
+        emit(in);
+        return;
+
+      default:
+        emit(in);
+        return;
+    }
+}
+
+} // namespace aos::compiler

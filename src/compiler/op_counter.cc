@@ -23,10 +23,13 @@ OpCounter::transform(const ir::MicroOp &in)
       case ir::OpKind::kBndclr:
         ++_mix.boundsOps;
         break;
+      case ir::OpKind::kAutm:
+        ++_mix.autms;
+        ++_mix.pacOps;
+        break;
       case ir::OpKind::kPacma:
       case ir::OpKind::kPacia:
       case ir::OpKind::kAutia:
-      case ir::OpKind::kAutm:
       case ir::OpKind::kXpacm:
         ++_mix.pacOps;
         break;

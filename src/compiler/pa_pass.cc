@@ -21,10 +21,15 @@ PaPass::transform(const ir::MicroOp &in)
       case ir::OpKind::kLoad:
         emit(in);
         if (in.loadsPointer) {
-            // On-load authentication (Fig. 13).
-            emit(makeOp(_mode == PaMode::kPaOnly ? ir::OpKind::kAutia
-                                                 : ir::OpKind::kAutm,
-                        in.addr));
+            // On-load authentication (Fig. 13). The chunk provenance
+            // rides along so downstream analyses (AosElidePass, the
+            // stream verifier) can reason about the value's origin.
+            ir::MicroOp auth =
+                makeOp(_mode == PaMode::kPaOnly ? ir::OpKind::kAutia
+                                                : ir::OpKind::kAutm,
+                       in.addr);
+            auth.chunkBase = in.chunkBase;
+            emit(auth);
         }
         return;
 

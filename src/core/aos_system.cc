@@ -21,6 +21,7 @@ mixDelta(const ir::OpMixStats &after, const ir::OpMixStats &before)
     delta.signedStores = after.signedStores - before.signedStores;
     delta.boundsOps = after.boundsOps - before.boundsOps;
     delta.pacOps = after.pacOps - before.pacOps;
+    delta.autms = after.autms - before.autms;
     delta.branches = after.branches - before.branches;
     delta.wdOps = after.wdOps - before.wdOps;
     return delta;
@@ -55,6 +56,7 @@ RunResult::toStatSet() const
         static_cast<double>(mix.unsignedStores);
     set.scalar("mix_bounds_ops") = static_cast<double>(mix.boundsOps);
     set.scalar("mix_pac_ops") = static_cast<double>(mix.pacOps);
+    set.scalar("mix_autms") = static_cast<double>(mix.autms);
     set.scalar("mcu_checked_ops") =
         static_cast<double>(mcuStats.checkedOps);
     set.scalar("mcu_unchecked_ops") =
@@ -68,6 +70,24 @@ RunResult::toStatSet() const
     set.scalar("hbt_occupied") = static_cast<double>(hbt.occupied);
     set.scalar("hbt_resizes") = static_cast<double>(hbt.resizes);
     set.scalar("violations") = static_cast<double>(violations);
+    if (elide.autmSeen) {
+        set.scalar("elide_autm_seen") = static_cast<double>(elide.autmSeen);
+        set.scalar("elide_autm_elided") =
+            static_cast<double>(elide.autmElided);
+        set.scalar("elide_autm_kept") = static_cast<double>(elide.autmKept);
+        set.scalar("elide_invalidations") =
+            static_cast<double>(elide.invalidations);
+        set.scalar("elide_rate") = elide.elisionRate();
+    }
+    if (verified) {
+        set.scalar("verify_total") =
+            static_cast<double>(verifyDiagnostics);
+        for (const auto &[rule, count] : verifyRuleCounts) {
+            set.scalar(std::string("verify_") + staticcheck::ruleId(rule) +
+                       "_" + staticcheck::ruleName(rule)) =
+                static_cast<double>(count);
+        }
+    }
     return set;
 }
 
@@ -146,6 +166,10 @@ AosSystem::buildPipeline()
         _pipeline->add<compiler::AosOptPass>();
         _pipeline->add<compiler::AosBackendPass>(_pa.get());
         _pipeline->add<compiler::PaPass>(compiler::PaMode::kPaAos);
+        if (_options.aosElision) {
+            // Before the counter so the mix reflects executed autms.
+            _elide = _pipeline->add<compiler::AosElidePass>(_pa->layout());
+        }
         break;
       case baselines::Mechanism::kAsan:
         _pipeline->add<compiler::AsanPass>();
@@ -153,6 +177,18 @@ AosSystem::buildPipeline()
     }
 
     _counter = _pipeline->add<compiler::OpCounter>(_pa->layout());
+
+    _stream = _pipeline.get();
+    if (_options.verifyStream) {
+        staticcheck::VerifierOptions verify_options;
+        verify_options.layout = _pa->layout();
+        verify_options.requireAosLowering = _options.usesAos();
+        _verifier =
+            std::make_unique<staticcheck::StreamVerifier>(verify_options);
+        _verified = std::make_unique<staticcheck::VerifyingStream>(
+            _pipeline.get(), _verifier.get());
+        _stream = _verified.get();
+    }
 }
 
 void
@@ -160,7 +196,7 @@ AosSystem::fastForward()
 {
     const pa::PointerLayout &layout = _pa->layout();
     ir::MicroOp op;
-    while (_pipeline->next(op)) {
+    while (_stream->next(op)) {
         switch (op.kind) {
           case ir::OpKind::kPhaseMark:
             return;
@@ -213,7 +249,7 @@ AosSystem::run()
     // Run until the bounded source stream ends: every configuration
     // executes the same program work; instrumented instructions are
     // extra, exactly as in the paper's methodology.
-    _core->run(*_pipeline, 0);
+    _core->run(*_stream, 0);
 
     RunResult result;
     result.workload = _profile.name;
@@ -229,6 +265,14 @@ AosSystem::run()
         result.hbt = _os->hbt().stats();
         result.violations = _os->violations().size();
         result.resizes = result.hbt.resizes;
+    }
+    if (_elide)
+        result.elide = _elide->stats();
+    if (_verifier) {
+        result.verified = true;
+        result.verifyDiagnostics = _verifier->totalDiagnostics();
+        result.verifyRuleCounts = _verifier->ruleCounts();
+        result.verifyFindings = _verifier->diagnostics();
     }
     const u64 lookups =
         _core->predictor().stats().lookups - lookups_before;

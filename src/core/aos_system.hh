@@ -26,12 +26,14 @@
 #include "baselines/system_config.hh"
 #include "common/stats.hh"
 #include "bounds/bounds_way_buffer.hh"
+#include "compiler/aos_elide_pass.hh"
 #include "compiler/op_counter.hh"
 #include "cpu/ooo_core.hh"
 #include "mcu/memory_check_unit.hh"
 #include "memsim/memory_system.hh"
 #include "os/os_model.hh"
 #include "pa/pa_context.hh"
+#include "staticcheck/stream_verifier.hh"
 #include "workloads/synthetic_workload.hh"
 
 namespace aos::core {
@@ -51,6 +53,14 @@ struct RunResult
     double branchMpki = 0;
     u64 violations = 0;           //!< AOS exceptions logged by the OS.
     u64 resizes = 0;
+
+    compiler::ElideStats elide;   //!< autm elision (options.aosElision).
+
+    // Stream-verifier findings (options.verifyStream).
+    bool verified = false;        //!< The run was linted online.
+    u64 verifyDiagnostics = 0;    //!< Total findings (0 = clean).
+    std::map<staticcheck::RuleId, u64> verifyRuleCounts;
+    std::vector<staticcheck::Diagnostic> verifyFindings;
 
     /** Flatten into a named stat set (gem5-style dump). */
     StatSet toStatSet() const;
@@ -88,6 +98,10 @@ class AosSystem
     std::unique_ptr<workloads::SyntheticWorkload> _workload;
     std::unique_ptr<compiler::PassManager> _pipeline;
     compiler::OpCounter *_counter = nullptr;
+    compiler::AosElidePass *_elide = nullptr;
+    std::unique_ptr<staticcheck::StreamVerifier> _verifier;
+    std::unique_ptr<staticcheck::VerifyingStream> _verified;
+    ir::InstStream *_stream = nullptr; //!< What the core consumes.
 };
 
 } // namespace aos::core

@@ -137,6 +137,7 @@ struct OpMixStats
     u64 signedStores = 0;
     u64 boundsOps = 0;   //!< bndstr + bndclr.
     u64 pacOps = 0;      //!< pac* / aut* / xpac*.
+    u64 autms = 0;       //!< autm only (the elision ablation metric).
     u64 branches = 0;
     u64 wdOps = 0;       //!< Watchdog check/meta/propagate micro-ops.
 };

@@ -1,0 +1,69 @@
+#include "staticcheck/diagnostics.hh"
+
+#include <sstream>
+
+namespace aos::staticcheck {
+
+const char *
+ruleId(RuleId rule)
+{
+    switch (rule) {
+      case RuleId::kIntrinsicSurvived: return "SC01";
+      case RuleId::kMallocNotLowered: return "SC02";
+      case RuleId::kFreeNotLowered: return "SC03";
+      case RuleId::kDuplicateBndstr: return "SC04";
+      case RuleId::kUnpairedBndclr: return "SC05";
+      case RuleId::kSignedBeforeSign: return "SC06";
+      case RuleId::kSignedAfterClear: return "SC07";
+      case RuleId::kPacMismatch: return "SC08";
+      case RuleId::kPhaseImbalance: return "SC09";
+      case RuleId::kMemMissingAddr: return "SC10";
+      case RuleId::kMemMissingSize: return "SC11";
+      case RuleId::kAllocMarkMissingFields: return "SC12";
+      case RuleId::kBoundsOpUnsigned: return "SC13";
+      case RuleId::kAutmOrphan: return "SC14";
+    }
+    return "SC??";
+}
+
+const char *
+ruleName(RuleId rule)
+{
+    switch (rule) {
+      case RuleId::kIntrinsicSurvived: return "intrinsic-survived-backend";
+      case RuleId::kMallocNotLowered: return "malloc-not-lowered";
+      case RuleId::kFreeNotLowered: return "free-not-lowered";
+      case RuleId::kDuplicateBndstr: return "duplicate-bndstr";
+      case RuleId::kUnpairedBndclr: return "unpaired-bndclr";
+      case RuleId::kSignedBeforeSign: return "signed-before-sign";
+      case RuleId::kSignedAfterClear: return "signed-after-clear";
+      case RuleId::kPacMismatch: return "pac-mismatch";
+      case RuleId::kPhaseImbalance: return "phase-imbalance";
+      case RuleId::kMemMissingAddr: return "mem-missing-addr";
+      case RuleId::kMemMissingSize: return "mem-missing-size";
+      case RuleId::kAllocMarkMissingFields: return "alloc-mark-missing-fields";
+      case RuleId::kBoundsOpUnsigned: return "bounds-op-unsigned";
+      case RuleId::kAutmOrphan: return "autm-orphan";
+    }
+    return "unknown-rule";
+}
+
+std::string
+toString(const Diagnostic &diag)
+{
+    std::ostringstream os;
+    os << ruleId(diag.rule) << ' ' << ruleName(diag.rule) << " @op "
+       << diag.opIndex << ": " << diag.message;
+    return os.str();
+}
+
+std::string
+toString(const std::vector<Diagnostic> &diags)
+{
+    std::ostringstream os;
+    for (const Diagnostic &diag : diags)
+        os << toString(diag) << '\n';
+    return os.str();
+}
+
+} // namespace aos::staticcheck

@@ -1,0 +1,299 @@
+#include "staticcheck/stream_verifier.hh"
+
+#include <sstream>
+
+namespace aos::staticcheck {
+
+namespace {
+
+std::string
+hex(Addr value)
+{
+    std::ostringstream os;
+    os << "0x" << std::hex << value;
+    return os.str();
+}
+
+} // namespace
+
+StreamVerifier::StreamVerifier(VerifierOptions options)
+    : _options(options)
+{
+}
+
+void
+StreamVerifier::report(RuleId rule, std::string message)
+{
+    ++_totalDiags;
+    ++_ruleCounts[rule];
+    if (_diags.size() < _options.maxDiagnostics) {
+        // _opIndex is pre-incremented in observe(); the offending op is
+        // the one currently being checked.
+        _diags.push_back(Diagnostic{_opIndex - 1, rule, std::move(message)});
+    }
+}
+
+Addr
+StreamVerifier::chunkKey(const ir::MicroOp &op) const
+{
+    return op.chunkBase != 0 ? op.chunkBase : _options.layout.strip(op.addr);
+}
+
+void
+StreamVerifier::flushLowering()
+{
+    if (!_pending)
+        return;
+    const Lowering &p = *_pending;
+    if (p.isFree) {
+        if (!p.sawBndclr || !p.sawXpacm || !p.sawResign) {
+            report(RuleId::kFreeNotLowered,
+                   "kFreeMark for chunk " + hex(p.chunk) + " at op " +
+                       std::to_string(p.markIndex) +
+                       " missing bndclr/xpacm/re-sign lowering");
+        }
+    } else {
+        if (!p.sawPacma || !p.sawBndstr) {
+            report(RuleId::kMallocNotLowered,
+                   "kMallocMark for chunk " + hex(p.chunk) + " at op " +
+                       std::to_string(p.markIndex) +
+                       " missing pacma/bndstr lowering");
+        }
+    }
+    _pending.reset();
+}
+
+void
+StreamVerifier::checkFields(const ir::MicroOp &op)
+{
+    using ir::OpKind;
+    if (op.isMem()) {
+        if (op.addr == 0)
+            report(RuleId::kMemMissingAddr,
+                   std::string(ir::opKindName(op.kind)) +
+                       " carries no address");
+        if (op.size == 0)
+            report(RuleId::kMemMissingSize,
+                   std::string(ir::opKindName(op.kind)) +
+                       " carries no access size");
+    }
+    if (op.kind == OpKind::kMallocMark &&
+        (op.chunkBase == 0 || op.size == 0)) {
+        report(RuleId::kAllocMarkMissingFields,
+               "kMallocMark missing chunk base or size");
+    }
+    if (op.kind == OpKind::kFreeMark && op.chunkBase == 0) {
+        report(RuleId::kAllocMarkMissingFields,
+               "kFreeMark missing chunk base");
+    }
+    if (op.isBoundsOp() && !_options.layout.signed_(op.addr)) {
+        report(RuleId::kBoundsOpUnsigned,
+               std::string(ir::opKindName(op.kind)) +
+                   " on unsigned pointer " + hex(op.addr));
+    }
+    if (op.kind == OpKind::kPhaseMark) {
+        ++_phaseMarks;
+        if (_phaseMarks > 1)
+            report(RuleId::kPhaseImbalance,
+                   "more than one warmup/measure phase mark");
+    }
+}
+
+void
+StreamVerifier::checkDataflow(const ir::MicroOp &op)
+{
+    using ir::OpKind;
+    const pa::PointerLayout &layout = _options.layout;
+
+    switch (op.kind) {
+      case OpKind::kPacma:
+        if (op.chunkBase != 0)
+            _signedPtrs[op.chunkBase] = op.addr;
+        break;
+
+      case OpKind::kBndstr: {
+        const Addr key = chunkKey(op);
+        if (!_liveBounds.insert(key).second) {
+            report(RuleId::kDuplicateBndstr,
+                   "bndstr for chunk " + hex(key) +
+                       " whose bounds are already live");
+        }
+        if (op.chunkBase != 0 &&
+            _signedPtrs.find(op.chunkBase) == _signedPtrs.end()) {
+            // bndstr stores the signed pointer; remember it even if the
+            // pacma was dropped (that omission is reported separately).
+            _signedPtrs[op.chunkBase] = op.addr;
+        }
+        break;
+      }
+
+      case OpKind::kBndclr: {
+        const Addr key = chunkKey(op);
+        if (_liveBounds.erase(key) == 0) {
+            report(RuleId::kUnpairedBndclr,
+                   "bndclr for chunk " + hex(key) +
+                       " with no live bounds (double/invalid free)");
+        }
+        break;
+      }
+
+      case OpKind::kLoad:
+      case OpKind::kStore: {
+        if (!layout.signed_(op.addr))
+            break;
+        if (op.chunkBase == 0) {
+            report(RuleId::kSignedBeforeSign,
+                   "signed access " + hex(op.addr) +
+                       " with no chunk provenance");
+            break;
+        }
+        auto it = _signedPtrs.find(op.chunkBase);
+        if (it == _signedPtrs.end()) {
+            report(RuleId::kSignedBeforeSign,
+                   "signed access to chunk " + hex(op.chunkBase) +
+                       " before its pacma");
+        } else if (layout.pac(op.addr) != layout.pac(it->second)) {
+            report(RuleId::kPacMismatch,
+                   "signed access " + hex(op.addr) + " carries PAC " +
+                       std::to_string(layout.pac(op.addr)) +
+                       " but chunk " + hex(op.chunkBase) +
+                       " was signed with PAC " +
+                       std::to_string(layout.pac(it->second)));
+        } else if (_liveBounds.find(op.chunkBase) == _liveBounds.end()) {
+            report(RuleId::kSignedAfterClear,
+                   "signed access to chunk " + hex(op.chunkBase) +
+                       " after its bndclr (static use-after-free)");
+        }
+        break;
+      }
+
+      case OpKind::kAutm: {
+        const bool follows_load = _prevOp &&
+                                  _prevOp->kind == OpKind::kLoad &&
+                                  _prevOp->addr == op.addr;
+        if (!follows_load) {
+            report(RuleId::kAutmOrphan,
+                   "autm of " + hex(op.addr) +
+                       " does not authenticate the preceding load");
+        }
+        break;
+      }
+
+      default:
+        break;
+    }
+}
+
+void
+StreamVerifier::checkLowering(const ir::MicroOp &op)
+{
+    using ir::OpKind;
+    switch (op.kind) {
+      case OpKind::kMallocMark:
+      case OpKind::kFreeMark: {
+        flushLowering();
+        Lowering pending;
+        pending.markIndex = _opIndex - 1;
+        pending.chunk = op.chunkBase;
+        pending.isFree = op.kind == OpKind::kFreeMark;
+        _pending = pending;
+        break;
+      }
+
+      case OpKind::kPacma:
+        if (_pending) {
+            if (!_pending->isFree && op.chunkBase == _pending->chunk)
+                _pending->sawPacma = true;
+            else if (_pending->isFree && _pending->sawBndclr &&
+                     _pending->sawXpacm)
+                _pending->sawResign = true;
+        }
+        break;
+
+      case OpKind::kBndstr:
+        if (_pending && !_pending->isFree &&
+            op.chunkBase == _pending->chunk) {
+            _pending->sawBndstr = true;
+        }
+        break;
+
+      case OpKind::kBndclr:
+        if (_pending && _pending->isFree &&
+            op.chunkBase == _pending->chunk) {
+            _pending->sawBndclr = true;
+        }
+        break;
+
+      case OpKind::kXpacm:
+        if (_pending && _pending->isFree && _pending->sawBndclr)
+            _pending->sawXpacm = true;
+        break;
+
+      default:
+        break;
+    }
+}
+
+void
+StreamVerifier::observe(const ir::MicroOp &op)
+{
+    ++_opIndex;
+
+    if (_options.requireLoweredIntrinsics &&
+        (op.kind == ir::OpKind::kAosMallocIntr ||
+         op.kind == ir::OpKind::kAosFreeIntr)) {
+        report(RuleId::kIntrinsicSurvived,
+               std::string(ir::opKindName(op.kind)) +
+                   " survived the backend pass");
+    }
+
+    if (_options.checkFields)
+        checkFields(op);
+    if (_options.checkDataflow)
+        checkDataflow(op);
+    if (_options.requireAosLowering)
+        checkLowering(op);
+
+    _prevOp = op;
+}
+
+void
+StreamVerifier::finish()
+{
+    if (_options.requireAosLowering)
+        flushLowering();
+}
+
+void
+StreamVerifier::addStats(StatSet &set, const std::string &prefix) const
+{
+    set.scalar(prefix + "total") = static_cast<double>(_totalDiags);
+    for (const auto &[rule, count] : _ruleCounts) {
+        set.scalar(prefix + ruleId(rule) + "_" + ruleName(rule)) =
+            static_cast<double>(count);
+    }
+}
+
+std::vector<Diagnostic>
+StreamVerifier::verify(ir::InstStream &stream, const VerifierOptions &options)
+{
+    StreamVerifier verifier(options);
+    ir::MicroOp op;
+    while (stream.next(op))
+        verifier.observe(op);
+    verifier.finish();
+    return verifier.diagnostics();
+}
+
+std::vector<Diagnostic>
+StreamVerifier::verify(const std::vector<ir::MicroOp> &ops,
+                       const VerifierOptions &options)
+{
+    StreamVerifier verifier(options);
+    for (const ir::MicroOp &op : ops)
+        verifier.observe(op);
+    verifier.finish();
+    return verifier.diagnostics();
+}
+
+} // namespace aos::staticcheck

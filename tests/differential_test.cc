@@ -16,7 +16,11 @@
 #include <gtest/gtest.h>
 
 #include "common/random.hh"
+#include "compiler/aos_elide_pass.hh"
+#include "compiler/aos_passes.hh"
+#include "compiler/pa_pass.hh"
 #include "core/aos_runtime.hh"
+#include "staticcheck/stream_executor.hh"
 
 namespace aos::core {
 namespace {
@@ -138,6 +142,131 @@ INSTANTIATE_TEST_SUITE_P(
         return "seed" + std::to_string(info.param.seed) + "_pac" +
                std::to_string(info.param.pacBits);
     });
+
+/**
+ * Differential elision fuzzing: random source programs mixing benign
+ * heap traffic with seeded attacks (UAF, OOB, double free, invalid
+ * free) are lowered through the full PA+AOS pipeline, then executed
+ * with and without AosElidePass. The detection profiles must be
+ * identical — elision may only remove checks whose outcome is already
+ * known — while the elided stream executes strictly fewer autms.
+ */
+class ElisionParityFuzz : public ::testing::TestWithParam<u64>
+{
+};
+
+TEST_P(ElisionParityFuzz, ElisionNeverChangesDetections)
+{
+    using ir::MicroOp;
+    using ir::OpKind;
+
+    Rng rng(GetParam());
+    const auto src = [](OpKind kind, Addr addr = 0, Addr chunk = 0,
+                        u32 size = 0, bool loads_ptr = false) {
+        MicroOp op;
+        op.kind = kind;
+        op.addr = addr;
+        op.chunkBase = chunk;
+        op.size = size;
+        op.loadsPointer = loads_ptr;
+        return op;
+    };
+
+    // Bump-allocated chunk bases, spaced so seeded OOB probes cannot
+    // land inside a neighbouring live object.
+    constexpr Addr kHeapBase = 0x2000'0000;
+    constexpr Addr kSpacing = 0x2000;
+    u64 next_chunk = 0;
+    u64 next_bogus = 0;
+
+    std::vector<MicroOp> source;
+    std::vector<std::pair<Addr, u64>> live; // (base, size)
+    std::vector<Addr> freed;
+
+    for (int step = 0; step < 3000; ++step) {
+        const double roll = rng.uniform();
+        if (live.empty() || roll < 0.20) {
+            const Addr base = kHeapBase + next_chunk++ * kSpacing;
+            const u64 size = 16 + rng.below(2048);
+            source.push_back(src(OpKind::kMallocMark, 0, base,
+                                 static_cast<u32>(size)));
+            live.emplace_back(base, size);
+        } else if (roll < 0.30) {
+            const u64 idx = rng.below(live.size());
+            source.push_back(src(OpKind::kFreeMark, 0, live[idx].first));
+            freed.push_back(live[idx].first);
+            live[idx] = live.back();
+            live.pop_back();
+        } else if (roll < 0.35 && !freed.empty()) {
+            // Use-after-free probe.
+            const Addr base = freed[rng.below(freed.size())];
+            source.push_back(
+                src(OpKind::kLoad, base + rng.below(16), base, 8));
+        } else if (roll < 0.38 && !freed.empty()) {
+            // Double free.
+            source.push_back(
+                src(OpKind::kFreeMark, 0, freed[rng.below(freed.size())]));
+        } else if (roll < 0.40) {
+            // Invalid free of a never-allocated crafted chunk.
+            source.push_back(src(OpKind::kFreeMark, 0,
+                                 Addr{0x4000'0000} + next_bogus++ * 0x100));
+        } else if (roll < 0.44) {
+            // Out-of-bounds probe past a live object.
+            const auto &[base, size] = live[rng.below(live.size())];
+            source.push_back(src(OpKind::kLoad,
+                                 base + size + 64 + rng.below(1024), base,
+                                 8));
+        } else {
+            // Benign in-bounds access; pointer loads feed autm.
+            const auto &[base, size] = live[rng.below(live.size())];
+            const Addr addr = base + rng.below(size - 8);
+            const bool is_load = rng.chance(0.7);
+            source.push_back(src(is_load ? OpKind::kLoad : OpKind::kStore,
+                                 addr, base, 8,
+                                 is_load && rng.chance(0.4)));
+        }
+    }
+
+    // Lower through the full PA+AOS pipeline.
+    pa::PaContext pa(pa::PointerLayout(16, 46));
+    ir::VectorStream stream(std::move(source));
+    compiler::AosOptPass opt(&stream);
+    compiler::AosBackendPass backend(&opt, &pa);
+    compiler::PaPass pa_pass(&backend, compiler::PaMode::kPaAos);
+    std::vector<MicroOp> full;
+    MicroOp next;
+    while (pa_pass.next(next))
+        full.push_back(next);
+
+    ir::VectorStream full_stream(full);
+    compiler::AosElidePass elide(&full_stream, pa.layout());
+    std::vector<MicroOp> elided;
+    while (elide.next(next))
+        elided.push_back(next);
+
+    staticcheck::StreamExecutor full_exec(pa.layout());
+    staticcheck::StreamExecutor elided_exec(pa.layout());
+    const auto full_stats = full_exec.run(full);
+    const auto elided_stats = elided_exec.run(elided);
+
+    ASSERT_TRUE(elided_stats.sameDetections(full_stats))
+        << "seed " << GetParam() << ": full("
+        << full_stats.authFailures << "," << full_stats.boundsViolations
+        << "," << full_stats.clearFailures << ") != elided("
+        << elided_stats.authFailures << ","
+        << elided_stats.boundsViolations << ","
+        << elided_stats.clearFailures << ")";
+    // The seeded attacks were detected, and elision did real work.
+    EXPECT_GT(full_stats.detections(), 0u);
+    EXPECT_LT(elided_stats.autms, full_stats.autms);
+    EXPECT_GT(elide.stats().autmElided, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ElisionParityFuzz,
+                         ::testing::Values(11, 12, 13, 14, 15, 16, 17, 18),
+                         [](const ::testing::TestParamInfo<u64> &info) {
+                             return "seed" + std::to_string(info.param);
+                         });
 
 TEST(DifferentialFreePath, EveryLiveChunkFreesExactlyOnce)
 {

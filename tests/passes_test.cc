@@ -8,12 +8,15 @@
 
 #include <gtest/gtest.h>
 
+#include "compiler/aos_elide_pass.hh"
 #include "compiler/aos_passes.hh"
 #include "compiler/asan_pass.hh"
 #include "compiler/op_counter.hh"
 #include "compiler/pa_pass.hh"
 #include "compiler/watchdog_pass.hh"
 #include "pa/pa_context.hh"
+#include "staticcheck/stream_verifier.hh"
+#include "workloads/synthetic_workload.hh"
 
 namespace aos::compiler {
 namespace {
@@ -323,6 +326,184 @@ TEST(AsanPass, MallocPoisonsRedzones)
     for (const auto &o : drain(pass))
         shadow_stores += o.kind == OpKind::kStore;
     EXPECT_GE(shadow_stores, 6u) << "redzone poison + unpoison + free";
+}
+
+/**
+ * Every production pipeline must verify clean: the StreamVerifier is
+ * the machine-checked contract the figure harnesses rely on. Each test
+ * drains a real SyntheticWorkload through one pipeline and expects zero
+ * diagnostics (see staticcheck_test.cc for the rules firing on
+ * deliberately corrupted streams).
+ */
+class PipelineVerifyTest : public ::testing::Test
+{
+  protected:
+    enum class Pipe { kAos, kPaAos, kPaAosElided, kPa, kWatchdog, kAsan };
+
+    std::vector<staticcheck::Diagnostic>
+    verify(Pipe pipe, const std::string &profile = "mcf")
+    {
+        pa::PaContext pa(pa::PointerLayout(16, 46));
+        workloads::SyntheticWorkload workload(
+            workloads::profileByName(profile), 20000);
+        PassManager manager(&workload);
+        switch (pipe) {
+          case Pipe::kAos:
+            manager.add<AosOptPass>();
+            manager.add<AosBackendPass>(&pa);
+            break;
+          case Pipe::kPaAos:
+          case Pipe::kPaAosElided:
+            manager.add<AosOptPass>();
+            manager.add<AosBackendPass>(&pa);
+            manager.add<PaPass>(PaMode::kPaAos);
+            if (pipe == Pipe::kPaAosElided)
+                manager.add<AosElidePass>(pa.layout());
+            break;
+          case Pipe::kPa:
+            manager.add<PaPass>(PaMode::kPaOnly);
+            break;
+          case Pipe::kWatchdog:
+            manager.add<WatchdogPass>();
+            break;
+          case Pipe::kAsan:
+            manager.add<AsanPass>();
+            break;
+        }
+        staticcheck::VerifierOptions options;
+        options.layout = pa.layout();
+        options.requireAosLowering =
+            pipe == Pipe::kAos || pipe == Pipe::kPaAos ||
+            pipe == Pipe::kPaAosElided;
+        return staticcheck::StreamVerifier::verify(manager, options);
+    }
+};
+
+TEST_F(PipelineVerifyTest, AosPipelineIsClean)
+{
+    const auto diags = verify(Pipe::kAos);
+    EXPECT_TRUE(diags.empty()) << staticcheck::toString(diags);
+}
+
+TEST_F(PipelineVerifyTest, PaAosPipelineIsClean)
+{
+    const auto diags = verify(Pipe::kPaAos);
+    EXPECT_TRUE(diags.empty()) << staticcheck::toString(diags);
+}
+
+TEST_F(PipelineVerifyTest, ElidedPaAosPipelineIsClean)
+{
+    // Elision removes autm ops but must not break any other invariant.
+    const auto diags = verify(Pipe::kPaAosElided);
+    EXPECT_TRUE(diags.empty()) << staticcheck::toString(diags);
+}
+
+TEST_F(PipelineVerifyTest, PaPipelineIsClean)
+{
+    const auto diags = verify(Pipe::kPa);
+    EXPECT_TRUE(diags.empty()) << staticcheck::toString(diags);
+}
+
+TEST_F(PipelineVerifyTest, WatchdogPipelineIsClean)
+{
+    const auto diags = verify(Pipe::kWatchdog);
+    EXPECT_TRUE(diags.empty()) << staticcheck::toString(diags);
+}
+
+TEST_F(PipelineVerifyTest, AsanRedzonePipelineIsClean)
+{
+    const auto diags = verify(Pipe::kAsan);
+    EXPECT_TRUE(diags.empty()) << staticcheck::toString(diags);
+}
+
+TEST_F(PipelineVerifyTest, CleanAcrossHeapHeavyProfiles)
+{
+    for (const char *profile : {"omnetpp", "gcc", "astar"}) {
+        const auto diags = verify(Pipe::kPaAos, profile);
+        EXPECT_TRUE(diags.empty())
+            << profile << ":\n" << staticcheck::toString(diags);
+    }
+}
+
+TEST(AosElidePass, ElidesRepeatedSameChunkAuthentications)
+{
+    pa::PointerLayout layout(16, 46);
+    const Addr chunk = 0x20001000;
+    const Addr ptr = layout.compose(chunk, 7, 1);
+    MicroOp auth = op(OpKind::kAutm, ptr, chunk);
+    MicroOp load = op(OpKind::kLoad, ptr, chunk, 8);
+    load.loadsPointer = true;
+    ir::VectorStream source({load, auth, load, auth, load, auth});
+    AosElidePass pass(&source, layout);
+    const auto out = drain(pass);
+    unsigned autms = 0;
+    for (const auto &o : out)
+        autms += o.kind == OpKind::kAutm;
+    EXPECT_EQ(autms, 1u) << "only the first authentication executes";
+    EXPECT_EQ(pass.stats().autmSeen, 3u);
+    EXPECT_EQ(pass.stats().autmElided, 2u);
+    EXPECT_EQ(pass.stats().autmKept, 1u);
+}
+
+TEST(AosElidePass, NeverElidesUnsignedOperands)
+{
+    // An unsigned operand means the AHC was stripped: its autm failure
+    // IS the detection, so the pass must keep every one.
+    pa::PointerLayout layout(16, 46);
+    MicroOp auth = op(OpKind::kAutm, 0x20001010, 0x20001000);
+    ir::VectorStream source({auth, auth, auth});
+    AosElidePass pass(&source, layout);
+    const auto out = drain(pass);
+    EXPECT_EQ(out.size(), 3u);
+    EXPECT_EQ(pass.stats().autmElided, 0u);
+}
+
+TEST(AosElidePass, BndclrInvalidatesTheProof)
+{
+    pa::PointerLayout layout(16, 46);
+    const Addr chunk = 0x20001000;
+    const Addr ptr = layout.compose(chunk, 7, 1);
+    MicroOp auth = op(OpKind::kAutm, ptr, chunk);
+    ir::VectorStream source(
+        {auth, op(OpKind::kBndclr, ptr, chunk), auth});
+    AosElidePass pass(&source, layout);
+    const auto out = drain(pass);
+    unsigned autms = 0;
+    for (const auto &o : out)
+        autms += o.kind == OpKind::kAutm;
+    EXPECT_EQ(autms, 2u) << "the post-free authentication must execute";
+    EXPECT_EQ(pass.stats().invalidations, 1u);
+}
+
+TEST(AosElidePass, PacmaInvalidatesTheProof)
+{
+    pa::PointerLayout layout(16, 46);
+    const Addr chunk = 0x20001000;
+    const Addr ptr = layout.compose(chunk, 7, 1);
+    MicroOp auth = op(OpKind::kAutm, ptr, chunk);
+    MicroOp resign = op(OpKind::kPacma, ptr, chunk);
+    ir::VectorStream source({auth, auth, resign, auth});
+    AosElidePass pass(&source, layout);
+    const auto out = drain(pass);
+    unsigned autms = 0;
+    for (const auto &o : out)
+        autms += o.kind == OpKind::kAutm;
+    EXPECT_EQ(autms, 2u) << "first auth + first auth after the re-sign";
+}
+
+TEST(AosElidePass, MetadataChangeDefeatsTheCachedProof)
+{
+    // Same chunk, different AHC (e.g. attacker-forged bits): the cached
+    // proof does not match, so the authentication executes.
+    pa::PointerLayout layout(16, 46);
+    const Addr chunk = 0x20001000;
+    MicroOp auth1 = op(OpKind::kAutm, layout.compose(chunk, 7, 1), chunk);
+    MicroOp auth2 = op(OpKind::kAutm, layout.compose(chunk, 7, 2), chunk);
+    ir::VectorStream source({auth1, auth2});
+    AosElidePass pass(&source, layout);
+    const auto out = drain(pass);
+    EXPECT_EQ(out.size(), 2u);
+    EXPECT_EQ(pass.stats().autmElided, 0u);
 }
 
 TEST(PassManager, ChainsPassesInOrder)

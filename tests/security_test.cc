@@ -8,7 +8,11 @@
 
 #include <gtest/gtest.h>
 
+#include "compiler/aos_elide_pass.hh"
+#include "compiler/aos_passes.hh"
+#include "compiler/pa_pass.hh"
 #include "core/aos_runtime.hh"
+#include "staticcheck/stream_executor.hh"
 
 namespace aos::core {
 namespace {
@@ -230,6 +234,194 @@ TEST_F(SecurityTest, ViolationLogCarriesForensics)
     const auto &record = rt.osModel().violations().front();
     EXPECT_EQ(record.kind, mcu::FaultKind::kBoundsViolation);
     EXPECT_EQ(record.addr, p + 4096);
+}
+
+// --- Elision soundness (DESIGN.md "Static analysis layer") ---
+//
+// AosElidePass removes provably-redundant autm checks. These tests
+// replay the attack classes of examples/attack_gallery.cc at the
+// micro-op level: each attack, lowered through the full PA+AOS
+// pipeline, must produce the *same* detections whether or not the
+// stream was elided. An attack the elided stream misses would be a
+// soundness bug in the pass.
+
+class ElidedAttackTest : public ::testing::Test
+{
+  protected:
+    static constexpr Addr kChunk = 0x20001000;
+
+    ElidedAttackTest() : pa(pa::PointerLayout(16, 46)) {}
+
+    static ir::MicroOp
+    src(ir::OpKind kind, Addr addr = 0, Addr chunk = 0, u32 size = 0,
+        bool loads_pointer = false)
+    {
+        ir::MicroOp op;
+        op.kind = kind;
+        op.addr = addr;
+        op.chunkBase = chunk;
+        op.size = size;
+        op.loadsPointer = loads_pointer;
+        return op;
+    }
+
+    /** malloc + repeated pointer loads: a source of redundant autms. */
+    std::vector<ir::MicroOp>
+    prelude(unsigned pointer_loads = 4) const
+    {
+        std::vector<ir::MicroOp> ops{
+            src(ir::OpKind::kMallocMark, 0, kChunk, 64)};
+        for (unsigned i = 0; i < pointer_loads; ++i)
+            ops.push_back(src(ir::OpKind::kLoad, kChunk + 8, kChunk, 8,
+                              /*loads_pointer=*/true));
+        return ops;
+    }
+
+    /** Lower a source stream through the full PA+AOS pipeline. */
+    std::vector<ir::MicroOp>
+    lower(std::vector<ir::MicroOp> input)
+    {
+        ir::VectorStream source(std::move(input));
+        compiler::AosOptPass opt(&source);
+        compiler::AosBackendPass backend(&opt, &pa);
+        compiler::PaPass pa_pass(&backend, compiler::PaMode::kPaAos);
+        std::vector<ir::MicroOp> out;
+        ir::MicroOp next;
+        while (pa_pass.next(next))
+            out.push_back(next);
+        return out;
+    }
+
+    std::vector<ir::MicroOp>
+    elide(const std::vector<ir::MicroOp> &ops)
+    {
+        ir::VectorStream source(ops);
+        compiler::AosElidePass pass(&source, pa.layout());
+        std::vector<ir::MicroOp> out;
+        ir::MicroOp next;
+        while (pass.next(next))
+            out.push_back(next);
+        return out;
+    }
+
+    staticcheck::ExecStats
+    execute(const std::vector<ir::MicroOp> &ops)
+    {
+        staticcheck::StreamExecutor exec(pa.layout());
+        return exec.run(ops);
+    }
+
+    /** The attack is detected, and elision does not change that. */
+    void
+    expectParity(const std::vector<ir::MicroOp> &full)
+    {
+        const auto elided = elide(full);
+        const auto full_stats = execute(full);
+        const auto elided_stats = execute(elided);
+        EXPECT_GT(full_stats.detections(), 0u)
+            << "attack not detected even without elision";
+        EXPECT_TRUE(elided_stats.sameDetections(full_stats))
+            << "elision changed the detection profile: full("
+            << full_stats.authFailures << "," << full_stats.boundsViolations
+            << "," << full_stats.clearFailures << ") elided("
+            << elided_stats.authFailures << ","
+            << elided_stats.boundsViolations << ","
+            << elided_stats.clearFailures << ")";
+        EXPECT_LE(elided_stats.autms, full_stats.autms);
+    }
+
+    pa::PaContext pa;
+};
+
+TEST_F(ElidedAttackTest, HeapOverflowStillDetected)
+{
+    auto source = prelude();
+    source.push_back(src(ir::OpKind::kLoad, kChunk + 4096, kChunk, 8));
+    expectParity(lower(std::move(source)));
+}
+
+TEST_F(ElidedAttackTest, UseAfterFreeStillDetected)
+{
+    auto source = prelude();
+    source.push_back(src(ir::OpKind::kFreeMark, 0, kChunk));
+    source.push_back(src(ir::OpKind::kLoad, kChunk + 16, kChunk, 8));
+    expectParity(lower(std::move(source)));
+}
+
+TEST_F(ElidedAttackTest, DoubleFreeStillDetected)
+{
+    auto source = prelude();
+    source.push_back(src(ir::OpKind::kFreeMark, 0, kChunk));
+    source.push_back(src(ir::OpKind::kFreeMark, 0, kChunk));
+    expectParity(lower(std::move(source)));
+}
+
+TEST_F(ElidedAttackTest, HouseOfSpiritInvalidFreeStillDetected)
+{
+    // free() of a crafted chunk the program never allocated: the
+    // backend has no signed pointer for it, so the bndclr operand is
+    // unsigned and the clear fails.
+    auto source = prelude();
+    source.push_back(src(ir::OpKind::kFreeMark, 0, 0x00601000));
+    expectParity(lower(std::move(source)));
+}
+
+TEST_F(ElidedAttackTest, AhcStrippingStillDetected)
+{
+    // Post-pipeline mutation, applied before elision (the attacker
+    // corrupts the pointer value, not the elided program): the AHC of
+    // the last pointer load and its autm is zeroed. The now-unsigned
+    // autm operand is exactly what elision must never touch.
+    auto full = lower(prelude());
+    const u64 ahc_mask = ~(u64{3} << 62);
+    bool stripped = false;
+    for (size_t i = full.size(); i-- > 0;) {
+        if (full[i].kind == ir::OpKind::kAutm) {
+            full[i].addr &= ahc_mask;
+            ASSERT_GT(i, 0u);
+            full[i - 1].addr &= ahc_mask; // the load it authenticates
+            stripped = true;
+            break;
+        }
+    }
+    ASSERT_TRUE(stripped);
+    const auto elided = elide(full);
+    const auto full_stats = execute(full);
+    const auto elided_stats = execute(elided);
+    EXPECT_GE(full_stats.authFailures, 1u);
+    EXPECT_TRUE(elided_stats.sameDetections(full_stats));
+}
+
+TEST_F(ElidedAttackTest, PacForgeryStillDetected)
+{
+    // Flip a PAC bit on the last signed load (a forged pointer): the
+    // bounds check fails under the wrong PAC, elided or not.
+    auto full = lower(prelude());
+    bool forged = false;
+    for (size_t i = full.size(); i-- > 0;) {
+        if (full[i].kind == ir::OpKind::kLoad &&
+            pa.layout().signed_(full[i].addr)) {
+            full[i].addr ^= u64{1} << 50;
+            forged = true;
+            break;
+        }
+    }
+    ASSERT_TRUE(forged);
+    expectParity(full);
+}
+
+TEST_F(ElidedAttackTest, ElisionActuallyElidesOnTheseStreams)
+{
+    // Guard against the parity tests passing vacuously: the benign
+    // prelude must produce redundant autms that the pass removes.
+    const auto full = lower(prelude(8));
+    ir::VectorStream source(full);
+    compiler::AosElidePass pass(&source, pa.layout());
+    ir::MicroOp next;
+    while (pass.next(next)) {
+    }
+    EXPECT_GT(pass.stats().autmElided, 0u);
+    EXPECT_LT(pass.stats().autmElided, pass.stats().autmSeen);
 }
 
 } // namespace
