@@ -10,6 +10,10 @@
  * the attack-gallery classes through the pipeline with and without
  * elision and shows the detection profiles match.
  *
+ * The per-profile (base, elided) timing pairs execute as one campaign
+ * on the work-stealing pool (AOS_CAMPAIGN_JOBS workers); the attack
+ * parity replay below stays serial — it is functional, not timed.
+ *
  * Build & run:  ./build/bench/elision_ablation
  */
 
@@ -106,22 +110,52 @@ main()
                 "mcq-st-el", "norm");
     rule(92);
 
-    GeoAccum norm_geo;
-    GeoAccum rate_geo;
     SystemOptions with_elision;
     with_elision.aosElision = true;
-    for (const auto &profile : workloads::specProfiles()) {
-        const core::RunResult base =
-            runConfig(profile, Mechanism::kPaAos, ops);
-        const core::RunResult elided =
-            runConfig(profile, Mechanism::kPaAos, ops, with_elision);
+
+    campaign::Campaign sweep(campaignOptions("elision_ablation"));
+    const auto &profiles = workloads::specProfiles();
+    for (const auto &profile : profiles) {
+        // Two jobs per profile: [2p] = PA+AOS base, [2p+1] = elided.
+        campaign::Job base;
+        base.name = profile.name + "/pa_aos";
+        base.profile = profile;
+        base.mech = Mechanism::kPaAos;
+        base.ops = ops;
+        sweep.add(std::move(base));
+
+        campaign::Job elided;
+        elided.name = profile.name + "/pa_aos_elide";
+        elided.profile = profile;
+        elided.mech = Mechanism::kPaAos;
+        elided.options = with_elision;
+        elided.ops = ops;
+        sweep.add(std::move(elided));
+    }
+    campaign::CampaignResult result = sweep.run();
+    if (!result.allOk()) {
+        std::fprintf(stderr, "elision_ablation: %u job(s) failed\n",
+                     result.count(campaign::JobStatus::kFailed) +
+                         result.count(campaign::JobStatus::kTimeout));
+        return 1;
+    }
+
+    GeoAccum norm_geo;
+    GeoAccum rate_geo;
+    for (size_t p = 0; p < profiles.size(); ++p) {
+        const core::RunResult &base = result.jobs[2 * p].run;
+        campaign::JobResult &elided_job = result.jobs[2 * p + 1];
+        const core::RunResult &elided = elided_job.run;
         const double norm = static_cast<double>(elided.core.cycles) /
                             static_cast<double>(base.core.cycles);
+        elided_job.stats.scalar("norm_exec_time") = norm;
+        elided_job.stats.scalar("kept_autm_fraction") =
+            1.0 - elided.elide.elisionRate();
         norm_geo.add(norm);
         rate_geo.add(1.0 - elided.elide.elisionRate());
         std::printf("%-12s %10llu %10llu %6.1f%% %8.3f %8.3f %10llu "
                     "%10llu %8.3f\n",
-                    profile.name.c_str(),
+                    profiles[p].name.c_str(),
                     static_cast<unsigned long long>(base.mix.autms),
                     static_cast<unsigned long long>(elided.mix.autms),
                     100.0 * elided.elide.elisionRate(), base.core.ipc(),
@@ -137,6 +171,17 @@ main()
     std::printf("%-12s geomean exec time (elided/base): %.3f, "
                 "geomean kept-autm fraction: %.3f\n\n", "",
                 norm_geo.geomean(), rate_geo.geomean());
+
+    const auto elided_only = [](const campaign::JobResult &job) {
+        return job.stats.has("norm_exec_time");
+    };
+    campaign::computeReducers(
+        result,
+        {{"geomean_norm_elided", campaign::ReduceOp::kGeomean,
+          "norm_exec_time", elided_only},
+         {"geomean_kept_autm_fraction", campaign::ReduceOp::kGeomean,
+          "kept_autm_fraction", elided_only}});
+    emitCampaignJson(result, "elision_ablation");
 
     // --- Detection parity on the attack-gallery classes ---
     constexpr Addr kChunk = 0x20001000;

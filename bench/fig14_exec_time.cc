@@ -6,6 +6,10 @@
  * Paper reference points: Watchdog 1.194 geomean, PA ~1.005 (with
  * ~10% outliers on call-heavy hmmer/omnetpp), AOS 1.084, PA+AOS ~+1.5%
  * over AOS; milc/namd/gobmk/astar marginally below 1.0 under AOS.
+ *
+ * The 80 (profile × mechanism) runs execute as one campaign on the
+ * work-stealing pool; per-config results are bit-identical whatever
+ * AOS_CAMPAIGN_JOBS is set to (see DESIGN.md §7).
  */
 
 #include "bench/harness.hh"
@@ -14,6 +18,15 @@
 using namespace aos;
 using namespace aos::bench;
 using baselines::Mechanism;
+
+namespace {
+
+const Mechanism kMechs[] = {Mechanism::kBaseline, Mechanism::kWatchdog,
+                            Mechanism::kPa, Mechanism::kAos,
+                            Mechanism::kPaAos};
+constexpr unsigned kNumMechs = 5; // Baseline + the four evaluated.
+
+} // namespace
 
 int
 main()
@@ -29,33 +42,59 @@ main()
                 "L-TAGE, 64KB L1-D, 32KB L1-B, 8MB L2, 16-bit PAC, "
                 "1-way 4MB initial HBT\n\n");
 
-    const Mechanism mechs[] = {Mechanism::kWatchdog, Mechanism::kPa,
-                               Mechanism::kAos, Mechanism::kPaAos};
+    campaign::Campaign sweep(campaignOptions("fig14_exec_time"));
+    const auto &profiles = workloads::specProfiles();
+    for (const auto &profile : profiles)
+        for (const Mechanism mech : kMechs)
+            sweep.addConfig(profile, mech, ops);
+    campaign::CampaignResult result = sweep.run();
+    if (!result.allOk()) {
+        std::fprintf(stderr, "fig14: %u job(s) failed\n",
+                     result.count(campaign::JobStatus::kFailed) +
+                         result.count(campaign::JobStatus::kTimeout));
+        return 1;
+    }
 
     std::printf("%-12s %10s %10s %10s %10s\n", "workload", "Watchdog",
                 "PA", "AOS", "PA+AOS");
     rule(56);
 
-    GeoAccum geo[4];
-    for (const auto &profile : workloads::specProfiles()) {
-        const core::RunResult base =
-            runConfig(profile, Mechanism::kBaseline, ops);
-        std::printf("%-12s", profile.name.c_str());
-        for (unsigned m = 0; m < 4; ++m) {
-            const core::RunResult r = runConfig(profile, mechs[m], ops);
-            const double norm = static_cast<double>(r.core.cycles) /
-                                static_cast<double>(base.core.cycles);
-            geo[m].add(norm);
+    GeoAccum geo[kNumMechs - 1];
+    for (size_t p = 0; p < profiles.size(); ++p) {
+        const auto row = [&](unsigned m) -> campaign::JobResult & {
+            return result.jobs[p * kNumMechs + m];
+        };
+        const double base_cycles =
+            static_cast<double>(row(0).run.core.cycles);
+        std::printf("%-12s", profiles[p].name.c_str());
+        for (unsigned m = 1; m < kNumMechs; ++m) {
+            const double norm =
+                static_cast<double>(row(m).run.core.cycles) / base_cycles;
+            // Derived stat: reducers + the JSON trajectory read it.
+            row(m).stats.scalar("norm_exec_time") = norm;
+            geo[m - 1].add(norm);
             std::printf(" %10.3f", norm);
-            std::fflush(stdout);
         }
         std::printf("\n");
     }
     rule(56);
     std::printf("%-12s", "geomean");
-    for (unsigned m = 0; m < 4; ++m)
-        std::printf(" %10.3f", geo[m].geomean());
+    for (unsigned m = 1; m < kNumMechs; ++m)
+        std::printf(" %10.3f", geo[m - 1].geomean());
     std::printf("\n%-12s %10.3f %10.3f %10.3f %10s\n", "paper", 1.194,
                 1.005, 1.084, "AOS+1.5%");
+
+    std::vector<campaign::Reducer> reducers;
+    for (unsigned m = 1; m < kNumMechs; ++m) {
+        const Mechanism mech = kMechs[m];
+        reducers.push_back(
+            {std::string("geomean_norm_") + baselines::mechanismName(mech),
+             campaign::ReduceOp::kGeomean, "norm_exec_time",
+             [mech](const campaign::JobResult &job) {
+                 return job.mech == mech;
+             }});
+    }
+    campaign::computeReducers(result, reducers);
+    emitCampaignJson(result, "fig14_exec_time");
     return 0;
 }

@@ -7,6 +7,13 @@
  *
  *   AOS_SIM_OPS       measured micro-ops per timing run (default 400k)
  *   AOS_REPLAY_SCALE  divisor for full allocation replays (default 1)
+ *
+ * Campaign-based harnesses additionally honour:
+ *
+ *   AOS_CAMPAIGN_JOBS      worker threads (default: all hardware threads)
+ *   AOS_CAMPAIGN_JSON      results path; "0"/"off" disables emission
+ *                          (default: BENCH_<name>.json in the cwd)
+ *   AOS_CAMPAIGN_PROGRESS  set to 0 to silence progress/ETA lines
  */
 
 #ifndef AOS_BENCH_HARNESS_HH
@@ -17,6 +24,7 @@
 #include <string>
 #include <vector>
 
+#include "campaign/campaign.hh"
 #include "common/logging.hh"
 #include "common/stats.hh"
 #include "core/aos_system.hh"
@@ -70,6 +78,43 @@ struct GeoAccum
     void add(double v) { values.push_back(v); }
     double geomean() const { return aos::geomean(values); }
 };
+
+/** Campaign options honouring the AOS_CAMPAIGN_* environment knobs. */
+inline campaign::CampaignOptions
+campaignOptions(const std::string &name)
+{
+    campaign::CampaignOptions options;
+    options.name = name;
+    options.workers = campaign::workersFromEnv(0);
+    // envU64 rejects 0, so parse the on/off knob directly.
+    const char *progress = std::getenv("AOS_CAMPAIGN_PROGRESS");
+    options.progress =
+        !progress || (std::string(progress) != "0" &&
+                      std::string(progress) != "off");
+    return options;
+}
+
+/**
+ * Write campaign results to AOS_CAMPAIGN_JSON (default
+ * BENCH_<bench>.json; "0"/"off" disables) and say where they went.
+ */
+inline void
+emitCampaignJson(const campaign::CampaignResult &result,
+                 const std::string &bench)
+{
+    std::string path = "BENCH_" + bench + ".json";
+    if (const char *env = std::getenv("AOS_CAMPAIGN_JSON")) {
+        const std::string v(env);
+        if (v.empty() || v == "0" || v == "off")
+            return;
+        path = v;
+    }
+    if (result.writeJsonFile(path))
+        std::printf("\ncampaign results: %s\n", path.c_str());
+    else
+        std::fprintf(stderr, "failed to write campaign JSON to %s\n",
+                     path.c_str());
+}
 
 } // namespace aos::bench
 

@@ -1,9 +1,13 @@
 #!/usr/bin/env bash
 # Full local gate: default build + tier-1 tests, sanitizer build +
-# tests, and clang-tidy lint. Run from the repository root:
+# tests, campaign-engine smoke (JSON emission + serial/parallel
+# parity), and clang-tidy lint. Run from the repository root:
 #
 #   scripts/check.sh              # everything
 #   AOS_CHECK_SKIP_SANITIZE=1 scripts/check.sh   # skip the ASan pass
+#
+# The tier-1 stage runs every test; for a faster inner loop use
+# `ctest --preset default -LE slow` yourself.
 #
 # Exits non-zero on the first failure.
 set -euo pipefail
@@ -11,23 +15,43 @@ cd "$(dirname "$0")/.."
 
 JOBS="${AOS_CHECK_JOBS:-$(nproc)}"
 
-echo "== [1/4] default build =="
+echo "== [1/5] default build =="
 cmake --preset default
 cmake --build --preset default -j "${JOBS}"
 
-echo "== [2/4] tier-1 tests =="
+echo "== [2/5] tier-1 tests =="
 ctest --preset default -j "${JOBS}"
 
 if [ "${AOS_CHECK_SKIP_SANITIZE:-0}" != "1" ]; then
-    echo "== [3/4] sanitizer build + tests (ASan+UBSan) =="
+    echo "== [3/5] sanitizer build + tests (ASan+UBSan) =="
     cmake --preset sanitize
     cmake --build --preset sanitize -j "${JOBS}"
     ctest --preset sanitize -j "${JOBS}"
 else
-    echo "== [3/4] sanitizer pass skipped (AOS_CHECK_SKIP_SANITIZE=1) =="
+    echo "== [3/5] sanitizer pass skipped (AOS_CHECK_SKIP_SANITIZE=1) =="
 fi
 
-echo "== [4/4] lint =="
+echo "== [4/5] campaign smoke (JSON + jobs=1 vs jobs=4 parity) =="
+SMOKE_DIR="$(mktemp -d)"
+trap 'rm -rf "${SMOKE_DIR}"' EXIT
+AOS_SIM_OPS=20000 AOS_CAMPAIGN_PROGRESS=0 AOS_CAMPAIGN_JOBS=1 \
+    AOS_CAMPAIGN_JSON="${SMOKE_DIR}/serial.json" ./build/bench/campaign_smoke
+AOS_SIM_OPS=20000 AOS_CAMPAIGN_PROGRESS=0 AOS_CAMPAIGN_JOBS=4 \
+    AOS_CAMPAIGN_JSON="${SMOKE_DIR}/parallel.json" ./build/bench/campaign_smoke
+test -s "${SMOKE_DIR}/serial.json"
+grep -q '"schema": "aos-campaign-v1"' "${SMOKE_DIR}/serial.json"
+# Strip the timing-only fields (each JSON member is on its own line)
+# and require byte-equality: the determinism contract of DESIGN.md §7.
+if ! diff \
+    <(grep -vE '"(workers|wall_ms|total_wall_ms)"' "${SMOKE_DIR}/serial.json") \
+    <(grep -vE '"(workers|wall_ms|total_wall_ms)"' "${SMOKE_DIR}/parallel.json")
+then
+    echo "campaign smoke: serial/parallel parity FAILED" >&2
+    exit 1
+fi
+echo "campaign smoke: parity OK"
+
+echo "== [5/5] lint =="
 cmake --build --preset default --target lint
 
 echo "All checks passed."

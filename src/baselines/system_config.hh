@@ -50,6 +50,14 @@ struct SystemOptions
 
     u64 measureOps = 1'000'000;  //!< Committed micro-ops to simulate.
 
+    /**
+     * Extra workload-RNG entropy (src/campaign job seeds). The
+     * synthetic stream is a pure function of (profile, seedSalt), so
+     * two runs with equal options are bit-identical regardless of
+     * which thread executes them.
+     */
+    u64 seedSalt = 0;
+
     // Static-analysis layer (DESIGN.md "Static analysis layer").
     bool aosElision = false;  //!< Elide provably-redundant autm ops.
     bool verifyStream = false;//!< Lint the instrumented stream online.

@@ -1,0 +1,446 @@
+#include "campaign/campaign.hh"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <deque>
+#include <fstream>
+#include <mutex>
+#include <sstream>
+#include <thread>
+
+#include "campaign/json.hh"
+#include "common/logging.hh"
+
+namespace aos::campaign {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double
+secondsSince(Clock::time_point t0, Clock::time_point t1)
+{
+    return std::chrono::duration<double>(t1 - t0).count();
+}
+
+/**
+ * One worker's job queue. The owner pops from the front, thieves pop
+ * from the back: stolen work is the work the owner would reach last,
+ * which keeps the owner's cache-warm tail intact. A mutex per queue is
+ * ample here — jobs are whole simulations, so queue traffic is cold.
+ */
+class StealQueue
+{
+  public:
+    void
+    push(u32 idx)
+    {
+        std::lock_guard<std::mutex> guard(_mutex);
+        _queue.push_back(idx);
+    }
+
+    bool
+    popFront(u32 &idx)
+    {
+        std::lock_guard<std::mutex> guard(_mutex);
+        if (_queue.empty())
+            return false;
+        idx = _queue.front();
+        _queue.pop_front();
+        return true;
+    }
+
+    bool
+    popBack(u32 &idx)
+    {
+        std::lock_guard<std::mutex> guard(_mutex);
+        if (_queue.empty())
+            return false;
+        idx = _queue.back();
+        _queue.pop_back();
+        return true;
+    }
+
+  private:
+    std::mutex _mutex;
+    std::deque<u32> _queue;
+};
+
+core::RunResult
+executeJob(const Job &job)
+{
+    if (job.body)
+        return job.body();
+    baselines::SystemOptions options = job.options;
+    options.mech = job.mech;
+    if (job.ops)
+        options.measureOps = job.ops;
+    options.seedSalt = job.seed;
+    core::AosSystem system(job.profile, options);
+    return system.run();
+}
+
+} // namespace
+
+const char *
+jobStatusName(JobStatus status)
+{
+    switch (status) {
+      case JobStatus::kPending: return "pending";
+      case JobStatus::kOk: return "ok";
+      case JobStatus::kFailed: return "failed";
+      case JobStatus::kTimeout: return "timeout";
+    }
+    return "unknown";
+}
+
+const char *
+reduceOpName(ReduceOp op)
+{
+    switch (op) {
+      case ReduceOp::kGeomean: return "geomean";
+      case ReduceOp::kSum: return "sum";
+      case ReduceOp::kMax: return "max";
+      case ReduceOp::kMin: return "min";
+      case ReduceOp::kMean: return "mean";
+    }
+    return "unknown";
+}
+
+Campaign::Campaign(CampaignOptions options) : _options(std::move(options))
+{
+}
+
+u32
+Campaign::add(Job job)
+{
+    if (job.name.empty()) {
+        job.name = job.profile.name.empty()
+                       ? csprintf("job%zu", _jobs.size())
+                       : job.profile.name + "/" +
+                             baselines::mechanismName(job.mech);
+    }
+    _jobs.push_back(std::move(job));
+    return static_cast<u32>(_jobs.size() - 1);
+}
+
+u32
+Campaign::addConfig(const workloads::WorkloadProfile &profile,
+                    baselines::Mechanism mech, u64 ops,
+                    const baselines::SystemOptions &base, u64 seed)
+{
+    Job job;
+    job.profile = profile;
+    job.mech = mech;
+    job.options = base;
+    job.ops = ops;
+    job.seed = seed;
+    return add(std::move(job));
+}
+
+void
+Campaign::addReducer(Reducer reducer)
+{
+    _reducers.push_back(std::move(reducer));
+}
+
+CampaignResult
+Campaign::run()
+{
+    const size_t total = _jobs.size();
+    unsigned workers =
+        _options.workers ? _options.workers
+                         : std::max(1u, std::thread::hardware_concurrency());
+    workers = static_cast<unsigned>(
+        std::min<size_t>(workers, std::max<size_t>(total, 1)));
+
+    CampaignResult result;
+    result.name = _options.name;
+    result.workers = workers;
+    result.maxAttempts = std::max(1u, _options.maxAttempts);
+    result.timeoutSec = _options.timeoutSec;
+    result.jobs.resize(total);
+
+    const Clock::time_point start = Clock::now();
+    std::atomic<u32> completed{0};
+    std::mutex progressMutex;
+    Clock::time_point lastReport = start;
+
+    auto reportProgress = [&](u32 done) {
+        if (!_options.progress)
+            return;
+        std::lock_guard<std::mutex> guard(progressMutex);
+        const Clock::time_point now = Clock::now();
+        if (done < total &&
+            secondsSince(lastReport, now) < _options.progressIntervalSec) {
+            return;
+        }
+        lastReport = now;
+        const double elapsed = secondsSince(start, now);
+        const double eta =
+            done ? elapsed / done * static_cast<double>(total - done) : 0.0;
+        progressf("campaign %s: %u/%zu jobs (%.0f%%), elapsed %.1fs, "
+                  "eta %.1fs",
+                  _options.name.c_str(), done, total,
+                  total ? 100.0 * done / static_cast<double>(total) : 100.0,
+                  elapsed, eta);
+    };
+
+    auto runOne = [&](u32 idx) {
+        const Job &job = _jobs[idx];
+        JobResult &r = result.jobs[idx];
+        r.id = idx;
+        r.name = job.name;
+        r.profile = job.profile.name;
+        r.mech = job.mech;
+        r.seed = job.seed;
+        r.ops = job.ops ? job.ops : job.options.measureOps;
+
+        for (unsigned attempt = 1; attempt <= result.maxAttempts;
+             ++attempt) {
+            r.attempts = attempt;
+            const Clock::time_point t0 = Clock::now();
+            try {
+                core::RunResult run = executeJob(job);
+                r.wallMs = 1e3 * secondsSince(t0, Clock::now());
+                if (result.timeoutSec > 0 &&
+                    r.wallMs > 1e3 * result.timeoutSec) {
+                    // A pathological config would just time out again;
+                    // record it and hand the worker the next job.
+                    r.status = JobStatus::kTimeout;
+                    r.error = csprintf(
+                        "attempt exceeded %.3fs wall-clock budget "
+                        "(took %.3fs)",
+                        result.timeoutSec, r.wallMs / 1e3);
+                    break;
+                }
+                r.run = std::move(run);
+                r.stats = r.run.toStatSet();
+                r.status = JobStatus::kOk;
+                r.error.clear();
+                break;
+            } catch (const std::exception &e) {
+                r.wallMs = 1e3 * secondsSince(t0, Clock::now());
+                r.status = JobStatus::kFailed;
+                r.error = e.what();
+            } catch (...) {
+                r.wallMs = 1e3 * secondsSince(t0, Clock::now());
+                r.status = JobStatus::kFailed;
+                r.error = "unknown exception";
+            }
+        }
+        if (r.status == JobStatus::kFailed && !quiet()) {
+            warn("campaign %s: job %s failed after %u attempt(s): %s",
+                 _options.name.c_str(), r.name.c_str(), r.attempts,
+                 r.error.c_str());
+        }
+        reportProgress(completed.fetch_add(1, std::memory_order_relaxed) +
+                       1);
+    };
+
+    // Deal jobs round-robin, then let idle workers steal from the
+    // back of their peers' queues. No job creates further jobs, so a
+    // worker may retire once every queue is empty.
+    std::vector<StealQueue> queues(workers);
+    for (size_t i = 0; i < total; ++i)
+        queues[i % workers].push(static_cast<u32>(i));
+
+    auto workerLoop = [&](unsigned self) {
+        u32 idx;
+        for (;;) {
+            if (queues[self].popFront(idx)) {
+                runOne(idx);
+                continue;
+            }
+            bool stole = false;
+            for (unsigned k = 1; k < workers; ++k) {
+                if (queues[(self + k) % workers].popBack(idx)) {
+                    stole = true;
+                    break;
+                }
+            }
+            if (!stole)
+                return;
+            runOne(idx);
+        }
+    };
+
+    if (workers <= 1) {
+        workerLoop(0);
+    } else {
+        std::vector<std::thread> pool;
+        pool.reserve(workers);
+        for (unsigned w = 0; w < workers; ++w)
+            pool.emplace_back(workerLoop, w);
+        for (auto &t : pool)
+            t.join();
+    }
+
+    result.totalWallMs = 1e3 * secondsSince(start, Clock::now());
+    for (const JobResult &r : result.jobs) {
+        if (r.ok())
+            result.merged.merge(r.stats);
+    }
+    computeReducers(result, _reducers);
+    return result;
+}
+
+void
+computeReducers(CampaignResult &result, const std::vector<Reducer> &reducers)
+{
+    result.reducers.clear();
+    result.reducers.reserve(reducers.size());
+    for (const Reducer &reducer : reducers) {
+        std::vector<double> values;
+        for (const JobResult &job : result.jobs) {
+            if (!job.ok())
+                continue;
+            if (reducer.filter && !reducer.filter(job))
+                continue;
+            if (!job.stats.has(reducer.stat))
+                continue;
+            values.push_back(job.stats.value(reducer.stat));
+        }
+        double out = 0;
+        if (!values.empty()) {
+            switch (reducer.op) {
+              case ReduceOp::kGeomean:
+                out = geomean(values);
+                break;
+              case ReduceOp::kSum:
+                for (const double v : values)
+                    out += v;
+                break;
+              case ReduceOp::kMax:
+                out = *std::max_element(values.begin(), values.end());
+                break;
+              case ReduceOp::kMin:
+                out = *std::min_element(values.begin(), values.end());
+                break;
+              case ReduceOp::kMean:
+                for (const double v : values)
+                    out += v;
+                out /= static_cast<double>(values.size());
+                break;
+            }
+        }
+        result.reducers.push_back({reducer.name, reducer.op, reducer.stat,
+                                   out, values.size()});
+    }
+}
+
+bool
+CampaignResult::allOk() const
+{
+    return std::all_of(jobs.begin(), jobs.end(),
+                       [](const JobResult &r) { return r.ok(); });
+}
+
+unsigned
+CampaignResult::count(JobStatus status) const
+{
+    return static_cast<unsigned>(
+        std::count_if(jobs.begin(), jobs.end(), [&](const JobResult &r) {
+            return r.status == status;
+        }));
+}
+
+const JobResult *
+CampaignResult::find(const std::string &jobName) const
+{
+    for (const JobResult &r : jobs) {
+        if (r.name == jobName)
+            return &r;
+    }
+    return nullptr;
+}
+
+void
+CampaignResult::writeJson(std::ostream &os, bool includeTimings) const
+{
+    JsonValue root = JsonValue::object();
+    root.set("schema", "aos-campaign-v1");
+
+    JsonValue meta = JsonValue::object();
+    meta.set("name", name);
+    meta.set("jobs", static_cast<u64>(jobs.size()));
+    meta.set("max_attempts", maxAttempts);
+    meta.set("timeout_sec", timeoutSec);
+    if (includeTimings) {
+        meta.set("workers", workers);
+        meta.set("total_wall_ms", totalWallMs);
+    }
+    root.set("campaign", std::move(meta));
+
+    JsonValue jobArray = JsonValue::array();
+    for (const JobResult &r : jobs) {
+        JsonValue j = JsonValue::object();
+        j.set("id", static_cast<u64>(r.id));
+        j.set("name", r.name);
+        if (!r.profile.empty())
+            j.set("profile", r.profile);
+        j.set("mech", baselines::mechanismName(r.mech));
+        j.set("seed", r.seed);
+        j.set("ops", r.ops);
+        j.set("status", jobStatusName(r.status));
+        j.set("attempts", r.attempts);
+        if (includeTimings)
+            j.set("wall_ms", r.wallMs);
+        if (!r.error.empty())
+            j.set("error", r.error);
+        JsonValue stats = JsonValue::object();
+        for (const auto &[key, stat] : r.stats.scalars())
+            stats.set(key, stat.value());
+        j.set("stats", std::move(stats));
+        jobArray.push(std::move(j));
+    }
+    root.set("jobs", std::move(jobArray));
+
+    JsonValue reducerArray = JsonValue::array();
+    for (const ReducerOutput &r : reducers) {
+        JsonValue j = JsonValue::object();
+        j.set("name", r.name);
+        j.set("op", reduceOpName(r.op));
+        j.set("stat", r.stat);
+        j.set("value", r.value);
+        j.set("count", r.count);
+        reducerArray.push(std::move(j));
+    }
+    root.set("reducers", std::move(reducerArray));
+
+    root.write(os);
+    os << '\n';
+}
+
+std::string
+CampaignResult::json(bool includeTimings) const
+{
+    std::ostringstream os;
+    writeJson(os, includeTimings);
+    return os.str();
+}
+
+bool
+CampaignResult::writeJsonFile(const std::string &path,
+                              bool includeTimings) const
+{
+    std::ofstream os(path);
+    if (!os)
+        return false;
+    writeJson(os, includeTimings);
+    return static_cast<bool>(os);
+}
+
+unsigned
+workersFromEnv(unsigned fallback)
+{
+    const char *value = std::getenv("AOS_CAMPAIGN_JOBS");
+    if (!value || !*value)
+        return fallback;
+    const unsigned long parsed = std::strtoul(value, nullptr, 0);
+    return parsed ? static_cast<unsigned>(parsed) : fallback;
+}
+
+} // namespace aos::campaign

@@ -1,0 +1,188 @@
+/**
+ * @file
+ * Experiment-campaign engine: turns a declarative list of independent
+ * simulation jobs (workload profile × mechanism × options × seed) into
+ * results via a work-stealing thread pool.
+ *
+ * Contracts (see DESIGN.md §7):
+ *
+ *  - Determinism: each job is a pure function of its spec — the
+ *    workload RNG is seeded from (profile name, job seed) and no state
+ *    is shared between jobs — so a campaign executed with any worker
+ *    count produces bit-identical per-job results, and the canonical
+ *    JSON emission (timings stripped) is byte-equal across runs.
+ *  - Robustness: a job that throws is retried up to
+ *    CampaignOptions::maxAttempts times and then recorded as kFailed
+ *    with the exception text; an attempt whose wall time exceeds
+ *    CampaignOptions::timeoutSec is recorded as kTimeout and not
+ *    retried. Either way the rest of the sweep keeps running. (The
+ *    timeout is classified post-hoc — a non-terminating job still
+ *    occupies its worker; it cannot be preempted portably.)
+ *  - Aggregation: per-job stats flatten to StatSet and fold into a
+ *    campaign-wide rollup via StatSet::merge(); named reducers
+ *    (geomean/sum/max/min/mean over a stat, with an optional job
+ *    filter) compute figure-style summary numbers.
+ *  - Emission: results serialize to a versioned JSON document
+ *    ("aos-campaign-v1") with every member on its own line, so
+ *    `grep -v` + `diff` can check run-to-run parity from a shell.
+ */
+
+#ifndef AOS_CAMPAIGN_CAMPAIGN_HH
+#define AOS_CAMPAIGN_CAMPAIGN_HH
+
+#include <functional>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "baselines/system_config.hh"
+#include "common/stats.hh"
+#include "core/aos_system.hh"
+#include "workloads/workload_profile.hh"
+
+namespace aos::campaign {
+
+/** One independent experiment in a campaign. */
+struct Job
+{
+    std::string name;    //!< Label; defaults to "<profile>/<mech>".
+    workloads::WorkloadProfile profile;
+    baselines::Mechanism mech = baselines::Mechanism::kBaseline;
+    baselines::SystemOptions options; //!< mech/ops/seed overridden below.
+    u64 seed = 0;        //!< Workload seed salt (determinism contract).
+    u64 ops = 0;         //!< Measured micro-ops; 0 = options.measureOps.
+
+    /**
+     * Test/extension hook: when set, runs instead of the AosSystem
+     * simulation (exception capture, retry and timeout still apply).
+     */
+    std::function<core::RunResult()> body;
+};
+
+enum class JobStatus { kPending, kOk, kFailed, kTimeout };
+
+const char *jobStatusName(JobStatus status);
+
+/** Outcome of one job, in submission order regardless of workers. */
+struct JobResult
+{
+    u32 id = 0;
+    std::string name;
+    std::string profile;
+    baselines::Mechanism mech = baselines::Mechanism::kBaseline;
+    u64 seed = 0;
+    u64 ops = 0;
+
+    JobStatus status = JobStatus::kPending;
+    unsigned attempts = 0;
+    double wallMs = 0;    //!< Wall clock of the final attempt (timing).
+    std::string error;    //!< Exception text for kFailed / kTimeout.
+
+    core::RunResult run;  //!< Valid when ok().
+    StatSet stats;        //!< Flattened run stats (mutable: harnesses
+                          //!< may inject derived scalars pre-reduce).
+
+    bool ok() const { return status == JobStatus::kOk; }
+};
+
+enum class ReduceOp { kGeomean, kSum, kMax, kMin, kMean };
+
+const char *reduceOpName(ReduceOp op);
+
+/** A named figure-style rollup over one stat across matching jobs. */
+struct Reducer
+{
+    std::string name;
+    ReduceOp op = ReduceOp::kGeomean;
+    std::string stat; //!< Key into JobResult::stats.
+    std::function<bool(const JobResult &)> filter; //!< null = all ok.
+};
+
+struct ReducerOutput
+{
+    std::string name;
+    ReduceOp op = ReduceOp::kGeomean;
+    std::string stat;
+    double value = 0;
+    u64 count = 0; //!< Jobs that contributed.
+};
+
+struct CampaignOptions
+{
+    std::string name = "campaign";
+    unsigned workers = 0;      //!< 0 = std::thread::hardware_concurrency.
+    unsigned maxAttempts = 1;  //!< Attempts per job before kFailed.
+    double timeoutSec = 0;     //!< Per-attempt wall budget; 0 = none.
+    bool progress = false;     //!< progressf() completion/ETA lines.
+    double progressIntervalSec = 2.0;
+};
+
+struct CampaignResult
+{
+    std::string name;
+    unsigned workers = 1;      //!< Resolved worker count (timing field).
+    unsigned maxAttempts = 1;
+    double timeoutSec = 0;
+    double totalWallMs = 0;    //!< Timing field.
+
+    std::vector<JobResult> jobs;
+    std::vector<ReducerOutput> reducers;
+    StatSet merged{"campaign"}; //!< StatSet::merge of all ok jobs.
+
+    bool allOk() const;
+    unsigned count(JobStatus status) const;
+    const JobResult *find(const std::string &jobName) const;
+
+    /**
+     * Serialize as "aos-campaign-v1" JSON. With @p includeTimings
+     * false the document is canonical: wall-clock fields and the
+     * worker count are omitted, so two runs of the same campaign are
+     * byte-equal whatever the parallelism.
+     */
+    void writeJson(std::ostream &os, bool includeTimings = true) const;
+    std::string json(bool includeTimings = true) const;
+    bool writeJsonFile(const std::string &path,
+                       bool includeTimings = true) const;
+};
+
+class Campaign
+{
+  public:
+    explicit Campaign(CampaignOptions options = {});
+
+    /** Queue a job; returns its id (= index into result.jobs). */
+    u32 add(Job job);
+
+    /** Grid convenience: one simulation config as a job. */
+    u32 addConfig(const workloads::WorkloadProfile &profile,
+                  baselines::Mechanism mech, u64 ops,
+                  const baselines::SystemOptions &base = {}, u64 seed = 0);
+
+    void addReducer(Reducer reducer);
+
+    size_t size() const { return _jobs.size(); }
+    const CampaignOptions &options() const { return _options; }
+
+    /** Execute every queued job; blocks until the sweep finishes. */
+    CampaignResult run();
+
+  private:
+    CampaignOptions _options;
+    std::vector<Job> _jobs;
+    std::vector<Reducer> _reducers;
+};
+
+/**
+ * (Re)compute reducer outputs over the current job stats. Harnesses
+ * that inject derived per-job scalars (e.g. cycles normalized to a
+ * baseline job) call this afterwards to refresh result.reducers.
+ */
+void computeReducers(CampaignResult &result,
+                     const std::vector<Reducer> &reducers);
+
+/** AOS_CAMPAIGN_JOBS env override; @p fallback when unset/invalid. */
+unsigned workersFromEnv(unsigned fallback = 0);
+
+} // namespace aos::campaign
+
+#endif // AOS_CAMPAIGN_CAMPAIGN_HH

@@ -1,0 +1,140 @@
+#include "campaign/json.hh"
+
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+namespace aos::campaign {
+
+JsonValue
+JsonValue::object()
+{
+    JsonValue v;
+    v._kind = Kind::kObject;
+    return v;
+}
+
+JsonValue
+JsonValue::array()
+{
+    JsonValue v;
+    v._kind = Kind::kArray;
+    return v;
+}
+
+JsonValue &
+JsonValue::set(const std::string &key, JsonValue value)
+{
+    _members.emplace_back(key, std::move(value));
+    return *this;
+}
+
+JsonValue &
+JsonValue::push(JsonValue value)
+{
+    _elements.push_back(std::move(value));
+    return *this;
+}
+
+std::string
+jsonQuote(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size() + 2);
+    out.push_back('"');
+    for (const char c : s) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\r': out += "\\r"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x",
+                              static_cast<unsigned>(c) & 0xff);
+                out += buf;
+            } else {
+                out.push_back(c);
+            }
+        }
+    }
+    out.push_back('"');
+    return out;
+}
+
+std::string
+jsonNumber(double v)
+{
+    if (!std::isfinite(v))
+        return "null"; // JSON has no inf/nan.
+    // Integral values inside the exactly-representable range print as
+    // integers: stat counters stay readable and byte-stable.
+    if (v == std::floor(v) && std::fabs(v) < 9.007199254740992e15) {
+        char buf[32];
+        std::snprintf(buf, sizeof(buf), "%lld",
+                      static_cast<long long>(v));
+        return buf;
+    }
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    return buf;
+}
+
+void
+JsonValue::write(std::ostream &os, unsigned depth) const
+{
+    const std::string pad(2 * depth, ' ');
+    const std::string inner(2 * (depth + 1), ' ');
+    switch (_kind) {
+      case Kind::kNull:
+        os << "null";
+        break;
+      case Kind::kBool:
+        os << (_bool ? "true" : "false");
+        break;
+      case Kind::kNumber:
+        os << jsonNumber(_number);
+        break;
+      case Kind::kString:
+        os << jsonQuote(_string);
+        break;
+      case Kind::kObject:
+        if (_members.empty()) {
+            os << "{}";
+            break;
+        }
+        os << "{\n";
+        for (size_t i = 0; i < _members.size(); ++i) {
+            os << inner << jsonQuote(_members[i].first) << ": ";
+            _members[i].second.write(os, depth + 1);
+            os << (i + 1 < _members.size() ? ",\n" : "\n");
+        }
+        os << pad << '}';
+        break;
+      case Kind::kArray:
+        if (_elements.empty()) {
+            os << "[]";
+            break;
+        }
+        os << "[\n";
+        for (size_t i = 0; i < _elements.size(); ++i) {
+            os << inner;
+            _elements[i].write(os, depth + 1);
+            os << (i + 1 < _elements.size() ? ",\n" : "\n");
+        }
+        os << pad << ']';
+        break;
+    }
+}
+
+std::string
+JsonValue::str() const
+{
+    std::ostringstream os;
+    write(os);
+    return os.str();
+}
+
+} // namespace aos::campaign

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Minimal ordered JSON document writer for campaign result emission.
+ *
+ * Deliberately tiny (no parsing, no external dependency): campaigns
+ * only need to *write* machine-readable results. Two properties matter
+ * for the determinism contract and the shell-level tooling built on
+ * top of the output:
+ *
+ *  - object members keep insertion order and every member is emitted
+ *    on its own line, so timing-only fields can be stripped with
+ *    `grep -v` before diffing two campaign runs;
+ *  - numbers format deterministically (integers exactly, doubles via
+ *    shortest-round-trip %.17g), so equal stats produce byte-equal
+ *    documents.
+ */
+
+#ifndef AOS_CAMPAIGN_JSON_HH
+#define AOS_CAMPAIGN_JSON_HH
+
+#include <ostream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace aos::campaign {
+
+class JsonValue
+{
+  public:
+    enum class Kind { kNull, kBool, kNumber, kString, kObject, kArray };
+
+    JsonValue() : _kind(Kind::kNull) {}
+    JsonValue(bool b) : _kind(Kind::kBool), _bool(b) {}
+    JsonValue(double v) : _kind(Kind::kNumber), _number(v) {}
+    JsonValue(u64 v) : _kind(Kind::kNumber), _number(static_cast<double>(v))
+    {}
+    JsonValue(int v) : _kind(Kind::kNumber), _number(v) {}
+    JsonValue(unsigned v) : _kind(Kind::kNumber), _number(v) {}
+    JsonValue(const char *s) : _kind(Kind::kString), _string(s) {}
+    JsonValue(std::string s) : _kind(Kind::kString), _string(std::move(s))
+    {}
+
+    static JsonValue object();
+    static JsonValue array();
+
+    Kind kind() const { return _kind; }
+
+    /** Append a member to an object (keeps insertion order). */
+    JsonValue &set(const std::string &key, JsonValue value);
+
+    /** Append an element to an array. */
+    JsonValue &push(JsonValue value);
+
+    /** Pretty-print: 2-space indent, one object member per line. */
+    void write(std::ostream &os, unsigned depth = 0) const;
+
+    std::string str() const;
+
+  private:
+    Kind _kind;
+    bool _bool = false;
+    double _number = 0;
+    std::string _string;
+    std::vector<std::pair<std::string, JsonValue>> _members;
+    std::vector<JsonValue> _elements;
+};
+
+/** Escape a string for embedding in a JSON document (adds quotes). */
+std::string jsonQuote(const std::string &s);
+
+/** Deterministic JSON number formatting (see file comment). */
+std::string jsonNumber(double v);
+
+} // namespace aos::campaign
+
+#endif // AOS_CAMPAIGN_JSON_HH

@@ -1,15 +1,25 @@
 #include "common/logging.hh"
 
+#include <atomic>
 #include <cstdarg>
 #include <cstdio>
 #include <cstdlib>
+#include <mutex>
 #include <vector>
 
 namespace aos {
 
 namespace {
 
-bool gQuiet = false;
+std::atomic<bool> gQuiet{false};
+
+/**
+ * Serializes every sink write. Campaign workers log concurrently, so
+ * each message must reach its stream as one uninterrupted line; a
+ * single mutex over the lone write path guarantees that without
+ * ordering constraints between streams.
+ */
+std::mutex gSinkMutex;
 
 std::string
 vformat(const char *fmt, va_list ap)
@@ -27,18 +37,27 @@ vformat(const char *fmt, va_list ap)
     return out;
 }
 
+/** The single write path: one complete line, one locked write. */
+void
+emitLine(std::FILE *to, const std::string &line)
+{
+    std::lock_guard<std::mutex> guard(gSinkMutex);
+    std::fwrite(line.data(), 1, line.size(), to);
+    std::fflush(to);
+}
+
 } // namespace
 
 void
 setQuiet(bool q)
 {
-    gQuiet = q;
+    gQuiet.store(q, std::memory_order_relaxed);
 }
 
 bool
 quiet()
 {
-    return gQuiet;
+    return gQuiet.load(std::memory_order_relaxed);
 }
 
 std::string
@@ -58,7 +77,8 @@ panicImpl(const char *file, int line, const char *fmt, ...)
     va_start(ap, fmt);
     std::string msg = vformat(fmt, ap);
     va_end(ap);
-    std::fprintf(stderr, "panic: %s (%s:%d)\n", msg.c_str(), file, line);
+    emitLine(stderr,
+             csprintf("panic: %s (%s:%d)\n", msg.c_str(), file, line));
     std::abort();
 }
 
@@ -69,32 +89,43 @@ fatalImpl(const char *file, int line, const char *fmt, ...)
     va_start(ap, fmt);
     std::string msg = vformat(fmt, ap);
     va_end(ap);
-    std::fprintf(stderr, "fatal: %s (%s:%d)\n", msg.c_str(), file, line);
+    emitLine(stderr,
+             csprintf("fatal: %s (%s:%d)\n", msg.c_str(), file, line));
     std::exit(1);
 }
 
 void
 warnImpl(const char *fmt, ...)
 {
-    if (gQuiet)
+    if (quiet())
         return;
     va_list ap;
     va_start(ap, fmt);
     std::string msg = vformat(fmt, ap);
     va_end(ap);
-    std::fprintf(stderr, "warn: %s\n", msg.c_str());
+    emitLine(stderr, "warn: " + msg + "\n");
 }
 
 void
 informImpl(const char *fmt, ...)
 {
-    if (gQuiet)
+    if (quiet())
         return;
     va_list ap;
     va_start(ap, fmt);
     std::string msg = vformat(fmt, ap);
     va_end(ap);
-    std::fprintf(stdout, "info: %s\n", msg.c_str());
+    emitLine(stdout, "info: " + msg + "\n");
+}
+
+void
+progressf(const char *fmt, ...)
+{
+    va_list ap;
+    va_start(ap, fmt);
+    std::string msg = vformat(fmt, ap);
+    va_end(ap);
+    emitLine(stderr, "progress: " + msg + "\n");
 }
 
 } // namespace aos

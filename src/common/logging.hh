@@ -9,6 +9,12 @@
  * inform() - normal operating messages.
  *
  * Messages accept printf-style formatting.
+ *
+ * All sinks share a single mutex-guarded write path, so messages from
+ * concurrent threads (e.g. campaign workers) never interleave within a
+ * line. progressf() is the status/ETA channel used by long sweeps: it
+ * writes to stderr and is NOT silenced by setQuiet(), so benchmarks can
+ * stay quiet while still reporting progress.
  */
 
 #ifndef AOS_COMMON_LOGGING_HH
@@ -24,6 +30,9 @@ namespace aos {
     __attribute__((format(printf, 3, 4)));
 void warnImpl(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
 void informImpl(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** Progress/ETA status line (stderr); not silenced by setQuiet(). */
+void progressf(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
 
 /** Format a printf-style message into a std::string. */
 std::string csprintf(const char *fmt, ...)

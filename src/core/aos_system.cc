@@ -138,7 +138,7 @@ AosSystem::AosSystem(const workloads::WorkloadProfile &profile,
                                            _mcu.get());
 
     _workload = std::make_unique<workloads::SyntheticWorkload>(
-        profile, options.measureOps);
+        profile, options.measureOps, options.seedSalt);
     buildPipeline();
 }
 

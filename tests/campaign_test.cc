@@ -1,0 +1,350 @@
+/**
+ * @file
+ * Tests for the experiment-campaign engine (src/campaign): determinism
+ * parity across worker counts, exception capture, bounded retry,
+ * wall-clock timeout classification, reducers, aggregation, and the
+ * JSON emission contract.
+ */
+
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <cstdlib>
+#include <memory>
+#include <stdexcept>
+#include <thread>
+
+#include <gtest/gtest.h>
+
+#include "campaign/campaign.hh"
+#include "campaign/json.hh"
+#include "common/logging.hh"
+
+namespace aos::campaign {
+namespace {
+
+using baselines::Mechanism;
+
+constexpr u64 kTinyOps = 3'000;
+
+/** A body job returning a RunResult with a chosen cycle count. */
+Job
+bodyJob(const std::string &name, u64 cycles)
+{
+    Job job;
+    job.name = name;
+    job.body = [cycles] {
+        core::RunResult r;
+        r.workload = "body";
+        r.core.cycles = cycles;
+        r.core.committed = cycles;
+        return r;
+    };
+    return job;
+}
+
+/** The two cheapest SPEC profiles keep simulation tests fast. */
+Campaign
+tinySimCampaign(unsigned workers)
+{
+    CampaignOptions options;
+    options.name = "parity";
+    options.workers = workers;
+    Campaign c(options);
+    for (const char *name : {"bzip2", "mcf"}) {
+        const auto &profile = workloads::profileByName(name);
+        c.addConfig(profile, Mechanism::kBaseline, kTinyOps);
+        c.addConfig(profile, Mechanism::kAos, kTinyOps);
+        c.addConfig(profile, Mechanism::kPaAos, kTinyOps, {}, /*seed=*/7);
+    }
+    return c;
+}
+
+TEST(CampaignDeterminism, SerialAndParallelRunsAreBitIdentical)
+{
+    setQuiet(true);
+    CampaignResult serial = tinySimCampaign(1).run();
+    const unsigned hw =
+        std::max(4u, std::thread::hardware_concurrency());
+    CampaignResult parallel = tinySimCampaign(hw).run();
+
+    ASSERT_TRUE(serial.allOk());
+    ASSERT_TRUE(parallel.allOk());
+    ASSERT_EQ(serial.jobs.size(), parallel.jobs.size());
+    for (size_t i = 0; i < serial.jobs.size(); ++i) {
+        SCOPED_TRACE(serial.jobs[i].name);
+        EXPECT_EQ(serial.jobs[i].run.core.cycles,
+                  parallel.jobs[i].run.core.cycles);
+        EXPECT_EQ(serial.jobs[i].run.core.committed,
+                  parallel.jobs[i].run.core.committed);
+        EXPECT_EQ(serial.jobs[i].run.networkTraffic,
+                  parallel.jobs[i].run.networkTraffic);
+    }
+    // The canonical JSON documents must be byte-equal.
+    EXPECT_EQ(serial.json(/*includeTimings=*/false),
+              parallel.json(/*includeTimings=*/false));
+}
+
+TEST(CampaignDeterminism, SeedChangesTheRun)
+{
+    setQuiet(true);
+    const auto &profile = workloads::profileByName("bzip2");
+    Campaign c(CampaignOptions{});
+    c.addConfig(profile, Mechanism::kAos, kTinyOps, {}, /*seed=*/0);
+    c.addConfig(profile, Mechanism::kAos, kTinyOps, {}, /*seed=*/1);
+    CampaignResult r = c.run();
+    ASSERT_TRUE(r.allOk());
+    EXPECT_NE(r.jobs[0].run.core.cycles, r.jobs[1].run.core.cycles);
+}
+
+TEST(CampaignRobustness, ExceptionIsCapturedAndSweepContinues)
+{
+    setQuiet(true);
+    CampaignOptions options;
+    options.workers = 2;
+    Campaign c(options);
+    Job bad;
+    bad.name = "bad";
+    bad.body = []() -> core::RunResult {
+        throw std::runtime_error("deliberate failure");
+    };
+    c.add(std::move(bad));
+    c.add(bodyJob("good", 100));
+
+    CampaignResult r = c.run();
+    EXPECT_FALSE(r.allOk());
+    EXPECT_EQ(r.count(JobStatus::kFailed), 1u);
+    EXPECT_EQ(r.count(JobStatus::kOk), 1u);
+    EXPECT_EQ(r.jobs[0].status, JobStatus::kFailed);
+    EXPECT_EQ(r.jobs[0].error, "deliberate failure");
+    EXPECT_TRUE(r.jobs[1].ok());
+}
+
+TEST(CampaignRobustness, BoundedRetryRecoversFlakyJob)
+{
+    setQuiet(true);
+    auto attempts = std::make_shared<std::atomic<int>>(0);
+    CampaignOptions options;
+    options.maxAttempts = 3;
+    Campaign c(options);
+    Job flaky;
+    flaky.name = "flaky";
+    flaky.body = [attempts]() -> core::RunResult {
+        if (attempts->fetch_add(1) == 0)
+            throw std::runtime_error("transient");
+        core::RunResult r;
+        r.core.cycles = 42;
+        return r;
+    };
+    c.add(std::move(flaky));
+
+    CampaignResult r = c.run();
+    ASSERT_TRUE(r.allOk());
+    EXPECT_EQ(r.jobs[0].attempts, 2u);
+    EXPECT_EQ(r.jobs[0].run.core.cycles, 42u);
+    EXPECT_TRUE(r.jobs[0].error.empty());
+}
+
+TEST(CampaignRobustness, PersistentFailureExhaustsAttempts)
+{
+    setQuiet(true);
+    CampaignOptions options;
+    options.maxAttempts = 3;
+    Campaign c(options);
+    Job bad;
+    bad.name = "always-bad";
+    bad.body = []() -> core::RunResult {
+        throw std::logic_error("permanent");
+    };
+    c.add(std::move(bad));
+
+    CampaignResult r = c.run();
+    EXPECT_EQ(r.jobs[0].status, JobStatus::kFailed);
+    EXPECT_EQ(r.jobs[0].attempts, 3u);
+    EXPECT_EQ(r.jobs[0].error, "permanent");
+}
+
+TEST(CampaignRobustness, OverBudgetAttemptClassifiedAsTimeout)
+{
+    setQuiet(true);
+    CampaignOptions options;
+    options.timeoutSec = 0.005;
+    options.maxAttempts = 3; // Timeouts must NOT retry.
+    Campaign c(options);
+    Job slow;
+    slow.name = "slow";
+    slow.body = []() -> core::RunResult {
+        std::this_thread::sleep_for(std::chrono::milliseconds(30));
+        return core::RunResult();
+    };
+    c.add(std::move(slow));
+
+    CampaignResult r = c.run();
+    EXPECT_EQ(r.jobs[0].status, JobStatus::kTimeout);
+    EXPECT_EQ(r.jobs[0].attempts, 1u);
+    EXPECT_NE(r.jobs[0].error.find("wall-clock budget"),
+              std::string::npos);
+}
+
+TEST(CampaignPool, ManyJobsAllRunExactlyOnce)
+{
+    setQuiet(true);
+    auto runs = std::make_shared<std::atomic<int>>(0);
+    CampaignOptions options;
+    options.workers = 4;
+    Campaign c(options);
+    constexpr int kJobs = 64;
+    for (int i = 0; i < kJobs; ++i) {
+        Job job;
+        job.name = csprintf("job%d", i);
+        job.body = [runs, i] {
+            runs->fetch_add(1);
+            core::RunResult r;
+            r.core.cycles = static_cast<u64>(i);
+            return r;
+        };
+        c.add(std::move(job));
+    }
+    CampaignResult r = c.run();
+    ASSERT_TRUE(r.allOk());
+    EXPECT_EQ(runs->load(), kJobs);
+    // Results are in submission order regardless of stealing.
+    for (int i = 0; i < kJobs; ++i)
+        EXPECT_EQ(r.jobs[i].run.core.cycles, static_cast<u64>(i));
+}
+
+TEST(CampaignReducers, NamedRollupsOverStats)
+{
+    setQuiet(true);
+    Campaign c(CampaignOptions{});
+    c.add(bodyJob("a", 100));
+    c.add(bodyJob("b", 400));
+    c.add(bodyJob("c", 900));
+    c.addReducer({"sum_cycles", ReduceOp::kSum, "cycles", nullptr});
+    c.addReducer({"max_cycles", ReduceOp::kMax, "cycles", nullptr});
+    c.addReducer({"min_cycles", ReduceOp::kMin, "cycles", nullptr});
+    c.addReducer({"mean_cycles", ReduceOp::kMean, "cycles", nullptr});
+    c.addReducer({"geo_cycles", ReduceOp::kGeomean, "cycles", nullptr});
+    c.addReducer({"filtered", ReduceOp::kSum, "cycles",
+                  [](const JobResult &j) { return j.name != "b"; }});
+
+    CampaignResult r = c.run();
+    ASSERT_EQ(r.reducers.size(), 6u);
+    EXPECT_DOUBLE_EQ(r.reducers[0].value, 1400.0);
+    EXPECT_DOUBLE_EQ(r.reducers[1].value, 900.0);
+    EXPECT_DOUBLE_EQ(r.reducers[2].value, 100.0);
+    EXPECT_NEAR(r.reducers[3].value, 1400.0 / 3, 1e-9);
+    EXPECT_NEAR(r.reducers[4].value,
+                std::cbrt(100.0 * 400.0 * 900.0), 1e-6);
+    EXPECT_DOUBLE_EQ(r.reducers[5].value, 1000.0);
+    EXPECT_EQ(r.reducers[5].count, 2u);
+
+    // Harness-injected derived stats feed recomputation.
+    for (auto &job : r.jobs)
+        job.stats.scalar("doubled") = 2 * job.stats.value("cycles");
+    computeReducers(r, {{"sum_doubled", ReduceOp::kSum, "doubled",
+                         nullptr}});
+    ASSERT_EQ(r.reducers.size(), 1u);
+    EXPECT_DOUBLE_EQ(r.reducers[0].value, 2800.0);
+}
+
+TEST(CampaignAggregation, MergedStatSetSumsOkJobs)
+{
+    setQuiet(true);
+    Campaign c(CampaignOptions{});
+    c.add(bodyJob("a", 10));
+    c.add(bodyJob("b", 20));
+    Job bad;
+    bad.name = "bad";
+    bad.body = []() -> core::RunResult {
+        throw std::runtime_error("nope");
+    };
+    c.add(std::move(bad));
+
+    CampaignResult r = c.run();
+    // Failed jobs contribute nothing to the rollup.
+    EXPECT_DOUBLE_EQ(r.merged.value("cycles"), 30.0);
+    EXPECT_DOUBLE_EQ(r.merged.value("committed_ops"), 30.0);
+}
+
+TEST(CampaignJson, CanonicalDocumentOmitsTimingFields)
+{
+    setQuiet(true);
+    Campaign c(CampaignOptions{});
+    c.add(bodyJob("only", 5));
+    CampaignResult r = c.run();
+
+    const std::string full = r.json(true);
+    const std::string canonical = r.json(false);
+    EXPECT_NE(full.find("\"schema\": \"aos-campaign-v1\""),
+              std::string::npos);
+    EXPECT_NE(full.find("\"wall_ms\""), std::string::npos);
+    EXPECT_NE(full.find("\"workers\""), std::string::npos);
+    EXPECT_EQ(canonical.find("\"wall_ms\""), std::string::npos);
+    EXPECT_EQ(canonical.find("\"workers\""), std::string::npos);
+    EXPECT_EQ(canonical.find("\"total_wall_ms\""), std::string::npos);
+    EXPECT_NE(canonical.find("\"only\""), std::string::npos);
+    EXPECT_NE(canonical.find("\"reducers\""), std::string::npos);
+}
+
+TEST(CampaignJson, ErrorsAndStatusAreEmitted)
+{
+    setQuiet(true);
+    Campaign c(CampaignOptions{});
+    Job bad;
+    bad.name = "bad";
+    bad.body = []() -> core::RunResult {
+        throw std::runtime_error("json \"quoted\" message");
+    };
+    c.add(std::move(bad));
+    CampaignResult r = c.run();
+    const std::string doc = r.json(false);
+    EXPECT_NE(doc.find("\"status\": \"failed\""), std::string::npos);
+    EXPECT_NE(doc.find("json \\\"quoted\\\" message"),
+              std::string::npos);
+}
+
+TEST(CampaignMisc, FindAndStatusNames)
+{
+    setQuiet(true);
+    Campaign c(CampaignOptions{});
+    c.add(bodyJob("alpha", 1));
+    CampaignResult r = c.run();
+    ASSERT_NE(r.find("alpha"), nullptr);
+    EXPECT_EQ(r.find("alpha")->run.core.cycles, 1u);
+    EXPECT_EQ(r.find("missing"), nullptr);
+    EXPECT_STREQ(jobStatusName(JobStatus::kOk), "ok");
+    EXPECT_STREQ(jobStatusName(JobStatus::kTimeout), "timeout");
+    EXPECT_STREQ(reduceOpName(ReduceOp::kGeomean), "geomean");
+}
+
+TEST(CampaignMisc, WorkersFromEnvParsesOverride)
+{
+    ::setenv("AOS_CAMPAIGN_JOBS", "6", 1);
+    EXPECT_EQ(workersFromEnv(2), 6u);
+    ::setenv("AOS_CAMPAIGN_JOBS", "garbage", 1);
+    EXPECT_EQ(workersFromEnv(2), 2u);
+    ::unsetenv("AOS_CAMPAIGN_JOBS");
+    EXPECT_EQ(workersFromEnv(3), 3u);
+}
+
+TEST(CampaignJsonValue, WritesDeterministicNumbers)
+{
+    EXPECT_EQ(jsonNumber(0.0), "0");
+    EXPECT_EQ(jsonNumber(42.0), "42");
+    EXPECT_EQ(jsonNumber(-7.0), "-7");
+    EXPECT_EQ(jsonNumber(1.5), "1.5");
+    EXPECT_EQ(jsonQuote("a\"b\\c\n"), "\"a\\\"b\\\\c\\n\"");
+
+    JsonValue obj = JsonValue::object();
+    obj.set("x", 1).set("y", "two");
+    JsonValue arr = JsonValue::array();
+    arr.push(true).push(JsonValue());
+    obj.set("z", std::move(arr));
+    EXPECT_EQ(obj.str(),
+              "{\n  \"x\": 1,\n  \"y\": \"two\",\n  \"z\": [\n    true,"
+              "\n    null\n  ]\n}");
+}
+
+} // namespace
+} // namespace aos::campaign

@@ -3,6 +3,11 @@
  * Tests for the gem5-style logging/reporting facilities.
  */
 
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
 #include <gtest/gtest.h>
 
 #include "common/logging.hh"
@@ -37,6 +42,55 @@ TEST(Logging, QuietSuppressionToggle)
     setQuiet(false);
     EXPECT_FALSE(quiet());
     setQuiet(was);
+}
+
+TEST(Logging, ProgressfIsNotSilencedByQuiet)
+{
+    // progressf is the campaign ETA channel; it must reach stderr even
+    // when the benchmarks have silenced warn/inform.
+    const bool was = quiet();
+    setQuiet(true);
+    ::testing::internal::CaptureStderr();
+    progressf("sweep %d/%d", 3, 8);
+    const std::string err = ::testing::internal::GetCapturedStderr();
+    EXPECT_NE(err.find("progress: sweep 3/8"), std::string::npos);
+    setQuiet(was);
+}
+
+TEST(Logging, ConcurrentSinksDoNotInterleaveWithinALine)
+{
+    // Hammer the mutex-guarded write path from several threads; each
+    // emitted line must appear intact. (Under TSan this also checks
+    // the setQuiet/quiet atomics.)
+    const bool was = quiet();
+    setQuiet(false);
+    ::testing::internal::CaptureStderr();
+    constexpr int kThreads = 4;
+    constexpr int kLines = 50;
+    std::vector<std::thread> threads;
+    threads.reserve(kThreads);
+    for (int t = 0; t < kThreads; ++t) {
+        threads.emplace_back([t] {
+            for (int i = 0; i < kLines; ++i)
+                warn("t%d-line%d-endmark", t, i);
+        });
+    }
+    for (auto &t : threads)
+        t.join();
+    const std::string err = ::testing::internal::GetCapturedStderr();
+    setQuiet(was);
+
+    size_t intact = 0;
+    std::istringstream lines(err);
+    std::string line;
+    while (std::getline(lines, line)) {
+        if (line.rfind("warn: t", 0) == 0 &&
+            line.find("-endmark") != std::string::npos &&
+            line.find("warn:", 5) == std::string::npos) {
+            ++intact;
+        }
+    }
+    EXPECT_EQ(intact, static_cast<size_t>(kThreads * kLines));
 }
 
 TEST(LoggingDeath, PanicAborts)
