@@ -181,7 +181,7 @@ main()
           "norm_exec_time", elided_only},
          {"geomean_kept_autm_fraction", campaign::ReduceOp::kGeomean,
           "kept_autm_fraction", elided_only}});
-    emitCampaignJson(result, "elision_ablation");
+    const bool json_ok = emitCampaignJson(result, "elision_ablation");
 
     // --- Detection parity on the attack-gallery classes ---
     constexpr Addr kChunk = 0x20001000;
@@ -225,5 +225,5 @@ main()
                                 "elision enabled."
                               : "PARITY FAILURE: elision dropped a "
                                 "security-relevant check!");
-    return all_parity ? 0 : 1;
+    return (all_parity && json_ok) ? 0 : 1;
 }

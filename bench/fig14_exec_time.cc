@@ -13,6 +13,9 @@
  */
 
 #include "bench/harness.hh"
+
+#include <cmath>
+
 #include "common/stats.hh"
 
 using namespace aos;
@@ -60,6 +63,7 @@ main()
     rule(56);
 
     GeoAccum geo[kNumMechs - 1];
+    bool sane = true;
     for (size_t p = 0; p < profiles.size(); ++p) {
         const auto row = [&](unsigned m) -> campaign::JobResult & {
             return result.jobs[p * kNumMechs + m];
@@ -70,6 +74,10 @@ main()
         for (unsigned m = 1; m < kNumMechs; ++m) {
             const double norm =
                 static_cast<double>(row(m).run.core.cycles) / base_cycles;
+            // A degenerate run (zero/NaN cycles) must fail the harness,
+            // not ship a silently-wrong figure.
+            if (!std::isfinite(norm) || norm <= 0.0)
+                sane = false;
             // Derived stat: reducers + the JSON trajectory read it.
             row(m).stats.scalar("norm_exec_time") = norm;
             geo[m - 1].add(norm);
@@ -95,6 +103,10 @@ main()
              }});
     }
     campaign::computeReducers(result, reducers);
-    emitCampaignJson(result, "fig14_exec_time");
-    return 0;
+    const bool json_ok = emitCampaignJson(result, "fig14_exec_time");
+    if (!sane)
+        std::fprintf(stderr,
+                     "fig14: non-finite or non-positive normalized "
+                     "execution time\n");
+    return (sane && json_ok) ? 0 : 1;
 }

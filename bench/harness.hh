@@ -97,8 +97,10 @@ campaignOptions(const std::string &name)
 /**
  * Write campaign results to AOS_CAMPAIGN_JSON (default
  * BENCH_<bench>.json; "0"/"off" disables) and say where they went.
+ * Returns false when a requested emission could not be written, so
+ * harnesses can propagate the failure to their exit code.
  */
-inline void
+inline bool
 emitCampaignJson(const campaign::CampaignResult &result,
                  const std::string &bench)
 {
@@ -106,14 +108,16 @@ emitCampaignJson(const campaign::CampaignResult &result,
     if (const char *env = std::getenv("AOS_CAMPAIGN_JSON")) {
         const std::string v(env);
         if (v.empty() || v == "0" || v == "off")
-            return;
+            return true;
         path = v;
     }
-    if (result.writeJsonFile(path))
+    if (result.writeJsonFile(path)) {
         std::printf("\ncampaign results: %s\n", path.c_str());
-    else
-        std::fprintf(stderr, "failed to write campaign JSON to %s\n",
-                     path.c_str());
+        return true;
+    }
+    std::fprintf(stderr, "failed to write campaign JSON to %s\n",
+                 path.c_str());
+    return false;
 }
 
 } // namespace aos::bench

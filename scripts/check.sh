@@ -1,13 +1,15 @@
 #!/usr/bin/env bash
 # Full local gate: default build + tier-1 tests, sanitizer build +
 # tests, campaign-engine smoke (JSON emission + serial/parallel
-# parity), and clang-tidy lint. Run from the repository root:
+# parity), fault-matrix smoke (graceful-degradation audit under
+# sanitizers), and clang-tidy lint. Run from the repository root:
 #
 #   scripts/check.sh              # everything
 #   AOS_CHECK_SKIP_SANITIZE=1 scripts/check.sh   # skip the ASan pass
 #
-# The tier-1 stage runs every test; for a faster inner loop use
-# `ctest --preset default -LE slow` yourself.
+# The tier-1 stage runs every test; the sanitizer stage runs the fast
+# set (`-LE slow`) — the full suite under ASan is a CI-budget call,
+# and every slow test still runs uninstrumented in stage 2.
 #
 # Exits non-zero on the first failure.
 set -euo pipefail
@@ -15,43 +17,65 @@ cd "$(dirname "$0")/.."
 
 JOBS="${AOS_CHECK_JOBS:-$(nproc)}"
 
-echo "== [1/5] default build =="
+echo "== [1/6] default build =="
 cmake --preset default
 cmake --build --preset default -j "${JOBS}"
 
-echo "== [2/5] tier-1 tests =="
+echo "== [2/6] tier-1 tests =="
 ctest --preset default -j "${JOBS}"
 
 if [ "${AOS_CHECK_SKIP_SANITIZE:-0}" != "1" ]; then
-    echo "== [3/5] sanitizer build + tests (ASan+UBSan) =="
+    echo "== [3/6] sanitizer build + fast tests (ASan+UBSan) =="
     cmake --preset sanitize
     cmake --build --preset sanitize -j "${JOBS}"
-    ctest --preset sanitize -j "${JOBS}"
+    ctest --preset sanitize -LE slow -j "${JOBS}"
 else
-    echo "== [3/5] sanitizer pass skipped (AOS_CHECK_SKIP_SANITIZE=1) =="
+    echo "== [3/6] sanitizer pass skipped (AOS_CHECK_SKIP_SANITIZE=1) =="
 fi
 
-echo "== [4/5] campaign smoke (JSON + jobs=1 vs jobs=4 parity) =="
 SMOKE_DIR="$(mktemp -d)"
 trap 'rm -rf "${SMOKE_DIR}"' EXIT
+
+# Strip the timing-only fields (each JSON member is on its own line)
+# and require byte-equality: the determinism contract of DESIGN.md §7.
+json_parity() {
+    if ! diff \
+        <(grep -vE '"(workers|wall_ms|total_wall_ms)"' "$1") \
+        <(grep -vE '"(workers|wall_ms|total_wall_ms)"' "$2")
+    then
+        echo "$3: serial/parallel parity FAILED" >&2
+        exit 1
+    fi
+}
+
+echo "== [4/6] campaign smoke (JSON + jobs=1 vs jobs=4 parity) =="
 AOS_SIM_OPS=20000 AOS_CAMPAIGN_PROGRESS=0 AOS_CAMPAIGN_JOBS=1 \
     AOS_CAMPAIGN_JSON="${SMOKE_DIR}/serial.json" ./build/bench/campaign_smoke
 AOS_SIM_OPS=20000 AOS_CAMPAIGN_PROGRESS=0 AOS_CAMPAIGN_JOBS=4 \
     AOS_CAMPAIGN_JSON="${SMOKE_DIR}/parallel.json" ./build/bench/campaign_smoke
 test -s "${SMOKE_DIR}/serial.json"
 grep -q '"schema": "aos-campaign-v1"' "${SMOKE_DIR}/serial.json"
-# Strip the timing-only fields (each JSON member is on its own line)
-# and require byte-equality: the determinism contract of DESIGN.md §7.
-if ! diff \
-    <(grep -vE '"(workers|wall_ms|total_wall_ms)"' "${SMOKE_DIR}/serial.json") \
-    <(grep -vE '"(workers|wall_ms|total_wall_ms)"' "${SMOKE_DIR}/parallel.json")
-then
-    echo "campaign smoke: serial/parallel parity FAILED" >&2
-    exit 1
-fi
+json_parity "${SMOKE_DIR}/serial.json" "${SMOKE_DIR}/parallel.json" \
+    "campaign smoke"
 echo "campaign smoke: parity OK"
 
-echo "== [5/5] lint =="
+echo "== [5/6] fault-matrix smoke (DESIGN.md §8 audit) =="
+# Run the graceful-degradation audit under the sanitizer build when
+# available — injected corruption must be UB-free, not just survivable.
+FAULT_BIN=./build/bench/fault_matrix
+if [ "${AOS_CHECK_SKIP_SANITIZE:-0}" != "1" ]; then
+    FAULT_BIN=./build-sanitize/bench/fault_matrix
+fi
+AOS_SIM_OPS=40000 AOS_CAMPAIGN_PROGRESS=0 AOS_CAMPAIGN_JOBS=1 \
+    AOS_CAMPAIGN_JSON="${SMOKE_DIR}/fault1.json" "${FAULT_BIN}"
+AOS_SIM_OPS=40000 AOS_CAMPAIGN_PROGRESS=0 AOS_CAMPAIGN_JOBS=4 \
+    AOS_CAMPAIGN_JSON="${SMOKE_DIR}/faultN.json" "${FAULT_BIN}"
+grep -q '"schema": "aos-campaign-v1"' "${SMOKE_DIR}/fault1.json"
+json_parity "${SMOKE_DIR}/fault1.json" "${SMOKE_DIR}/faultN.json" \
+    "fault matrix"
+echo "fault matrix: audit + parity OK"
+
+echo "== [6/6] lint =="
 cmake --build --preset default --target lint
 
 echo "All checks passed."

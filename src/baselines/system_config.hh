@@ -62,6 +62,13 @@ struct SystemOptions
     bool aosElision = false;  //!< Elide provably-redundant autm ops.
     bool verifyStream = false;//!< Lint the instrumented stream online.
 
+    // Fault injection (DESIGN.md §8). faultTypes is a bitmask of
+    // faultinject::FaultType bits; zero disarms the injector. Kept as
+    // plain integers so this header stays dependency-free.
+    u32 faultTypes = 0;       //!< Which fault classes to schedule.
+    unsigned faultCount = 1;  //!< Scheduled faults per selected class.
+    u64 faultSeed = 0;        //!< Fault-plan RNG seed.
+
     bool usesAos() const
     {
         return mech == Mechanism::kAos || mech == Mechanism::kPaAos;

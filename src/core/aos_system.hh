@@ -29,6 +29,9 @@
 #include "compiler/aos_elide_pass.hh"
 #include "compiler/op_counter.hh"
 #include "cpu/ooo_core.hh"
+#include "faultinject/faulting_stream.hh"
+#include "faultinject/fault_plan.hh"
+#include "faultinject/injector.hh"
 #include "mcu/memory_check_unit.hh"
 #include "memsim/memory_system.hh"
 #include "os/os_model.hh"
@@ -61,6 +64,10 @@ struct RunResult
     u64 verifyDiagnostics = 0;    //!< Total findings (0 = clean).
     std::map<staticcheck::RuleId, u64> verifyRuleCounts;
     std::vector<staticcheck::Diagnostic> verifyFindings;
+
+    // Fault injection (options.faultTypes != 0, DESIGN.md §8).
+    faultinject::FaultStats faults;
+    std::vector<faultinject::FaultEvent> faultEvents;
 
     /** Flatten into a named stat set (gem5-style dump). */
     StatSet toStatSet() const;
@@ -101,6 +108,9 @@ class AosSystem
     compiler::AosElidePass *_elide = nullptr;
     std::unique_ptr<staticcheck::StreamVerifier> _verifier;
     std::unique_ptr<staticcheck::VerifyingStream> _verified;
+    std::unique_ptr<faultinject::FaultPlan> _faultPlan;
+    std::unique_ptr<faultinject::FaultInjector> _injector;
+    std::unique_ptr<faultinject::FaultingStream> _faulting;
     ir::InstStream *_stream = nullptr; //!< What the core consumes.
 };
 

@@ -1,0 +1,157 @@
+#include "faultinject/fault_plan.hh"
+
+#include <algorithm>
+
+#include "common/random.hh"
+
+namespace aos::faultinject {
+
+const char *
+faultTypeName(FaultType type)
+{
+    switch (type) {
+      case FaultType::kPtrPacFlip: return "ptr_pac_flip";
+      case FaultType::kPtrVaFlip: return "ptr_va_flip";
+      case FaultType::kHbtBoundsFlip: return "hbt_bounds_flip";
+      case FaultType::kHbtRehome: return "hbt_rehome";
+      case FaultType::kHbtLineZap: return "hbt_line_zap";
+      case FaultType::kDramLineFlip: return "dram_line_flip";
+      case FaultType::kMcuDropResp: return "mcu_drop_resp";
+      case FaultType::kMcuDupResp: return "mcu_dup_resp";
+      case FaultType::kMcqStall: return "mcq_stall";
+      case FaultType::kCollisionStorm: return "collision_storm";
+      case FaultType::kNumTypes: break;
+    }
+    return "unknown";
+}
+
+const char *
+faultOutcomeName(FaultOutcome outcome)
+{
+    switch (outcome) {
+      case FaultOutcome::kPending: return "pending";
+      case FaultOutcome::kDetectedAutm: return "detected_autm";
+      case FaultOutcome::kDetectedBounds: return "detected_bounds";
+      case FaultOutcome::kTolerated: return "tolerated";
+      case FaultOutcome::kSilentCorruption: return "silent_corruption";
+      case FaultOutcome::kSimulatorFault: return "simulator_fault";
+    }
+    return "unknown";
+}
+
+void
+FaultStats::note(const FaultEvent &event)
+{
+    ++injected;
+    const auto index = static_cast<unsigned>(event.type);
+    if (index < kNumFaultTypes)
+        ++perType[index];
+    switch (event.outcome) {
+      case FaultOutcome::kDetectedAutm:
+        ++detectedAutm;
+        if (index < kNumFaultTypes)
+            ++perTypeDetected[index];
+        break;
+      case FaultOutcome::kDetectedBounds:
+        ++detectedBounds;
+        if (index < kNumFaultTypes)
+            ++perTypeDetected[index];
+        break;
+      case FaultOutcome::kTolerated:
+        ++tolerated;
+        break;
+      case FaultOutcome::kSilentCorruption:
+        ++silent;
+        break;
+      case FaultOutcome::kSimulatorFault:
+        ++simFault;
+        break;
+      case FaultOutcome::kPending:
+        break;
+    }
+}
+
+TriggerDomain
+triggerDomain(FaultType type)
+{
+    // DRAM bit errors strike lines the hierarchy actually moves, so
+    // they count bounds accesses; everything else fires on op index.
+    return type == FaultType::kDramLineFlip ? TriggerDomain::kBoundsAccess
+                                            : TriggerDomain::kOpIndex;
+}
+
+FaultPlan::FaultPlan(const FaultPlanConfig &config) : _config(config)
+{
+    // One RNG, fixed enumeration order: the schedule is a pure function
+    // of the config.
+    Rng rng(config.seed ^ 0xfa017'1d3ec7ull);
+    const u64 op_window = std::max<u64>(config.opWindow, 1);
+    for (unsigned t = 0; t < kNumFaultTypes; ++t) {
+        const auto type = static_cast<FaultType>(t);
+        if (!(config.types & faultBit(type)))
+            continue;
+        for (unsigned i = 0; i < config.perType; ++i) {
+            ScheduledFault fault;
+            fault.type = type;
+            fault.a = rng.next();
+            fault.b = rng.next();
+            if (triggerDomain(type) == TriggerDomain::kOpIndex) {
+                fault.at = rng.below(op_window);
+                _schedule[0].push_back(fault);
+            } else {
+                // Bounds traffic is far sparser than the op stream:
+                // keep triggers small so they fire within the run.
+                fault.at = 1 + rng.below(512);
+                _schedule[1].push_back(fault);
+            }
+        }
+    }
+    for (auto &schedule : _schedule) {
+        std::stable_sort(schedule.begin(), schedule.end(),
+                         [](const ScheduledFault &x, const ScheduledFault &y) {
+                             return x.at < y.at;
+                         });
+    }
+}
+
+bool
+FaultPlan::empty() const
+{
+    return _schedule[0].empty() && _schedule[1].empty();
+}
+
+u64
+FaultPlan::scheduled() const
+{
+    return _schedule[0].size() + _schedule[1].size();
+}
+
+u64
+FaultPlan::scheduledFor(FaultType type) const
+{
+    u64 count = 0;
+    for (const auto &schedule : _schedule) {
+        for (const auto &fault : schedule) {
+            if (fault.type == type)
+                ++count;
+        }
+    }
+    return count;
+}
+
+void
+FaultPlan::due(TriggerDomain domain, u64 counter,
+               std::vector<ScheduledFault *> &out)
+{
+    out.clear();
+    const auto d = static_cast<unsigned>(domain);
+    auto &schedule = _schedule[d];
+    std::size_t &cursor = _cursor[d];
+    while (cursor < schedule.size() && schedule[cursor].at <= counter) {
+        if (!schedule[cursor].fired)
+            out.push_back(&schedule[cursor]);
+        ++cursor;
+    }
+}
+
+} // namespace aos::faultinject

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * FaultPlan: the deterministic fault schedule of a run (DESIGN.md §8).
+ *
+ * A plan is a pure function of FaultPlanConfig — enabled fault types,
+ * faults per type, seed and trigger window — so any two runs with equal
+ * configuration inject byte-identical fault sequences regardless of
+ * host, thread or worker count. That is what keeps campaign JSON
+ * bit-identical between jobs=1 and jobs=N (the same contract the
+ * synthetic workloads honour via SystemOptions::seedSalt).
+ *
+ * Trigger points live in one of two counting domains:
+ *
+ *   kOpIndex      measured-phase source-op index (FaultingStream);
+ *   kBoundsAccess bounds-metadata accesses observed by memsim.
+ *
+ * Scheduling draws every trigger and every type-specific parameter from
+ * one Rng seeded by the config, in a fixed type order.
+ */
+
+#ifndef AOS_FAULTINJECT_FAULT_PLAN_HH
+#define AOS_FAULTINJECT_FAULT_PLAN_HH
+
+#include <cstddef>
+#include <vector>
+
+#include "faultinject/fault.hh"
+
+namespace aos::faultinject {
+
+/** Everything a FaultPlan is derived from. */
+struct FaultPlanConfig
+{
+    u32 types = 0;        //!< Bitmask of faultBit(FaultType).
+    unsigned perType = 1; //!< Scheduled faults per enabled type.
+    u64 seed = 0;         //!< Plan RNG seed.
+    u64 opWindow = 1'000'000; //!< Op-index triggers land in [0, window).
+};
+
+/** When a fault's trigger counter fires. */
+enum class TriggerDomain : u8
+{
+    kOpIndex,
+    kBoundsAccess,
+};
+
+TriggerDomain triggerDomain(FaultType type);
+
+/** One scheduled fault instance. */
+struct ScheduledFault
+{
+    FaultType type = FaultType::kPtrPacFlip;
+    u64 at = 0;  //!< Trigger counter value in the fault's domain.
+    u64 a = 0;   //!< Type-specific parameter (bit index, row seed...).
+    u64 b = 0;   //!< Second type-specific parameter.
+    bool fired = false;
+};
+
+class FaultPlan
+{
+  public:
+    FaultPlan() = default;
+    explicit FaultPlan(const FaultPlanConfig &config);
+
+    const FaultPlanConfig &config() const { return _config; }
+
+    bool empty() const;
+
+    u64 scheduled() const;
+
+    /** Scheduled fault count for one type (stat emission). */
+    u64 scheduledFor(FaultType type) const;
+
+    /**
+     * All not-yet-fired faults of @p domain due at counter value
+     * @p counter (i.e. with at <= counter). The caller marks them
+     * fired via their pointers.
+     */
+    void due(TriggerDomain domain, u64 counter,
+             std::vector<ScheduledFault *> &out);
+
+  private:
+    FaultPlanConfig _config;
+    // Per-domain schedules, sorted ascending by trigger point.
+    std::vector<ScheduledFault> _schedule[2];
+    std::size_t _cursor[2] = {0, 0};
+};
+
+} // namespace aos::faultinject
+
+#endif // AOS_FAULTINJECT_FAULT_PLAN_HH

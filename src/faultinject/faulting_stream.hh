@@ -1,0 +1,55 @@
+/**
+ * @file
+ * FaultingStream: the outermost stream adapter that gives the fault
+ * injector its op-index trigger domain (DESIGN.md §8).
+ *
+ * It wraps the fully-lowered (and, when enabled, verified) instruction
+ * stream, counts measured-phase source positions, and lets the
+ * injector fire op-domain faults — including corrupting the addresses
+ * of pointer-fault victim ops in flight. Sitting outside the compiler
+ * pipeline means the op-mix counters and the stream verifier observe
+ * the *clean* program: corruption models hardware, not miscompilation.
+ */
+
+#ifndef AOS_FAULTINJECT_FAULTING_STREAM_HH
+#define AOS_FAULTINJECT_FAULTING_STREAM_HH
+
+#include "faultinject/injector.hh"
+#include "ir/micro_op.hh"
+
+namespace aos::faultinject {
+
+class FaultingStream : public ir::InstStream
+{
+  public:
+    FaultingStream(ir::InstStream *inner, FaultInjector *injector)
+        : _inner(inner), _injector(injector)
+    {
+    }
+
+    bool
+    next(ir::MicroOp &op) override
+    {
+        if (!_inner->next(op))
+            return false;
+        if (op.kind == ir::OpKind::kPhaseMark) {
+            _measuring = true;
+            return true;
+        }
+        if (_measuring)
+            _injector->onOp(_index++, op);
+        return true;
+    }
+
+    std::string name() const override { return _inner->name(); }
+
+  private:
+    ir::InstStream *_inner;
+    FaultInjector *_injector;
+    bool _measuring = false;
+    u64 _index = 0;
+};
+
+} // namespace aos::faultinject
+
+#endif // AOS_FAULTINJECT_FAULTING_STREAM_HH

@@ -32,6 +32,7 @@
 
 #include "bounds/bounds_way_buffer.hh"
 #include "bounds/hashed_bounds_table.hh"
+#include "faultinject/fault.hh"
 #include "ir/micro_op.hh"
 #include "memsim/memory_system.hh"
 #include "pa/pointer_layout.hh"
@@ -108,6 +109,8 @@ struct McuStats
     u64 clearFailures = 0;
     u64 storeOverflows = 0;
     u64 waysTouchedTotal = 0;
+    u64 droppedResponses = 0;   //!< Way responses lost and re-issued.
+    u64 duplicatedResponses = 0;//!< Way responses delivered twice.
 
     double
     avgWaysPerCheck() const
@@ -139,7 +142,12 @@ class MemoryCheckUnit
                     memsim::MemorySystem *mem);
 
     /** Issue back-pressure: no room for another entry. */
-    bool full() const { return _queue.size() >= _config.mcqEntries; }
+    bool
+    full() const
+    {
+        return _queue.size() >= _config.mcqEntries ||
+               (faultHooks && faultHooks->stallQueue());
+    }
 
     bool empty() const { return _queue.empty(); }
 
@@ -182,6 +190,14 @@ class MemoryCheckUnit
      * e.g. after an HBT resize), false to let it stand as a violation.
      */
     std::function<bool(FaultKind, const McqEntry &)> onFault;
+
+    /**
+     * Optional fault-injection hooks (DESIGN.md §8): sustained-full
+     * MCQ windows and dropped/duplicated way responses. The MCU keeps
+     * its check guarantees under all of them — a dropped response is
+     * re-issued, a duplicate is discarded after being counted.
+     */
+    faultinject::McuFaultHooks *faultHooks = nullptr;
 
     const McuStats &stats() const { return _stats; }
     size_t occupancy() const { return _queue.size(); }

@@ -80,6 +80,24 @@ class PointerLayout
     }
 
     /**
+     * Fault-injection hook: flip one bit of the metadata field. Bit 0
+     * is the PAC LSB; bits pacSize and pacSize+1 are the AHC, so a
+     * draw over [0, pacSize+2) strikes the whole signature.
+     */
+    Addr
+    flipMetaBit(Addr ptr, unsigned bit) const
+    {
+        return ptr ^ (Addr{1} << (62 - _pacSize + bit % (_pacSize + 2)));
+    }
+
+    /** Fault-injection hook: flip one virtual-address bit. */
+    Addr
+    flipVaBit(Addr ptr, unsigned bit) const
+    {
+        return ptr ^ (Addr{1} << (bit % _vaSize));
+    }
+
+    /**
      * The address hashing code of paper Algorithm 1. Classifies the
      * object [addr, addr+size) by which address bits are invariant
      * inside it: 1 for <=64-byte (bin) objects, 2 for <=256-byte

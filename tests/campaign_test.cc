@@ -328,6 +328,31 @@ TEST(CampaignMisc, WorkersFromEnvParsesOverride)
     EXPECT_EQ(workersFromEnv(3), 3u);
 }
 
+TEST(CampaignJson, NonFiniteStatsEmitAsNull)
+{
+    // Harness-injected derived stats can go non-finite (a 0/0
+    // normalization, a log of zero). JSON has no nan/inf tokens, so
+    // they must emit as null — not as unparseable bare words.
+    EXPECT_EQ(jsonNumber(std::nan("")), "null");
+    EXPECT_EQ(jsonNumber(HUGE_VAL), "null");
+    EXPECT_EQ(jsonNumber(-HUGE_VAL), "null");
+
+    setQuiet(true);
+    Campaign c(CampaignOptions{});
+    c.add(bodyJob("finite", 10));
+    CampaignResult r = c.run();
+    r.jobs[0].stats.scalar("nan_stat") = std::nan("");
+    r.jobs[0].stats.scalar("pos_inf_stat") = HUGE_VAL;
+    r.jobs[0].stats.scalar("neg_inf_stat") = -HUGE_VAL;
+    const std::string doc = r.json(false);
+    EXPECT_NE(doc.find("\"nan_stat\": null"), std::string::npos);
+    EXPECT_NE(doc.find("\"pos_inf_stat\": null"), std::string::npos);
+    EXPECT_NE(doc.find("\"neg_inf_stat\": null"), std::string::npos);
+    EXPECT_EQ(doc.find(": nan"), std::string::npos);
+    EXPECT_EQ(doc.find(": inf"), std::string::npos);
+    EXPECT_EQ(doc.find(": -inf"), std::string::npos);
+}
+
 TEST(CampaignJsonValue, WritesDeterministicNumbers)
 {
     EXPECT_EQ(jsonNumber(0.0), "0");

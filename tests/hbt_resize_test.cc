@@ -5,6 +5,8 @@
 
 #include <gtest/gtest.h>
 
+#include <new>
+
 #include "bounds/compression.hh"
 #include "bounds/hashed_bounds_table.hh"
 #include "common/random.hh"
@@ -170,6 +172,55 @@ TEST(HbtResize, StressWithRandomChurnDuringMigration)
         ASSERT_TRUE(hbt.clear(pac, base).has_value());
     }
     EXPECT_EQ(hbt.stats().occupied, 0u);
+}
+
+TEST(HbtResize, AllocationFailureLeavesTableIntact)
+{
+    // Strong exception guarantee: when the OS cannot allocate the
+    // doubled table, the old table is untouched and fully usable.
+    HashedBoundsTable hbt(kBase, 8, 1);
+    for (int i = 0; i < 8; ++i)
+        ASSERT_TRUE(hbt.insert(7, rec(i)).has_value());
+
+    unsigned attempts = 0;
+    hbt.onResizeAlloc = [&](u64 slots) {
+        ++attempts;
+        EXPECT_GT(slots, 0u);
+        throw std::bad_alloc();
+    };
+    EXPECT_THROW(hbt.beginResize(), std::bad_alloc);
+    EXPECT_EQ(attempts, 1u);
+
+    EXPECT_FALSE(hbt.resizing());
+    EXPECT_EQ(hbt.ways(), 1u);
+    EXPECT_EQ(hbt.stats().resizes, 0u);
+    for (int i = 0; i < 8; ++i) {
+        EXPECT_TRUE(hbt.check(7, 0x20000000 + u64(i) * 0x100 + 8, 0,
+                              nullptr)
+                        .has_value());
+    }
+    // The full row still fails cleanly instead of corrupting anything.
+    EXPECT_FALSE(hbt.insert(7, rec(8)).has_value());
+
+    // Memory pressure clears: the retried resize succeeds.
+    hbt.onResizeAlloc = nullptr;
+    hbt.beginResize();
+    EXPECT_TRUE(hbt.resizing());
+    EXPECT_TRUE(hbt.insert(7, rec(8)).has_value());
+    hbt.finishResize();
+    EXPECT_EQ(hbt.stats().occupied, 9u);
+}
+
+TEST(HbtResize, BeginResizeWhileResizingIsNoOp)
+{
+    HashedBoundsTable hbt(kBase, 8, 1);
+    hbt.beginResize();
+    EXPECT_EQ(hbt.ways(), 2u);
+    // A second request while migration is in flight must not restart
+    // or corrupt the resize (the OS may race the table manager).
+    hbt.beginResize();
+    EXPECT_EQ(hbt.ways(), 2u);
+    EXPECT_EQ(hbt.stats().resizes, 1u);
 }
 
 } // namespace
