@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Simulator throughput benchmark — how many simulated micro-ops per
+ * host second the stack sustains, per mechanism, over a representative
+ * workload subset.
+ *
+ * Unlike the figure harnesses this measures the *simulator*, not the
+ * simulated machine: it is the regression guard for the hot-path work
+ * (QARMA key-schedule caching + LUT rounds, cache MRU fast path,
+ * allocator hash sizing — DESIGN.md §9). scripts/check.sh runs it in
+ * smoke mode and fails when the per-mechanism ops/sec reducers drop
+ * more than the guard band below scripts/throughput_baseline.json.
+ *
+ * The per-job derived stat is
+ *
+ *   ops_per_sec = committed micro-ops / job wall seconds
+ *
+ * which is wall-clock derived, so the emitted document is inherently a
+ * timing document — it is never part of the jobs=1 vs jobs=N parity
+ * contract. Simulated statistics stay bit-exact regardless; only the
+ * host-time denominators move between runs.
+ *
+ * Profiles: mcf (alloc- and miss-heavy), hmmer (call/PAC-heavy), milc
+ * (streaming), omnetpp (churny small objects) — the corners that
+ * exercise allocator, QARMA, cache and MCU paths differently.
+ *
+ * Environment: AOS_SIM_OPS (window, default 400k here), plus the
+ * AOS_CAMPAIGN_* knobs (harness.hh). Set AOS_PROFILE=1 to add the
+ * host-time breakdown to the JSON under "profile".
+ */
+
+#include "bench/harness.hh"
+
+#include <algorithm>
+#include <cmath>
+
+using namespace aos;
+using namespace aos::bench;
+using baselines::Mechanism;
+
+namespace {
+
+const Mechanism kMechs[] = {Mechanism::kBaseline, Mechanism::kWatchdog,
+                            Mechanism::kPa, Mechanism::kAos,
+                            Mechanism::kPaAos};
+constexpr unsigned kNumMechs = 5;
+
+const char *const kProfiles[] = {"mcf", "hmmer", "milc", "omnetpp"};
+constexpr unsigned kNumProfiles = 4;
+
+} // namespace
+
+int
+main()
+{
+    setQuiet(true);
+    // Smaller default window than the figure harnesses: throughput
+    // stabilizes quickly and check.sh runs this in smoke mode.
+    const u64 ops = envU64("AOS_SIM_OPS", 400'000);
+
+    std::printf("simulator throughput (higher is better)\n");
+    std::printf("measured window: %llu source micro-ops per run "
+                "(AOS_SIM_OPS to change)\n\n",
+                static_cast<unsigned long long>(ops));
+
+    campaign::Campaign sweep(campaignOptions("sim_throughput"));
+    for (unsigned p = 0; p < kNumProfiles; ++p) {
+        const auto &profile = workloads::profileByName(kProfiles[p]);
+        for (const Mechanism mech : kMechs)
+            sweep.addConfig(profile, mech, ops);
+    }
+    campaign::CampaignResult result = sweep.run();
+    if (!result.allOk()) {
+        std::fprintf(stderr, "sim_throughput: %u job(s) failed\n",
+                     result.count(campaign::JobStatus::kFailed) +
+                         result.count(campaign::JobStatus::kTimeout));
+        return 1;
+    }
+
+    std::printf("%-12s %12s %12s %12s %12s %12s   (Kops/s)\n", "workload",
+                "Baseline", "Watchdog", "PA", "AOS", "PA+AOS");
+    rule(80);
+
+    GeoAccum geo[kNumMechs];
+    bool sane = true;
+    for (unsigned p = 0; p < kNumProfiles; ++p) {
+        std::printf("%-12s", kProfiles[p]);
+        for (unsigned m = 0; m < kNumMechs; ++m) {
+            campaign::JobResult &job = result.jobs[p * kNumMechs + m];
+            // Sub-ms jobs would make the rate numerically meaningless;
+            // the floor keeps a degenerate window from dividing by ~0.
+            const double wall_sec = std::max(job.wallMs / 1e3, 1e-6);
+            const double rate =
+                static_cast<double>(job.run.core.committed) / wall_sec;
+            if (!std::isfinite(rate) || rate <= 0.0)
+                sane = false;
+            // Derived stat: reducers + the check.sh guard read it.
+            job.stats.scalar("ops_per_sec") = rate;
+            geo[m].add(rate);
+            std::printf(" %12.1f", rate / 1e3);
+        }
+        std::printf("\n");
+    }
+    rule(80);
+    std::printf("%-12s", "geomean");
+    for (unsigned m = 0; m < kNumMechs; ++m)
+        std::printf(" %12.1f", geo[m].geomean() / 1e3);
+    std::printf("\n");
+
+    std::vector<campaign::Reducer> reducers;
+    for (unsigned m = 0; m < kNumMechs; ++m) {
+        const Mechanism mech = kMechs[m];
+        reducers.push_back(
+            {std::string("ops_per_sec_") + baselines::mechanismName(mech),
+             campaign::ReduceOp::kGeomean, "ops_per_sec",
+             [mech](const campaign::JobResult &job) {
+                 return job.mech == mech;
+             }});
+    }
+    campaign::computeReducers(result, reducers);
+    const bool json_ok = emitCampaignJson(result, "throughput");
+    if (!sane)
+        std::fprintf(stderr, "sim_throughput: non-finite or non-positive "
+                             "throughput\n");
+    return (sane && json_ok) ? 0 : 1;
+}

@@ -2,7 +2,8 @@
 # Full local gate: default build + tier-1 tests, sanitizer build +
 # tests, campaign-engine smoke (JSON emission + serial/parallel
 # parity), fault-matrix smoke (graceful-degradation audit under
-# sanitizers), and clang-tidy lint. Run from the repository root:
+# sanitizers), simulator-throughput regression guard, and clang-tidy
+# lint. Run from the repository root:
 #
 #   scripts/check.sh              # everything
 #   AOS_CHECK_SKIP_SANITIZE=1 scripts/check.sh   # skip the ASan pass
@@ -17,20 +18,20 @@ cd "$(dirname "$0")/.."
 
 JOBS="${AOS_CHECK_JOBS:-$(nproc)}"
 
-echo "== [1/6] default build =="
+echo "== [1/7] default build =="
 cmake --preset default
 cmake --build --preset default -j "${JOBS}"
 
-echo "== [2/6] tier-1 tests =="
+echo "== [2/7] tier-1 tests =="
 ctest --preset default -j "${JOBS}"
 
 if [ "${AOS_CHECK_SKIP_SANITIZE:-0}" != "1" ]; then
-    echo "== [3/6] sanitizer build + fast tests (ASan+UBSan) =="
+    echo "== [3/7] sanitizer build + fast tests (ASan+UBSan) =="
     cmake --preset sanitize
     cmake --build --preset sanitize -j "${JOBS}"
     ctest --preset sanitize -LE slow -j "${JOBS}"
 else
-    echo "== [3/6] sanitizer pass skipped (AOS_CHECK_SKIP_SANITIZE=1) =="
+    echo "== [3/7] sanitizer pass skipped (AOS_CHECK_SKIP_SANITIZE=1) =="
 fi
 
 SMOKE_DIR="$(mktemp -d)"
@@ -48,7 +49,7 @@ json_parity() {
     fi
 }
 
-echo "== [4/6] campaign smoke (JSON + jobs=1 vs jobs=4 parity) =="
+echo "== [4/7] campaign smoke (JSON + jobs=1 vs jobs=4 parity) =="
 AOS_SIM_OPS=20000 AOS_CAMPAIGN_PROGRESS=0 AOS_CAMPAIGN_JOBS=1 \
     AOS_CAMPAIGN_JSON="${SMOKE_DIR}/serial.json" ./build/bench/campaign_smoke
 AOS_SIM_OPS=20000 AOS_CAMPAIGN_PROGRESS=0 AOS_CAMPAIGN_JOBS=4 \
@@ -59,7 +60,7 @@ json_parity "${SMOKE_DIR}/serial.json" "${SMOKE_DIR}/parallel.json" \
     "campaign smoke"
 echo "campaign smoke: parity OK"
 
-echo "== [5/6] fault-matrix smoke (DESIGN.md §8 audit) =="
+echo "== [5/7] fault-matrix smoke (DESIGN.md §8 audit) =="
 # Run the graceful-degradation audit under the sanitizer build when
 # available — injected corruption must be UB-free, not just survivable.
 FAULT_BIN=./build/bench/fault_matrix
@@ -75,7 +76,50 @@ json_parity "${SMOKE_DIR}/fault1.json" "${SMOKE_DIR}/faultN.json" \
     "fault matrix"
 echo "fault matrix: audit + parity OK"
 
-echo "== [6/6] lint =="
+echo "== [6/7] simulator throughput guard =="
+# Smoke-mode run of the host-throughput benchmark against the
+# checked-in baseline: the per-mechanism ops/sec geomeans may not drop
+# more than the guard band below scripts/throughput_baseline.json
+# (generated with these exact settings). The wide band absorbs host
+# noise; a hot-path regression overshoots it.
+AOS_SIM_OPS=20000 AOS_CAMPAIGN_PROGRESS=0 AOS_CAMPAIGN_JOBS=1 \
+    AOS_CAMPAIGN_JSON="${SMOKE_DIR}/throughput.json" \
+    ./build/bench/sim_throughput
+reducer_value() {
+    # Line-oriented JSON: find the reducer's "name" line, print the
+    # "value" member that follows within the same object.
+    awk -v key="$2" '
+        index($0, "\"name\": \"" key "\"") { grab = 1 }
+        grab && /"value":/ { gsub(/[",]/, "", $2); print $2; exit }
+    ' "$1"
+}
+THROUGHPUT_GUARD_OK=1
+for mech in Baseline Watchdog PA AOS "PA+AOS"; do
+    base="$(reducer_value scripts/throughput_baseline.json \
+            "ops_per_sec_${mech}")"
+    now="$(reducer_value "${SMOKE_DIR}/throughput.json" \
+           "ops_per_sec_${mech}")"
+    if [ -z "${base}" ] || [ -z "${now}" ]; then
+        echo "throughput guard: missing ops_per_sec_${mech} reducer" >&2
+        THROUGHPUT_GUARD_OK=0
+        continue
+    fi
+    if ! awk -v now="${now}" -v base="${base}" -v mech="${mech}" '
+        BEGIN {
+            floor = 0.70 * base
+            printf "  %-10s %12.0f ops/s (baseline %12.0f, floor %.0f)\n", \
+                   mech, now, base, floor
+            exit !(now >= floor)
+        }'
+    then
+        echo "throughput guard: ${mech} regressed beyond the 30% band" >&2
+        THROUGHPUT_GUARD_OK=0
+    fi
+done
+[ "${THROUGHPUT_GUARD_OK}" = "1" ] || exit 1
+echo "throughput guard: OK"
+
+echo "== [7/7] lint =="
 cmake --build --preset default --target lint
 
 echo "All checks passed."

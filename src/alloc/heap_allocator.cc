@@ -11,6 +11,10 @@ HeapAllocator::HeapAllocator(Addr heap_base, u64 heap_limit)
     : _heapBase(roundUp(heap_base, 16)), _heapLimit(heap_limit),
       _top(_heapBase)
 {
+    // Sized for the workload profiles' typical live-heap population;
+    // avoids rehash storms on the malloc/free hot path.
+    _liveIndex.reserve(1u << 14);
+    _forged.reserve(1u << 10);
 }
 
 void

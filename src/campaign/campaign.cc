@@ -12,6 +12,7 @@
 
 #include "campaign/json.hh"
 #include "common/logging.hh"
+#include "common/profiler.hh"
 
 namespace aos::campaign {
 
@@ -284,6 +285,8 @@ Campaign::run()
             result.merged.merge(r.stats);
     }
     computeReducers(result, _reducers);
+    if (prof::enabled())
+        prof::addTo(result.profile);
     return result;
 }
 
@@ -409,6 +412,15 @@ CampaignResult::writeJson(std::ostream &os, bool includeTimings) const
         reducerArray.push(std::move(j));
     }
     root.set("reducers", std::move(reducerArray));
+
+    // Host-time breakdown (AOS_PROFILE): wall clocks, so it is a
+    // timing section and never part of the canonical document.
+    if (includeTimings && !profile.scalars().empty()) {
+        JsonValue prof = JsonValue::object();
+        for (const auto &[key, stat] : profile.scalars())
+            prof.set(key, stat.value());
+        root.set("profile", std::move(prof));
+    }
 
     root.write(os);
     os << '\n';

@@ -1,0 +1,75 @@
+#include "common/profiler.hh"
+
+#include <cstdlib>
+#include <cstring>
+#include <mutex>
+
+#include "common/stats.hh"
+
+namespace aos::prof {
+
+namespace {
+
+struct Registry
+{
+    std::mutex mutex;
+    std::map<std::string, Entry> entries;
+};
+
+Registry &
+registry()
+{
+    static Registry instance;
+    return instance;
+}
+
+} // namespace
+
+bool
+enabled()
+{
+    static const bool value = [] {
+        const char *env = std::getenv("AOS_PROFILE");
+        return env && *env && std::strcmp(env, "0") != 0 &&
+               std::strcmp(env, "off") != 0;
+    }();
+    return value;
+}
+
+void
+record(const char *label, double ms)
+{
+    Registry &reg = registry();
+    std::lock_guard<std::mutex> guard(reg.mutex);
+    Entry &entry = reg.entries[label];
+    entry.wallMs += ms;
+    ++entry.count;
+}
+
+std::map<std::string, Entry>
+snapshot()
+{
+    Registry &reg = registry();
+    std::lock_guard<std::mutex> guard(reg.mutex);
+    return reg.entries;
+}
+
+void
+reset()
+{
+    Registry &reg = registry();
+    std::lock_guard<std::mutex> guard(reg.mutex);
+    reg.entries.clear();
+}
+
+void
+addTo(StatSet &set)
+{
+    for (const auto &[label, entry] : snapshot()) {
+        set.scalar("prof_" + label + "_wall_ms") = entry.wallMs;
+        set.scalar("prof_" + label + "_calls") =
+            static_cast<double>(entry.count);
+    }
+}
+
+} // namespace aos::prof

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Env-gated scoped wall-time profiler for the simulator itself.
+ *
+ * The ROADMAP's "as fast as the hardware allows" goal needs visibility
+ * into where *simulator* (host) time goes, separate from the simulated
+ * statistics. This is a deliberately tiny instrument: RAII scopes
+ * accumulate inclusive wall time and call counts per label into a
+ * process-wide registry, guarded by a mutex (scope entry/exit is two
+ * clock reads plus one locked map update — jobs are whole simulations,
+ * so registry traffic is cold).
+ *
+ * Everything is gated on the AOS_PROFILE environment variable (unset,
+ * "0" or "off" = disabled): when disabled a scope is two predictable
+ * branch instructions, so instrumentation can stay in hot layers
+ * permanently. The campaign engine surfaces the breakdown in its JSON
+ * emission under "profile" — only when enabled, so the canonical
+ * jobs=1 vs jobs=N parity documents are unaffected (DESIGN.md §9).
+ *
+ * Labels use "layer.phase" dotted names ("sys.fastforward",
+ * "cpu.run"). Times are inclusive: a scope nested inside another is
+ * counted in both.
+ */
+
+#ifndef AOS_COMMON_PROFILER_HH
+#define AOS_COMMON_PROFILER_HH
+
+#include <chrono>
+#include <map>
+#include <string>
+
+#include "common/types.hh"
+
+namespace aos {
+class StatSet;
+} // namespace aos
+
+namespace aos::prof {
+
+/** True iff AOS_PROFILE is set to a truthy value (cached). */
+bool enabled();
+
+/** Accumulated wall time and entry count for one scope label. */
+struct Entry
+{
+    double wallMs = 0;
+    u64 count = 0;
+};
+
+/** Add @p ms (one scope exit) to @p label's accumulator. */
+void record(const char *label, double ms);
+
+/** Snapshot of the registry (label -> entry), for reports. */
+std::map<std::string, Entry> snapshot();
+
+/** Clear the registry (tests). */
+void reset();
+
+/**
+ * Flatten the registry into @p set as prof_<label>_wall_ms and
+ * prof_<label>_calls scalars (dots in labels kept as-is).
+ */
+void addTo(StatSet &set);
+
+/** RAII inclusive wall-time scope; no-op when profiling is disabled. */
+class Scope
+{
+  public:
+    explicit Scope(const char *label) : _label(label)
+    {
+        if (enabled())
+            _start = std::chrono::steady_clock::now();
+        else
+            _label = nullptr;
+    }
+
+    ~Scope()
+    {
+        if (_label) {
+            const auto end = std::chrono::steady_clock::now();
+            record(_label,
+                   std::chrono::duration<double, std::milli>(end - _start)
+                       .count());
+        }
+    }
+
+    Scope(const Scope &) = delete;
+    Scope &operator=(const Scope &) = delete;
+
+  private:
+    const char *_label;
+    std::chrono::steady_clock::time_point _start;
+};
+
+} // namespace aos::prof
+
+#endif // AOS_COMMON_PROFILER_HH

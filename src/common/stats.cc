@@ -2,6 +2,8 @@
 
 #include <iomanip>
 
+#include "common/logging.hh"
+
 namespace aos {
 
 void
@@ -36,12 +38,23 @@ StatSet::dump(std::ostream &os) const
 double
 geomean(const std::vector<double> &vals)
 {
-    if (vals.empty())
-        return 0.0;
+    // The geometric mean is only defined over positive reals: log(0)
+    // is -inf (the old code silently returned 0.0 for the whole set)
+    // and log of a negative value is NaN. Skip such inputs loudly
+    // rather than poisoning a figure-wide summary number.
     double logsum = 0.0;
-    for (const double v : vals)
+    size_t used = 0;
+    for (const double v : vals) {
+        if (!std::isfinite(v) || v <= 0.0) {
+            warn("geomean: skipping non-positive/non-finite value %g", v);
+            continue;
+        }
         logsum += std::log(v);
-    return std::exp(logsum / static_cast<double>(vals.size()));
+        ++used;
+    }
+    if (!used)
+        return 0.0;
+    return std::exp(logsum / static_cast<double>(used));
 }
 
 } // namespace aos

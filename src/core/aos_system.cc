@@ -3,6 +3,7 @@
 #include <exception>
 
 #include "common/logging.hh"
+#include "common/profiler.hh"
 #include "common/random.hh"
 #include "compiler/aos_passes.hh"
 #include "compiler/pa_pass.hh"
@@ -68,6 +69,8 @@ RunResult::toStatSet() const
     set.scalar("retire_delayed") = static_cast<double>(core.retireDelayed);
     set.scalar("network_traffic_bytes") =
         static_cast<double>(networkTraffic);
+    set.scalar("dram_accesses") = static_cast<double>(dramAccesses);
+    set.scalar("dram_writes") = static_cast<double>(dramWrites);
     set.scalar("mix_total") = static_cast<double>(mix.total);
     set.scalar("mix_signed_loads") = static_cast<double>(mix.signedLoads);
     set.scalar("mix_signed_stores") =
@@ -327,29 +330,38 @@ AosSystem::fastForward()
 RunResult
 AosSystem::run()
 {
-    fastForward();
+    {
+        prof::Scope scope("sys.fastforward");
+        fastForward();
+    }
 
     // Snapshot at the measurement boundary.
     const ir::OpMixStats mix_before = _counter->mix();
     const u64 traffic_before = _mem->networkTraffic();
+    const u64 dram_accesses_before = _mem->dramAccesses();
+    const u64 dram_writes_before = _mem->dramWrites();
     const u64 lookups_before = _core->predictor().stats().lookups;
     const u64 mispred_before = _core->predictor().stats().mispredicts;
 
-    // Run until the bounded source stream ends: every configuration
-    // executes the same program work; instrumented instructions are
-    // extra, exactly as in the paper's methodology.
-    if (_injector) {
-        // Graceful-degradation contract: corrupted state must never
-        // escape as an exception. (panic() aborts and is out of scope;
-        // anything catchable is tallied as a simulator fault instead
-        // of killing the sweep.)
-        try {
+    {
+        prof::Scope scope("sys.measure");
+        // Run until the bounded source stream ends: every configuration
+        // executes the same program work; instrumented instructions are
+        // extra, exactly as in the paper's methodology.
+        if (_injector) {
+            // Graceful-degradation contract: corrupted state must never
+            // escape as an exception. (panic() aborts and is out of
+            // scope; anything catchable is tallied as a simulator fault
+            // instead of killing the sweep.)
+            try {
+                _core->run(*_stream, 0);
+            } catch (const std::exception &) {
+                _injector->noteSimulatorFault(
+                    faultinject::FaultType::kNumTypes);
+            }
+        } else {
             _core->run(*_stream, 0);
-        } catch (const std::exception &) {
-            _injector->noteSimulatorFault(faultinject::FaultType::kNumTypes);
         }
-    } else {
-        _core->run(*_stream, 0);
     }
 
     RunResult result;
@@ -357,6 +369,8 @@ AosSystem::run()
     result.mech = _options.mech;
     result.core = _core->stats();
     result.networkTraffic = _mem->networkTraffic() - traffic_before;
+    result.dramAccesses = _mem->dramAccesses() - dram_accesses_before;
+    result.dramWrites = _mem->dramWrites() - dram_writes_before;
     result.mix = mixDelta(_counter->mix(), mix_before);
     if (_mcu)
         result.mcuStats = _mcu->stats();

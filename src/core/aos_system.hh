@@ -49,6 +49,8 @@ struct RunResult
 
     cpu::CoreStats core;
     u64 networkTraffic = 0;       //!< Bytes moved, measured phase only.
+    u64 dramAccesses = 0;         //!< DRAM link accesses, measured phase.
+    u64 dramWrites = 0;           //!< DRAM writes (LLC writebacks).
     ir::OpMixStats mix;           //!< Op mix, measured phase only.
     mcu::McuStats mcuStats;
     bounds::BwbStats bwb;

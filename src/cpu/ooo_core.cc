@@ -1,6 +1,7 @@
 #include "cpu/ooo_core.hh"
 
 #include "common/logging.hh"
+#include "common/profiler.hh"
 
 namespace aos::cpu {
 
@@ -165,6 +166,7 @@ OoOCore::commit(Tick now)
 const CoreStats &
 OoOCore::run(ir::InstStream &stream, u64 max_ops)
 {
+    prof::Scope scope("cpu.run");
     Tick now = _stats.cycles;
     bool stream_done = false;
     ir::MicroOp pending;

@@ -15,26 +15,11 @@ Cache::Cache(const CacheParams &params, MemLevel *below)
         params.size / (u64{params.assoc} * params.lineSize));
     fatal_if(!isPowerOf2(_numSets), "%s: set count must be 2^n",
              params.name.c_str());
-    _lineShift = log2i(params.lineSize);
+    _setShift = log2i(params.lineSize);
+    _tagShift = _setShift + log2i(_numSets);
+    _setMask = _numSets - 1;
     _lines.resize(u64{_numSets} * params.assoc);
-}
-
-u64
-Cache::setIndex(Addr addr) const
-{
-    return (addr >> _lineShift) & (_numSets - 1);
-}
-
-u64
-Cache::tagOf(Addr addr) const
-{
-    return addr >> (_lineShift + log2i(_numSets));
-}
-
-Addr
-Cache::lineAddr(u64 tag, u64 set) const
-{
-    return ((tag << log2i(_numSets)) | set) << _lineShift;
+    _mru.assign(_numSets, 0);
 }
 
 void
@@ -69,6 +54,7 @@ Cache::fill(Addr addr)
     victim->prefetched = true;
     victim->tag = tag;
     victim->lru = ++_stamp;
+    _mru[set] = static_cast<u32>(victim - ways);
 }
 
 Cycles
@@ -78,21 +64,32 @@ Cache::access(Addr addr, bool write)
     const u64 tag = tagOf(addr);
     Line *ways = &_lines[set * _params.assoc];
 
-    for (unsigned w = 0; w < _params.assoc; ++w) {
-        Line &line = ways[w];
-        if (line.valid && line.tag == tag) {
-            ++_stats.hits;
-            line.lru = ++_stamp;
-            line.dirty = line.dirty || write;
-            if (line.prefetched) {
-                // First touch of a prefetched line: the stream is
-                // confirmed, keep running ahead of it.
-                line.prefetched = false;
-                if (_params.nextLinePrefetch)
-                    fill(addr + _params.lineSize);
+    // MRU fast path: accesses cluster on the last-touched way (same
+    // line walked word by word), so probe it before the full sweep.
+    const u32 mru = _mru[set];
+    Line *hit = &ways[mru];
+    if (!(hit->valid && hit->tag == tag)) {
+        hit = nullptr;
+        for (unsigned w = 0; w < _params.assoc; ++w) {
+            if (w != mru && ways[w].valid && ways[w].tag == tag) {
+                hit = &ways[w];
+                _mru[set] = w;
+                break;
             }
-            return _params.latency;
         }
+    }
+    if (hit) {
+        ++_stats.hits;
+        hit->lru = ++_stamp;
+        hit->dirty = hit->dirty || write;
+        if (hit->prefetched) {
+            // First touch of a prefetched line: the stream is
+            // confirmed, keep running ahead of it.
+            hit->prefetched = false;
+            if (_params.nextLinePrefetch)
+                fill(addr + _params.lineSize);
+        }
+        return _params.latency;
     }
 
     // Miss: pick the LRU victim.
@@ -122,11 +119,17 @@ Cache::access(Addr addr, bool write)
     victim->prefetched = false;
     victim->tag = tag;
     victim->lru = ++_stamp;
+    _mru[set] = static_cast<u32>(victim - ways);
 
     // Stream detection: the previous line resident means we are
-    // walking forward; hide the next line's latency.
-    if (_params.nextLinePrefetch && contains(addr - _params.lineSize))
+    // walking forward; hide the next line's latency. Clamp the probe:
+    // for addresses in the first line, addr - lineSize would wrap to
+    // the top of the address space and could spuriously match a
+    // resident line there.
+    if (_params.nextLinePrefetch && addr >= _params.lineSize &&
+        contains(addr - _params.lineSize)) {
         fill(addr + _params.lineSize);
+    }
 
     return _params.latency + below;
 }
@@ -147,8 +150,19 @@ Cache::contains(Addr addr) const
 void
 Cache::flush()
 {
-    for (auto &line : _lines)
-        line = Line();
+    for (u64 set = 0; set < _numSets; ++set) {
+        Line *ways = &_lines[set * _params.assoc];
+        for (unsigned w = 0; w < _params.assoc; ++w) {
+            Line &line = ways[w];
+            if (line.valid && line.dirty) {
+                ++_stats.writebacks;
+                _stats.bytesWrittenBack += _params.lineSize;
+                _below->access(lineAddr(line.tag, set), true);
+            }
+            line = Line();
+        }
+    }
+    _mru.assign(_numSets, 0);
 }
 
 } // namespace aos::memsim

@@ -53,6 +53,9 @@ class MainMemory : public MemLevel
 
     const std::string &name() const override { return _name; }
     u64 accesses() const { return _accesses; }
+    /** DRAM-link writes (LLC writebacks); part of Fig. 18 traffic. */
+    u64 writes() const { return _writes; }
+    u64 reads() const { return _accesses - _writes; }
 
   private:
     std::string _name;
@@ -115,7 +118,12 @@ class Cache : public MemLevel
     /** Probe without updating state; true on present line. */
     bool contains(Addr addr) const;
 
-    /** Invalidate everything (used between simulation phases). */
+    /**
+     * Write back every dirty line to the level below (counted in
+     * writebacks/bytesWrittenBack, like any other eviction), then
+     * invalidate everything. Used between simulation phases; without
+     * the writeback pass, Fig. 18 would silently under-report traffic.
+     */
     void flush();
 
     const CacheStats &stats() const { return _stats; }
@@ -132,17 +140,26 @@ class Cache : public MemLevel
         u64 lru = 0; //!< Last-touch stamp; smaller = older.
     };
 
-    u64 setIndex(Addr addr) const;
-    u64 tagOf(Addr addr) const;
-    Addr lineAddr(u64 tag, u64 set) const;
+    u64 setIndex(Addr addr) const { return (addr >> _setShift) & _setMask; }
+    u64 tagOf(Addr addr) const { return addr >> _tagShift; }
+    Addr
+    lineAddr(u64 tag, u64 set) const
+    {
+        return (tag << _tagShift) | (set << _setShift);
+    }
     /** Install @p addr's line (for prefetch); pulls from below. */
     void fill(Addr addr);
 
     CacheParams _params;
     MemLevel *_below;
     unsigned _numSets;
-    unsigned _lineShift;
+    // Geometry derived once in the constructor; tagOf/setIndex sit on
+    // every access and must not recompute log2i(_numSets) each time.
+    unsigned _setShift; //!< log2(lineSize).
+    unsigned _tagShift; //!< log2(lineSize) + log2(numSets).
+    u64 _setMask;       //!< numSets - 1.
     std::vector<Line> _lines; // _numSets * assoc, set-major
+    std::vector<u32> _mru;    // per-set most-recently-touched way
     u64 _stamp = 0;
     CacheStats _stats;
 };

@@ -30,11 +30,15 @@ MemorySystem::networkTraffic() const
 void
 MemorySystem::flushAll()
 {
+    // Level order matters now that flush() writes dirty lines down:
+    // every L1 must drain into the L2 before the L2 drains to DRAM,
+    // or the L1-B's dirty bounds lines would land in a just-flushed
+    // L2 and never reach the DRAM link accounting.
     _l1i->flush();
     _l1d->flush();
-    _l2->flush();
     if (_l1bOwned)
         _l1b->flush();
+    _l2->flush();
 }
 
 } // namespace aos::memsim

@@ -68,6 +68,10 @@ class MemorySystem
     /** Total bytes moved between all cache levels and to DRAM. */
     u64 networkTraffic() const;
 
+    /** DRAM link activity (reads = fills, writes = LLC writebacks). */
+    u64 dramAccesses() const { return _dram->accesses(); }
+    u64 dramWrites() const { return _dram->writes(); }
+
     /** Invalidate all cache state. */
     void flushAll();
 

@@ -8,17 +8,18 @@ PaContext::PaContext(PointerLayout layout, u64 seed)
     : _layout(layout), _cipher(qarma::Sbox::kSigma1, 7)
 {
     Rng rng(seed);
-    for (auto &key : _keys) {
-        key.w0 = rng.next();
-        key.k0 = rng.next();
+    for (unsigned i = 0; i < 5; ++i) {
+        _keys[i].w0 = rng.next();
+        _keys[i].k0 = rng.next();
+        _scheds[i] = qarma::Qarma64::expandKey(_keys[i]);
     }
 }
 
 u64
 PaContext::computePac(Addr ptr, u64 modifier, PaKey key) const
 {
-    const auto &k = _keys[static_cast<unsigned>(key)];
-    const u64 ct = _cipher.encrypt(_layout.strip(ptr), modifier, k);
+    const auto &ks = _scheds[static_cast<unsigned>(key)];
+    const u64 ct = _cipher.encrypt(_layout.strip(ptr), modifier, ks);
     return ct & mask(_layout.pacSize());
 }
 

@@ -46,7 +46,12 @@ class PaContext
                        u64 seed = 0x6a09e667f3bcc908ull);
 
     /** Use the paper's published key/context pair (SVI) for key M. */
-    void setKeyM(const qarma::Key128 &key) { _keys[4] = key; }
+    void
+    setKeyM(const qarma::Key128 &key)
+    {
+        _keys[4] = key;
+        _scheds[4] = qarma::Qarma64::expandKey(key);
+    }
 
     const PointerLayout &layout() const { return _layout; }
 
@@ -95,6 +100,9 @@ class PaContext
     PointerLayout _layout;
     qarma::Qarma64 _cipher;
     qarma::Key128 _keys[5];
+    // Expanded once per key slot: computePac signs millions of pointers
+    // per run, and re-deriving w1/k1 per block is pure waste.
+    qarma::Qarma64::Schedule _scheds[5];
 };
 
 } // namespace aos::pa

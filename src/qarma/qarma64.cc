@@ -1,6 +1,7 @@
 #include "qarma/qarma64.hh"
 
 #include <array>
+#include <bit>
 
 #include "common/bitfield.hh"
 #include "common/logging.hh"
@@ -79,13 +80,126 @@ lfsrInv(u64 nib)
     return ((nib << 1) & 0xe) | (a3 ^ a0);
 }
 
-u64
+// Reference cell permutation; the runtime path uses the scatter LUTs
+// below, which are generated from (and verified against) this.
+constexpr u64
 permuteCells(u64 state, const unsigned *perm)
 {
     u64 out = 0;
     for (unsigned i = 0; i < 16; ++i)
         out = setCell(out, i, getCell(state, perm[i]));
     return out;
+}
+
+/**
+ * Per-byte scatter tables for a cell permutation, optionally composed
+ * with the tweak LFSR. t[j][b] is the full 64-bit contribution of input
+ * byte j (cells 2j and 2j+1) holding value b; because every output cell
+ * takes exactly one input cell — and omega maps the zero nibble to zero
+ * — OR-ing the eight per-byte contributions reconstructs the permuted
+ * word exactly.
+ */
+struct NibbleScatterLut
+{
+    u64 t[8][256];
+};
+
+// How the tweak LFSR composes with the permutation in a LUT.
+enum class LfsrMode { kNone, kAfterPerm, kInvThenPerm };
+
+constexpr NibbleScatterLut
+makeScatterLut(const unsigned (&perm)[16], LfsrMode mode)
+{
+    NibbleScatterLut lut{};
+    for (unsigned byte = 0; byte < 8; ++byte) {
+        for (unsigned val = 0; val < 256; ++val) {
+            u64 word = 0;
+            word = setCell(word, 2 * byte, (val >> 4) & 0xf);
+            word = setCell(word, 2 * byte + 1, val & 0xf);
+            if (mode == LfsrMode::kInvThenPerm) {
+                for (unsigned i = 0; i < 16; ++i) {
+                    if (kLfsrCell[i])
+                        word = setCell(word, i, lfsrInv(getCell(word, i)));
+                }
+            }
+            u64 out = permuteCells(word, perm);
+            if (mode == LfsrMode::kAfterPerm) {
+                for (unsigned i = 0; i < 16; ++i) {
+                    if (kLfsrCell[i])
+                        out = setCell(out, i, lfsr(getCell(out, i)));
+                }
+            }
+            lut.t[byte][val] = out;
+        }
+    }
+    return lut;
+}
+
+constexpr auto kTauLut = makeScatterLut(kTau, LfsrMode::kNone);
+constexpr NibbleScatterLut kTauInvLut = [] {
+    unsigned perm[16]{};
+    for (unsigned i = 0; i < 16; ++i)
+        perm[i] = kTauInv[i];
+    return makeScatterLut(perm, LfsrMode::kNone);
+}();
+constexpr auto kFwdTweakLut = makeScatterLut(kTweakPerm, LfsrMode::kAfterPerm);
+constexpr NibbleScatterLut kBwdTweakLut = [] {
+    unsigned perm[16]{};
+    for (unsigned i = 0; i < 16; ++i)
+        perm[i] = kTweakPermInv[i];
+    return makeScatterLut(perm, LfsrMode::kInvThenPerm);
+}();
+
+inline u64
+applyScatterLut(const NibbleScatterLut &lut, u64 x)
+{
+    return lut.t[0][(x >> 56) & 0xff] | lut.t[1][(x >> 48) & 0xff] |
+           lut.t[2][(x >> 40) & 0xff] | lut.t[3][(x >> 32) & 0xff] |
+           lut.t[4][(x >> 24) & 0xff] | lut.t[5][(x >> 16) & 0xff] |
+           lut.t[6][(x >> 8) & 0xff] | lut.t[7][x & 0xff];
+}
+
+/** Byte-wide S-box: both nibbles of a byte substituted per lookup. */
+constexpr std::array<u8, 256>
+makeByteSbox(const u8 *box)
+{
+    std::array<u8, 256> out{};
+    for (unsigned b = 0; b < 256; ++b)
+        out[b] = static_cast<u8>((box[b >> 4] << 4) | box[b & 0xf]);
+    return out;
+}
+
+constexpr auto kSigma0Byte = makeByteSbox(kSigma0);
+constexpr auto kSigma1Byte = makeByteSbox(kSigma1);
+constexpr auto kSigma2Byte = makeByteSbox(kSigma2);
+constexpr auto kSigma0InvByte = makeByteSbox(kSigma0Inv.data());
+constexpr auto kSigma1InvByte = makeByteSbox(kSigma1Inv.data());
+constexpr auto kSigma2InvByte = makeByteSbox(kSigma2Inv.data());
+
+inline u64
+applyByteSbox(const u8 *box, u64 x)
+{
+    u64 out = 0;
+    for (unsigned byte = 0; byte < 8; ++byte) {
+        const unsigned sh = 56 - 8 * byte;
+        out |= static_cast<u64>(box[(x >> sh) & 0xff]) << sh;
+    }
+    return out;
+}
+
+// Rotate every 4-bit cell of @p x left by 1 / by 2, in parallel.
+inline u64
+rotlCells1(u64 x)
+{
+    return ((x << 1) & 0xEEEEEEEEEEEEEEEEull) |
+           ((x >> 3) & 0x1111111111111111ull);
+}
+
+inline u64
+rotlCells2(u64 x)
+{
+    return ((x << 2) & 0xCCCCCCCCCCCCCCCCull) |
+           ((x >> 2) & 0x3333333333333333ull);
 }
 
 } // namespace
@@ -96,16 +210,16 @@ Qarma64::Qarma64(Sbox sbox, unsigned rounds) : _sbox(sbox), _rounds(rounds)
              rounds);
     switch (sbox) {
       case Sbox::kSigma0:
-        _sub = kSigma0;
-        _subInv = kSigma0Inv.data();
+        _sub2 = kSigma0Byte.data();
+        _sub2Inv = kSigma0InvByte.data();
         break;
       case Sbox::kSigma1:
-        _sub = kSigma1;
-        _subInv = kSigma1Inv.data();
+        _sub2 = kSigma1Byte.data();
+        _sub2Inv = kSigma1InvByte.data();
         break;
       case Sbox::kSigma2:
-        _sub = kSigma2;
-        _subInv = kSigma2Inv.data();
+        _sub2 = kSigma2Byte.data();
+        _sub2Inv = kSigma2InvByte.data();
         break;
       default:
         panic("invalid QARMA S-box selector");
@@ -115,13 +229,13 @@ Qarma64::Qarma64(Sbox sbox, unsigned rounds) : _sbox(sbox), _rounds(rounds)
 u64
 Qarma64::shuffleCells(u64 state)
 {
-    return permuteCells(state, kTau);
+    return applyScatterLut(kTauLut, state);
 }
 
 u64
 Qarma64::shuffleCellsInv(u64 state)
 {
-    return permuteCells(state, kTauInv.data());
+    return applyScatterLut(kTauInvLut, state);
 }
 
 u64
@@ -130,58 +244,37 @@ Qarma64::mixColumns(u64 state)
     // M = circ(0, rho, rho^2, rho) acting column-wise on the 4x4 cell
     // matrix; multiplication by rho^e rotates a nibble left by e. The
     // matrix is an involution, so it serves as both M and M^-1 (and as
-    // the central matrix Q).
-    u64 out = 0;
-    for (unsigned row = 0; row < 4; ++row) {
-        for (unsigned col = 0; col < 4; ++col) {
-            const u64 a = getCell(state, 4 * ((row + 1) & 3) + col);
-            const u64 b = getCell(state, 4 * ((row + 2) & 3) + col);
-            const u64 c = getCell(state, 4 * ((row + 3) & 3) + col);
-            const u64 mixed = rotl4(a, 1) ^ rotl4(b, 2) ^ rotl4(c, 1);
-            out = setCell(out, 4 * row + col, mixed);
-        }
-    }
-    return out;
+    // the central matrix Q). Row r+k of the cell matrix sits 16 bits
+    // below row r (cell 0 is the MSB nibble), so "take the cell k rows
+    // down, same column" is a plain 16k-bit word rotation — the whole
+    // matrix evaluates as three rotations and two parallel cell spins.
+    return rotlCells1(std::rotl(state, 16)) ^
+           rotlCells2(std::rotl(state, 32)) ^
+           rotlCells1(std::rotl(state, 48));
 }
 
 u64
 Qarma64::subCells(u64 state) const
 {
-    u64 out = 0;
-    for (unsigned i = 0; i < 16; ++i)
-        out = setCell(out, i, _sub[getCell(state, i)]);
-    return out;
+    return applyByteSbox(_sub2, state);
 }
 
 u64
 Qarma64::subCellsInv(u64 state) const
 {
-    u64 out = 0;
-    for (unsigned i = 0; i < 16; ++i)
-        out = setCell(out, i, _subInv[getCell(state, i)]);
-    return out;
+    return applyByteSbox(_sub2Inv, state);
 }
 
 u64
 Qarma64::forwardTweak(u64 tweak)
 {
-    u64 out = permuteCells(tweak, kTweakPerm);
-    for (unsigned i = 0; i < 16; ++i) {
-        if (kLfsrCell[i])
-            out = setCell(out, i, lfsr(getCell(out, i)));
-    }
-    return out;
+    return applyScatterLut(kFwdTweakLut, tweak);
 }
 
 u64
 Qarma64::backwardTweak(u64 tweak)
 {
-    u64 out = tweak;
-    for (unsigned i = 0; i < 16; ++i) {
-        if (kLfsrCell[i])
-            out = setCell(out, i, lfsrInv(getCell(out, i)));
-    }
-    return permuteCells(out, kTweakPermInv.data());
+    return applyScatterLut(kBwdTweakLut, tweak);
 }
 
 u64
@@ -194,6 +287,12 @@ u64
 Qarma64::deriveK1(u64 k0)
 {
     return mixColumns(k0);
+}
+
+Qarma64::Schedule
+Qarma64::expandKey(const Key128 &key)
+{
+    return {key.w0, deriveW1(key.w0), key.k0, deriveK1(key.k0)};
 }
 
 u64
@@ -237,53 +336,55 @@ Qarma64::reflectInv(u64 state, u64 k1) const
 }
 
 u64
-Qarma64::encrypt(u64 plaintext, u64 tweak, const Key128 &key) const
+Qarma64::encrypt(u64 plaintext, u64 tweak, const Schedule &ks) const
 {
-    const u64 w0 = key.w0;
-    const u64 w1 = deriveW1(w0);
-    const u64 k0 = key.k0;
-    const u64 k1 = deriveK1(k0);
-
-    u64 state = plaintext ^ w0;
+    u64 state = plaintext ^ ks.w0;
     u64 t = tweak;
     for (unsigned i = 0; i < _rounds; ++i) {
-        state = forwardRound(state, k0 ^ t ^ kRoundConst[i], i != 0);
+        state = forwardRound(state, ks.k0 ^ t ^ kRoundConst[i], i != 0);
         t = forwardTweak(t);
     }
-    state = forwardRound(state, w1 ^ t, true);
-    state = reflect(state, k1);
-    state = backwardRound(state, w0 ^ t, true);
+    state = forwardRound(state, ks.w1 ^ t, true);
+    state = reflect(state, ks.k1);
+    state = backwardRound(state, ks.w0 ^ t, true);
     for (unsigned i = _rounds; i-- > 0;) {
         t = backwardTweak(t);
-        state = backwardRound(state, k0 ^ t ^ kRoundConst[i] ^ kAlpha,
+        state = backwardRound(state, ks.k0 ^ t ^ kRoundConst[i] ^ kAlpha,
                               i != 0);
     }
-    return state ^ w1;
+    return state ^ ks.w1;
+}
+
+u64
+Qarma64::decrypt(u64 ciphertext, u64 tweak, const Schedule &ks) const
+{
+    u64 state = ciphertext ^ ks.w1;
+    u64 t = tweak;
+    for (unsigned i = 0; i < _rounds; ++i) {
+        state = forwardRound(state, ks.k0 ^ t ^ kRoundConst[i] ^ kAlpha,
+                             i != 0);
+        t = forwardTweak(t);
+    }
+    state = forwardRound(state, ks.w0 ^ t, true);
+    state = reflectInv(state, ks.k1);
+    state = backwardRound(state, ks.w1 ^ t, true);
+    for (unsigned i = _rounds; i-- > 0;) {
+        t = backwardTweak(t);
+        state = backwardRound(state, ks.k0 ^ t ^ kRoundConst[i], i != 0);
+    }
+    return state ^ ks.w0;
+}
+
+u64
+Qarma64::encrypt(u64 plaintext, u64 tweak, const Key128 &key) const
+{
+    return encrypt(plaintext, tweak, expandKey(key));
 }
 
 u64
 Qarma64::decrypt(u64 ciphertext, u64 tweak, const Key128 &key) const
 {
-    const u64 w0 = key.w0;
-    const u64 w1 = deriveW1(w0);
-    const u64 k0 = key.k0;
-    const u64 k1 = deriveK1(k0);
-
-    u64 state = ciphertext ^ w1;
-    u64 t = tweak;
-    for (unsigned i = 0; i < _rounds; ++i) {
-        state = forwardRound(state, k0 ^ t ^ kRoundConst[i] ^ kAlpha,
-                             i != 0);
-        t = forwardTweak(t);
-    }
-    state = forwardRound(state, w0 ^ t, true);
-    state = reflectInv(state, k1);
-    state = backwardRound(state, w1 ^ t, true);
-    for (unsigned i = _rounds; i-- > 0;) {
-        t = backwardTweak(t);
-        state = backwardRound(state, k0 ^ t ^ kRoundConst[i], i != 0);
-    }
-    return state ^ w0;
+    return decrypt(ciphertext, tweak, expandKey(key));
 }
 
 } // namespace aos::qarma

@@ -14,6 +14,16 @@
  * matching the specification's ordering. Decryption is implemented as
  * the exact structural inverse of encryption so that round-trip
  * properties hold for every (sbox, rounds) instance.
+ *
+ * Hot-path layout: the cell permutations (tau and the tweak update,
+ * including its LFSR) are applied through precomputed per-byte scatter
+ * tables, the S-box substitutes a whole byte (two cells) per lookup and
+ * MixColumns is evaluated bit-sliced over all 16 cells at once. Callers
+ * that sign many pointers under one key should expand it once into a
+ * Schedule (w1/k1 are derived per key, not per block) and use the
+ * Schedule overloads; PaContext does exactly that per key slot. All of
+ * this is bit-exact with the reference per-cell formulation, which the
+ * regression vectors in tests/pac_vectors_test.cc pin down.
  */
 
 #ifndef AOS_QARMA_QARMA64_HH
@@ -38,16 +48,37 @@ class Qarma64
 {
   public:
     /**
+     * Expanded key schedule: the specified derived halves w1 = o(w0)
+     * and k1 = M * k0, computed once per key instead of per block.
+     */
+    struct Schedule
+    {
+        u64 w0 = 0;
+        u64 w1 = 0;
+        u64 k0 = 0;
+        u64 k1 = 0;
+    };
+
+    /**
      * @param sbox S-box family (Arm PA uses sigma1).
      * @param rounds Number of forward rounds r; the spec defines 5..7.
      */
     explicit Qarma64(Sbox sbox = Sbox::kSigma1, unsigned rounds = 7);
+
+    /** Derive the full schedule for @p key (w1/k1 per the spec). */
+    static Schedule expandKey(const Key128 &key);
 
     /** Encrypt one 64-bit block under @p key and @p tweak. */
     u64 encrypt(u64 plaintext, u64 tweak, const Key128 &key) const;
 
     /** Decrypt one 64-bit block under @p key and @p tweak. */
     u64 decrypt(u64 ciphertext, u64 tweak, const Key128 &key) const;
+
+    /** Encrypt using a pre-expanded schedule (hot path). */
+    u64 encrypt(u64 plaintext, u64 tweak, const Schedule &ks) const;
+
+    /** Decrypt using a pre-expanded schedule (hot path). */
+    u64 decrypt(u64 ciphertext, u64 tweak, const Schedule &ks) const;
 
     unsigned rounds() const { return _rounds; }
     Sbox sbox() const { return _sbox; }
@@ -75,8 +106,8 @@ class Qarma64
 
     Sbox _sbox;
     unsigned _rounds;
-    const u8 *_sub;    // active S-box table
-    const u8 *_subInv; // its inverse
+    const u8 *_sub2;    // byte-wide S-box: both nibbles substituted
+    const u8 *_sub2Inv; // its inverse
 };
 
 } // namespace aos::qarma

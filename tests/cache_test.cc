@@ -125,6 +125,61 @@ TEST(Cache, FlushInvalidatesEverything)
     EXPECT_GT(cache.access(0x1000, false), 1u);
 }
 
+TEST(Cache, FlushWritesBackDirtyLines)
+{
+    MainMemory dram;
+    Cache cache(smallCache(), &dram);
+    cache.access(0x0000, true);  // dirty, set 0
+    cache.access(0x0040, true);  // dirty, set 1
+    cache.access(0x0080, false); // clean, set 2
+    const u64 dram_writes = dram.writes();
+    cache.flush();
+    // Both dirty lines must reach the level below; the clean line is
+    // dropped silently.
+    EXPECT_EQ(cache.stats().writebacks, 2u);
+    EXPECT_EQ(cache.stats().bytesWrittenBack, 128u);
+    EXPECT_EQ(dram.writes(), dram_writes + 2);
+    EXPECT_FALSE(cache.contains(0x0000));
+    EXPECT_FALSE(cache.contains(0x0040));
+    EXPECT_FALSE(cache.contains(0x0080));
+}
+
+TEST(Cache, FlushTwiceWritesBackOnce)
+{
+    MainMemory dram;
+    Cache cache(smallCache(), &dram);
+    cache.access(0x0000, true);
+    cache.flush();
+    cache.flush(); // nothing valid left: no double writeback
+    EXPECT_EQ(cache.stats().writebacks, 1u);
+}
+
+TEST(Cache, PrefetchProbeClampsAtAddressZero)
+{
+    CacheParams params = smallCache();
+    params.nextLinePrefetch = true;
+    MainMemory dram;
+    Cache cache(params, &dram);
+    // Make the top-of-address-space line resident: an unclamped
+    // (addr - lineSize) probe for addr 0 wraps around to exactly this
+    // line and would fake a sequential walk.
+    cache.access(0xFFFFFFFFFFFFFFC0ull, false);
+    cache.access(0x0, false);
+    EXPECT_EQ(cache.stats().prefetches, 0u);
+}
+
+TEST(Cache, PrefetchStillFiresAboveFirstLine)
+{
+    CacheParams params = smallCache();
+    params.nextLinePrefetch = true;
+    MainMemory dram;
+    Cache cache(params, &dram);
+    cache.access(0x1000, false);
+    cache.access(0x1040, false); // sequential miss: prefetch 0x1080
+    EXPECT_EQ(cache.stats().prefetches, 1u);
+    EXPECT_TRUE(cache.contains(0x1080));
+}
+
 TEST(Cache, TwoLevelLatencyComposition)
 {
     MainMemory dram("dram", 100);

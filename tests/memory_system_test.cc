@@ -115,5 +115,31 @@ TEST(MemorySystem, FlushAllColdMissesEverywhere)
     EXPECT_EQ(mem.dataAccess(0x20000000, false), 109u);
 }
 
+TEST(MemorySystem, DramWritesCountFlushedDirtyData)
+{
+    MemorySystem mem;
+    EXPECT_EQ(mem.dramWrites(), 0u);
+    mem.dataAccess(0x20000000, true); // dirty in L1-D
+    // Nothing evicted yet: the write is still buffered on chip.
+    EXPECT_EQ(mem.dramWrites(), 0u);
+    mem.flushAll();
+    // L1-D writes back into L2, L2 writes back to DRAM — the dirty
+    // line must reach the DRAM link exactly once.
+    EXPECT_EQ(mem.dramWrites(), 1u);
+    EXPECT_EQ(mem.dram().writes(), mem.dramWrites());
+    EXPECT_GE(mem.dramAccesses(), mem.dramWrites());
+}
+
+TEST(MemorySystem, FlushAllDrainsDirtyBoundsThroughL2)
+{
+    // L1-B dirty lines must be flushed *before* L2, or their
+    // writebacks would land in (and die with) an already-flushed L2.
+    MemorySystem mem; // L1-B enabled by default
+
+    mem.boundsAccess(0x40000000, true); // dirty in L1-B
+    mem.flushAll();
+    EXPECT_EQ(mem.dramWrites(), 1u);
+}
+
 } // namespace
 } // namespace aos::memsim

@@ -238,5 +238,32 @@ TEST(Qarma64Keys, DerivedKeysDifferFromPrimary)
               kPaperKey.k0);
 }
 
+TEST(Qarma64Keys, ExpandedScheduleMatchesKeyOverloads)
+{
+    // The Schedule overloads cache w1/k1 per key (the PaContext hot
+    // path); they must be indistinguishable from the Key128 overloads
+    // for every instance and random material.
+    Rng rng(7);
+    const Sbox boxes[] = {Sbox::kSigma0, Sbox::kSigma1, Sbox::kSigma2};
+    for (const Sbox sbox : boxes) {
+        for (unsigned rounds = 5; rounds <= 7; ++rounds) {
+            const Qarma64 q(sbox, rounds);
+            for (int i = 0; i < 32; ++i) {
+                const Key128 key{rng.next(), rng.next()};
+                const Qarma64::Schedule ks = Qarma64::expandKey(key);
+                EXPECT_EQ(ks.w0, key.w0);
+                EXPECT_EQ(ks.w1, Qarma64::deriveW1(key.w0));
+                EXPECT_EQ(ks.k0, key.k0);
+                EXPECT_EQ(ks.k1, Qarma64::deriveK1(key.k0));
+                const u64 pt = rng.next();
+                const u64 tweak = rng.next();
+                const u64 ct = q.encrypt(pt, tweak, key);
+                EXPECT_EQ(q.encrypt(pt, tweak, ks), ct);
+                EXPECT_EQ(q.decrypt(ct, tweak, ks), pt);
+            }
+        }
+    }
+}
+
 } // namespace
 } // namespace aos::qarma

@@ -4,6 +4,7 @@
  */
 
 #include <cmath>
+#include <limits>
 #include <sstream>
 
 #include <gtest/gtest.h>
@@ -174,6 +175,25 @@ TEST(Geomean, MatchesClosedForm)
     EXPECT_DOUBLE_EQ(geomean({4.0}), 4.0);
     EXPECT_NEAR(geomean({1.0, 4.0}), 2.0, 1e-12);
     EXPECT_NEAR(geomean({2.0, 8.0, 4.0}), 4.0, 1e-12);
+}
+
+TEST(Geomean, SkipsNonPositiveValues)
+{
+    // log(0) = -inf and log(<0) = NaN used to poison the whole mean;
+    // such values are skipped (with a warning) instead.
+    EXPECT_NEAR(geomean({0.0, 1.0, 4.0}), 2.0, 1e-12);
+    EXPECT_NEAR(geomean({-3.0, 2.0, 8.0, 4.0}), 4.0, 1e-12);
+    EXPECT_DOUBLE_EQ(geomean({0.0}), 0.0);
+    EXPECT_DOUBLE_EQ(geomean({-1.0, 0.0}), 0.0);
+}
+
+TEST(Geomean, SkipsNonFiniteValues)
+{
+    const double inf = std::numeric_limits<double>::infinity();
+    const double nan = std::numeric_limits<double>::quiet_NaN();
+    EXPECT_NEAR(geomean({inf, 1.0, 4.0}), 2.0, 1e-12);
+    EXPECT_NEAR(geomean({nan, 4.0}), 4.0, 1e-12);
+    EXPECT_DOUBLE_EQ(geomean({inf, nan}), 0.0);
 }
 
 } // namespace
