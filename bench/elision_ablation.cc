@@ -133,6 +133,7 @@ main()
         sweep.add(std::move(elided));
     }
     campaign::CampaignResult result = sweep.run();
+    exitIfInterrupted(result);
     if (!result.allOk()) {
         std::fprintf(stderr, "elision_ablation: %u job(s) failed\n",
                      result.count(campaign::JobStatus::kFailed) +
@@ -143,28 +144,26 @@ main()
     GeoAccum norm_geo;
     GeoAccum rate_geo;
     for (size_t p = 0; p < profiles.size(); ++p) {
-        const core::RunResult &base = result.jobs[2 * p].run;
+        // Read the flattened stats, not run.*: a job restored from a
+        // checkpoint carries stats only.
+        const StatSet &base = result.jobs[2 * p].stats;
         campaign::JobResult &elided_job = result.jobs[2 * p + 1];
-        const core::RunResult &elided = elided_job.run;
-        const double norm = static_cast<double>(elided.core.cycles) /
-                            static_cast<double>(base.core.cycles);
+        const StatSet &elided = elided_job.stats;
+        const double elision_rate =
+            elided.has("elide_rate") ? elided.value("elide_rate") : 0.0;
+        const double norm =
+            elided.value("cycles") / base.value("cycles");
         elided_job.stats.scalar("norm_exec_time") = norm;
-        elided_job.stats.scalar("kept_autm_fraction") =
-            1.0 - elided.elide.elisionRate();
+        elided_job.stats.scalar("kept_autm_fraction") = 1.0 - elision_rate;
         norm_geo.add(norm);
-        rate_geo.add(1.0 - elided.elide.elisionRate());
-        std::printf("%-12s %10llu %10llu %6.1f%% %8.3f %8.3f %10llu "
-                    "%10llu %8.3f\n",
-                    profiles[p].name.c_str(),
-                    static_cast<unsigned long long>(base.mix.autms),
-                    static_cast<unsigned long long>(elided.mix.autms),
-                    100.0 * elided.elide.elisionRate(), base.core.ipc(),
-                    elided.core.ipc(),
-                    static_cast<unsigned long long>(
-                        base.core.mcqFullStalls),
-                    static_cast<unsigned long long>(
-                        elided.core.mcqFullStalls),
-                    norm);
+        rate_geo.add(1.0 - elision_rate);
+        std::printf("%-12s %10.0f %10.0f %6.1f%% %8.3f %8.3f %10.0f "
+                    "%10.0f %8.3f\n",
+                    profiles[p].name.c_str(), base.value("mix_autms"),
+                    elided.value("mix_autms"), 100.0 * elision_rate,
+                    base.value("ipc"), elided.value("ipc"),
+                    base.value("mcq_full_stalls"),
+                    elided.value("mcq_full_stalls"), norm);
         std::fflush(stdout);
     }
     rule(92);

@@ -117,6 +117,7 @@ main()
     }
 
     campaign::CampaignResult result = sweep.run();
+    exitIfInterrupted(result);
     if (!result.allOk()) {
         std::fprintf(stderr, "fault_matrix: %u job(s) failed\n",
                      result.count(campaign::JobStatus::kFailed) +
@@ -128,15 +129,21 @@ main()
     u64 total_injected = 0;
     u64 total_sim_faults = 0;
     for (size_t i = 0; i < result.jobs.size(); ++i) {
-        const auto &faults = result.jobs[i].run.faults;
+        // Read the flattened stats, not run.faults: a job restored
+        // from a checkpoint carries stats only.
+        const auto &stats = result.jobs[i].stats;
+        const auto stat = [&](const char *key) {
+            return static_cast<u64>(stats.has(key) ? stats.value(key) : 0);
+        };
         Cell &cell = grid[cells[i].first][cells[i].second];
         cell.present = true;
-        cell.injected += faults.injected;
-        cell.detected += faults.detected();
-        cell.silent += faults.silent;
-        cell.simFault += faults.simFault;
-        total_injected += faults.injected;
-        total_sim_faults += faults.simFault;
+        cell.injected += stat("fault_injected");
+        cell.detected +=
+            stat("fault_detected_autm") + stat("fault_detected_bounds");
+        cell.silent += stat("fault_silent");
+        cell.simFault += stat("fault_sim_fault");
+        total_injected += stat("fault_injected");
+        total_sim_faults += stat("fault_sim_fault");
     }
 
     // Per-cell detection coverage (detected / injected, "-" = class

@@ -51,6 +51,7 @@ main()
         for (const Mechanism mech : kMechs)
             sweep.addConfig(profile, mech, ops);
     campaign::CampaignResult result = sweep.run();
+    exitIfInterrupted(result);
     if (!result.allOk()) {
         std::fprintf(stderr, "fig14: %u job(s) failed\n",
                      result.count(campaign::JobStatus::kFailed) +
@@ -68,12 +69,12 @@ main()
         const auto row = [&](unsigned m) -> campaign::JobResult & {
             return result.jobs[p * kNumMechs + m];
         };
-        const double base_cycles =
-            static_cast<double>(row(0).run.core.cycles);
+        // Read cycles from the flattened stats, not run.core: a job
+        // restored from a checkpoint carries stats only.
+        const double base_cycles = row(0).stats.value("cycles");
         std::printf("%-12s", profiles[p].name.c_str());
         for (unsigned m = 1; m < kNumMechs; ++m) {
-            const double norm =
-                static_cast<double>(row(m).run.core.cycles) / base_cycles;
+            const double norm = row(m).stats.value("cycles") / base_cycles;
             // A degenerate run (zero/NaN cycles) must fail the harness,
             // not ship a silently-wrong figure.
             if (!std::isfinite(norm) || norm <= 0.0)

@@ -2,8 +2,9 @@
 # Full local gate: default build + tier-1 tests, sanitizer build +
 # tests, campaign-engine smoke (JSON emission + serial/parallel
 # parity), fault-matrix smoke (graceful-degradation audit under
-# sanitizers), simulator-throughput regression guard, and clang-tidy
-# lint. Run from the repository root:
+# sanitizers), simulator-throughput regression guard, crash-resume
+# check (SIGKILL mid-campaign + AOS_CAMPAIGN_RESUME byte parity), and
+# clang-tidy lint. Run from the repository root:
 #
 #   scripts/check.sh              # everything
 #   AOS_CHECK_SKIP_SANITIZE=1 scripts/check.sh   # skip the ASan pass
@@ -18,20 +19,20 @@ cd "$(dirname "$0")/.."
 
 JOBS="${AOS_CHECK_JOBS:-$(nproc)}"
 
-echo "== [1/7] default build =="
+echo "== [1/8] default build =="
 cmake --preset default
 cmake --build --preset default -j "${JOBS}"
 
-echo "== [2/7] tier-1 tests =="
+echo "== [2/8] tier-1 tests =="
 ctest --preset default -j "${JOBS}"
 
 if [ "${AOS_CHECK_SKIP_SANITIZE:-0}" != "1" ]; then
-    echo "== [3/7] sanitizer build + fast tests (ASan+UBSan) =="
+    echo "== [3/8] sanitizer build + fast tests (ASan+UBSan) =="
     cmake --preset sanitize
     cmake --build --preset sanitize -j "${JOBS}"
     ctest --preset sanitize -LE slow -j "${JOBS}"
 else
-    echo "== [3/7] sanitizer pass skipped (AOS_CHECK_SKIP_SANITIZE=1) =="
+    echo "== [3/8] sanitizer pass skipped (AOS_CHECK_SKIP_SANITIZE=1) =="
 fi
 
 SMOKE_DIR="$(mktemp -d)"
@@ -49,7 +50,7 @@ json_parity() {
     fi
 }
 
-echo "== [4/7] campaign smoke (JSON + jobs=1 vs jobs=4 parity) =="
+echo "== [4/8] campaign smoke (JSON + jobs=1 vs jobs=4 parity) =="
 AOS_SIM_OPS=20000 AOS_CAMPAIGN_PROGRESS=0 AOS_CAMPAIGN_JOBS=1 \
     AOS_CAMPAIGN_JSON="${SMOKE_DIR}/serial.json" ./build/bench/campaign_smoke
 AOS_SIM_OPS=20000 AOS_CAMPAIGN_PROGRESS=0 AOS_CAMPAIGN_JOBS=4 \
@@ -60,7 +61,7 @@ json_parity "${SMOKE_DIR}/serial.json" "${SMOKE_DIR}/parallel.json" \
     "campaign smoke"
 echo "campaign smoke: parity OK"
 
-echo "== [5/7] fault-matrix smoke (DESIGN.md §8 audit) =="
+echo "== [5/8] fault-matrix smoke (DESIGN.md §8 audit) =="
 # Run the graceful-degradation audit under the sanitizer build when
 # available — injected corruption must be UB-free, not just survivable.
 FAULT_BIN=./build/bench/fault_matrix
@@ -76,7 +77,7 @@ json_parity "${SMOKE_DIR}/fault1.json" "${SMOKE_DIR}/faultN.json" \
     "fault matrix"
 echo "fault matrix: audit + parity OK"
 
-echo "== [6/7] simulator throughput guard =="
+echo "== [6/8] simulator throughput guard =="
 # Smoke-mode run of the host-throughput benchmark against the
 # checked-in baseline: the per-mechanism ops/sec geomeans may not drop
 # more than the guard band below scripts/throughput_baseline.json
@@ -119,7 +120,62 @@ done
 [ "${THROUGHPUT_GUARD_OK}" = "1" ] || exit 1
 echo "throughput guard: OK"
 
-echo "== [7/7] lint =="
+echo "== [7/8] crash-resume (SIGKILL mid-campaign, resume, parity) =="
+# Kill a checkpointed campaign once its first record is durable, resume
+# it with AOS_CAMPAIGN_RESUME, and require the canonical JSON to be
+# byte-identical to an uninterrupted run (DESIGN.md §10).
+resume_check() {
+    local name="$1" bin="$2" jobs="$3" ops="$4"
+    local dir="${SMOKE_DIR}/resume-${name}-j${jobs}"
+    mkdir -p "${dir}"
+    # Uninterrupted reference run.
+    AOS_SIM_OPS="${ops}" AOS_CAMPAIGN_PROGRESS=0 \
+        AOS_CAMPAIGN_JOBS="${jobs}" AOS_CAMPAIGN_JSON=off \
+        AOS_CAMPAIGN_JSON_CANONICAL="${dir}/clean.json" \
+        "${bin}" > /dev/null
+    # Checkpointed run, SIGKILLed as soon as a shard holds a record.
+    AOS_SIM_OPS="${ops}" AOS_CAMPAIGN_PROGRESS=0 \
+        AOS_CAMPAIGN_JOBS="${jobs}" AOS_CAMPAIGN_JSON=off \
+        AOS_CAMPAIGN_RESUME="${dir}/ckpt" \
+        "${bin}" > /dev/null 2>&1 &
+    local pid=$!
+    for _ in $(seq 1 600); do
+        if [ -n "$(find "${dir}/ckpt" -name 'shard-*.log' -size +0c \
+                   2>/dev/null)" ]; then
+            break
+        fi
+        kill -0 "${pid}" 2>/dev/null || break
+        sleep 0.05
+    done
+    kill -9 "${pid}" 2>/dev/null || true
+    wait "${pid}" 2>/dev/null || true
+    # Resumed run must reproduce the reference byte-for-byte and must
+    # not re-execute the jobs whose records survived the kill.
+    AOS_SIM_OPS="${ops}" AOS_CAMPAIGN_PROGRESS=0 \
+        AOS_CAMPAIGN_JOBS="${jobs}" AOS_CAMPAIGN_JSON=off \
+        AOS_CAMPAIGN_JSON_CANONICAL="${dir}/resumed.json" \
+        AOS_CAMPAIGN_RESUME="${dir}/ckpt" \
+        "${bin}" > "${dir}/resumed.log"
+    if ! cmp -s "${dir}/clean.json" "${dir}/resumed.json"; then
+        echo "${name} (jobs=${jobs}): kill-and-resume canonical parity" \
+             "FAILED" >&2
+        diff "${dir}/clean.json" "${dir}/resumed.json" | head -40 >&2 ||
+            true
+        exit 1
+    fi
+    if ! grep -q 'resumed' "${dir}/resumed.log"; then
+        echo "${name} (jobs=${jobs}): resumed run reported no restored" \
+             "jobs" >&2
+        exit 1
+    fi
+    echo "  ${name} (jobs=${jobs}): resume parity OK"
+}
+resume_check fig14 ./build/bench/fig14_exec_time 1 20000
+resume_check fig14 ./build/bench/fig14_exec_time 4 20000
+resume_check fault_matrix "${FAULT_BIN}" 4 20000
+resume_check sim_throughput ./build/bench/sim_throughput 4 20000
+
+echo "== [8/8] lint =="
 cmake --build --preset default --target lint
 
 echo "All checks passed."

@@ -20,6 +20,10 @@
 
 #include "common/types.hh"
 
+namespace aos {
+class CancelToken;
+}
+
 namespace aos::baselines {
 
 enum class Mechanism
@@ -61,6 +65,14 @@ struct SystemOptions
     // Static-analysis layer (DESIGN.md "Static analysis layer").
     bool aosElision = false;  //!< Elide provably-redundant autm ops.
     bool verifyStream = false;//!< Lint the instrumented stream online.
+
+    /**
+     * Cooperative-cancellation token polled by the simulation loops
+     * (common/cancel.hh); null disables the checks. Not owned. Raises
+     * CancelledException from inside run()/fastForward() — callers
+     * (the campaign engine) map it to kTimeout/kCancelled.
+     */
+    const CancelToken *cancel = nullptr;
 
     // Fault injection (DESIGN.md §8). faultTypes is a bitmask of
     // faultinject::FaultType bits; zero disarms the injector. Kept as

@@ -10,7 +10,9 @@
 #include <sstream>
 #include <thread>
 
+#include "campaign/checkpoint.hh"
 #include "campaign/json.hh"
+#include "common/env.hh"
 #include "common/logging.hh"
 #include "common/profiler.hh"
 
@@ -70,8 +72,10 @@ class StealQueue
 };
 
 core::RunResult
-executeJob(const Job &job)
+executeJob(const Job &job, const CancelToken &cancel)
 {
+    if (job.cancellableBody)
+        return job.cancellableBody(cancel);
     if (job.body)
         return job.body();
     baselines::SystemOptions options = job.options;
@@ -79,6 +83,7 @@ executeJob(const Job &job)
     if (job.ops)
         options.measureOps = job.ops;
     options.seedSalt = job.seed;
+    options.cancel = &cancel;
     core::AosSystem system(job.profile, options);
     return system.run();
 }
@@ -93,6 +98,7 @@ jobStatusName(JobStatus status)
       case JobStatus::kOk: return "ok";
       case JobStatus::kFailed: return "failed";
       case JobStatus::kTimeout: return "timeout";
+      case JobStatus::kCancelled: return "cancelled";
     }
     return "unknown";
 }
@@ -162,10 +168,54 @@ Campaign::run()
     result.workers = workers;
     result.maxAttempts = std::max(1u, _options.maxAttempts);
     result.timeoutSec = _options.timeoutSec;
+    result.checkpointDir = _options.checkpointDir;
     result.jobs.resize(total);
 
+    // Checkpoint restore: validate the directory against this exact
+    // campaign, adopt every intact record, and arrange for the rest to
+    // execute. A foreign/corrupt manifest means a full re-run — never
+    // a mix of stale and fresh results.
+    CheckpointWriter writer;
+    const bool checkpointing = !_options.checkpointDir.empty();
+    if (checkpointing) {
+        const CheckpointManifest manifest{identityHash(_options, _jobs),
+                                          total, _options.name};
+        CheckpointLoad load =
+            loadCheckpoint(_options.checkpointDir, manifest);
+        if (load.manifestFound && !load.valid) {
+            warn("campaign %s: checkpoint %s rejected (%s); re-running "
+                 "all %zu jobs",
+                 _options.name.c_str(), _options.checkpointDir.c_str(),
+                 load.reason.c_str(), total);
+        }
+        if (load.valid) {
+            for (size_t i = 0; i < total; ++i) {
+                if (load.present[i]) {
+                    result.jobs[i] = load.restored[i];
+                    ++result.resumedJobs;
+                }
+            }
+            result.discardedRecords = load.recordsDiscarded;
+            if (result.resumedJobs || load.recordsDiscarded) {
+                inform("campaign %s: resumed %u/%zu jobs from %s "
+                       "(%llu corrupt record region(s) discarded)",
+                       _options.name.c_str(), result.resumedJobs, total,
+                       _options.checkpointDir.c_str(),
+                       static_cast<unsigned long long>(
+                           load.recordsDiscarded));
+            }
+        }
+        if (!writer.start(_options.checkpointDir, manifest, workers,
+                          load)) {
+            fatal("campaign %s: cannot checkpoint to %s: %s",
+                  _options.name.c_str(), _options.checkpointDir.c_str(),
+                  writer.error().c_str());
+        }
+    }
+
     const Clock::time_point start = Clock::now();
-    std::atomic<u32> completed{0};
+    std::atomic<u32> completed{result.resumedJobs};
+    std::atomic<u32> executed{0};
     std::mutex progressMutex;
     Clock::time_point lastReport = start;
 
@@ -189,7 +239,7 @@ Campaign::run()
                   elapsed, eta);
     };
 
-    auto runOne = [&](u32 idx) {
+    auto runOne = [&](unsigned self, u32 idx) {
         const Job &job = _jobs[idx];
         JobResult &r = result.jobs[idx];
         r.id = idx;
@@ -202,14 +252,22 @@ Campaign::run()
         for (unsigned attempt = 1; attempt <= result.maxAttempts;
              ++attempt) {
             r.attempts = attempt;
+            // Per-attempt token: chains to the process shutdown token
+            // and arms the wall-clock budget, so the simulation's
+            // cancellation points preempt an over-budget attempt
+            // instead of letting it hog the worker.
+            CancelToken cancel(_options.cancel);
+            if (result.timeoutSec > 0)
+                cancel.setDeadlineAfter(result.timeoutSec);
             const Clock::time_point t0 = Clock::now();
             try {
-                core::RunResult run = executeJob(job);
+                core::RunResult run = executeJob(job, cancel);
                 r.wallMs = 1e3 * secondsSince(t0, Clock::now());
                 if (result.timeoutSec > 0 &&
                     r.wallMs > 1e3 * result.timeoutSec) {
-                    // A pathological config would just time out again;
-                    // record it and hand the worker the next job.
+                    // Post-hoc fallback for plain body jobs that never
+                    // poll the token; a pathological config would just
+                    // time out again, so no retry.
                     r.status = JobStatus::kTimeout;
                     r.error = csprintf(
                         "attempt exceeded %.3fs wall-clock budget "
@@ -221,6 +279,20 @@ Campaign::run()
                 r.stats = r.run.toStatSet();
                 r.status = JobStatus::kOk;
                 r.error.clear();
+                break;
+            } catch (const CancelledException &) {
+                r.wallMs = 1e3 * secondsSince(t0, Clock::now());
+                if (cancel.reason() == CancelToken::Reason::kDeadline) {
+                    r.status = JobStatus::kTimeout;
+                    r.error = csprintf(
+                        "preempted after exceeding %.3fs wall-clock "
+                        "budget (ran %.3fs)",
+                        result.timeoutSec, r.wallMs / 1e3);
+                } else {
+                    // Shutdown: leave the job for a checkpoint resume.
+                    r.status = JobStatus::kCancelled;
+                    r.error = "cancelled by shutdown request";
+                }
                 break;
             } catch (const std::exception &e) {
                 r.wallMs = 1e3 * secondsSince(t0, Clock::now());
@@ -237,22 +309,40 @@ Campaign::run()
                  _options.name.c_str(), r.name.c_str(), r.attempts,
                  r.error.c_str());
         }
+        if (r.status == JobStatus::kCancelled)
+            return;
+        executed.fetch_add(1, std::memory_order_relaxed);
+        if (checkpointing && !writer.append(self, r)) {
+            warn("campaign %s: checkpoint append failed for job %s",
+                 _options.name.c_str(), r.name.c_str());
+        }
         reportProgress(completed.fetch_add(1, std::memory_order_relaxed) +
                        1);
     };
 
-    // Deal jobs round-robin, then let idle workers steal from the
-    // back of their peers' queues. No job creates further jobs, so a
-    // worker may retire once every queue is empty.
+    // Deal the still-pending jobs round-robin, then let idle workers
+    // steal from the back of their peers' queues. No job creates
+    // further jobs, so a worker may retire once every queue is empty.
     std::vector<StealQueue> queues(workers);
-    for (size_t i = 0; i < total; ++i)
-        queues[i % workers].push(static_cast<u32>(i));
+    {
+        size_t dealt = 0;
+        for (size_t i = 0; i < total; ++i) {
+            if (result.jobs[i].status == JobStatus::kPending)
+                queues[dealt++ % workers].push(static_cast<u32>(i));
+        }
+    }
+
+    auto shutdown = [&]() {
+        return _options.cancel && _options.cancel->cancelled();
+    };
 
     auto workerLoop = [&](unsigned self) {
         u32 idx;
         for (;;) {
+            if (shutdown())
+                return; // Queued jobs stay pending for the resume.
             if (queues[self].popFront(idx)) {
-                runOne(idx);
+                runOne(self, idx);
                 continue;
             }
             bool stole = false;
@@ -264,7 +354,7 @@ Campaign::run()
             }
             if (!stole)
                 return;
-            runOne(idx);
+            runOne(self, idx);
         }
     };
 
@@ -279,6 +369,11 @@ Campaign::run()
             t.join();
     }
 
+    writer.close();
+    result.executedJobs = executed.load(std::memory_order_relaxed);
+    result.interrupted =
+        shutdown() || result.count(JobStatus::kCancelled) > 0 ||
+        result.count(JobStatus::kPending) > 0;
     result.totalWallMs = 1e3 * secondsSince(start, Clock::now());
     for (const JobResult &r : result.jobs) {
         if (r.ok())
@@ -302,9 +397,11 @@ computeReducers(CampaignResult &result, const std::vector<Reducer> &reducers)
                 continue;
             if (reducer.filter && !reducer.filter(job))
                 continue;
-            if (!job.stats.has(reducer.stat))
+            const StatSet &source =
+                reducer.timing ? job.timing : job.stats;
+            if (!source.has(reducer.stat))
                 continue;
-            values.push_back(job.stats.value(reducer.stat));
+            values.push_back(source.value(reducer.stat));
         }
         double out = 0;
         if (!values.empty()) {
@@ -330,7 +427,7 @@ computeReducers(CampaignResult &result, const std::vector<Reducer> &reducers)
             }
         }
         result.reducers.push_back({reducer.name, reducer.op, reducer.stat,
-                                   out, values.size()});
+                                   out, values.size(), reducer.timing});
     }
 }
 
@@ -374,6 +471,16 @@ CampaignResult::writeJson(std::ostream &os, bool includeTimings) const
     if (includeTimings) {
         meta.set("workers", workers);
         meta.set("total_wall_ms", totalWallMs);
+        // Resume bookkeeping varies run-to-run by construction, so it
+        // lives with the timing fields, outside the canonical form.
+        if (!checkpointDir.empty()) {
+            meta.set("checkpoint_dir", checkpointDir);
+            meta.set("resumed_jobs", resumedJobs);
+            meta.set("executed_jobs", executedJobs);
+            meta.set("discarded_records", discardedRecords);
+        }
+        if (interrupted)
+            meta.set("interrupted", true);
     }
     root.set("campaign", std::move(meta));
 
@@ -389,20 +496,33 @@ CampaignResult::writeJson(std::ostream &os, bool includeTimings) const
         j.set("ops", r.ops);
         j.set("status", jobStatusName(r.status));
         j.set("attempts", r.attempts);
-        if (includeTimings)
+        if (includeTimings) {
             j.set("wall_ms", r.wallMs);
+            if (r.resumed)
+                j.set("resumed", true);
+        }
         if (!r.error.empty())
             j.set("error", r.error);
         JsonValue stats = JsonValue::object();
         for (const auto &[key, stat] : r.stats.scalars())
             stats.set(key, stat.value());
         j.set("stats", std::move(stats));
+        if (includeTimings && !r.timing.scalars().empty()) {
+            JsonValue timing = JsonValue::object();
+            for (const auto &[key, stat] : r.timing.scalars())
+                timing.set(key, stat.value());
+            j.set("timing_stats", std::move(timing));
+        }
         jobArray.push(std::move(j));
     }
     root.set("jobs", std::move(jobArray));
 
     JsonValue reducerArray = JsonValue::array();
     for (const ReducerOutput &r : reducers) {
+        // Timing reducers fold wall-derived per-job scalars; like the
+        // scalars themselves they are absent from the canonical form.
+        if (r.timing && !includeTimings)
+            continue;
         JsonValue j = JsonValue::object();
         j.set("name", r.name);
         j.set("op", reduceOpName(r.op));
@@ -448,11 +568,7 @@ CampaignResult::writeJsonFile(const std::string &path,
 unsigned
 workersFromEnv(unsigned fallback)
 {
-    const char *value = std::getenv("AOS_CAMPAIGN_JOBS");
-    if (!value || !*value)
-        return fallback;
-    const unsigned long parsed = std::strtoul(value, nullptr, 0);
-    return parsed ? static_cast<unsigned>(parsed) : fallback;
+    return envUnsigned("AOS_CAMPAIGN_JOBS", fallback);
 }
 
 } // namespace aos::campaign

@@ -13,11 +13,20 @@
  *    JSON emission (timings stripped) is byte-equal across runs.
  *  - Robustness: a job that throws is retried up to
  *    CampaignOptions::maxAttempts times and then recorded as kFailed
- *    with the exception text; an attempt whose wall time exceeds
- *    CampaignOptions::timeoutSec is recorded as kTimeout and not
- *    retried. Either way the rest of the sweep keeps running. (The
- *    timeout is classified post-hoc — a non-terminating job still
- *    occupies its worker; it cannot be preempted portably.)
+ *    with the exception text. CampaignOptions::timeoutSec arms a
+ *    CancelToken deadline that simulation jobs (and cancellableBody
+ *    jobs) poll at op granularity, so an over-budget attempt is
+ *    preempted cooperatively, recorded as kTimeout with its partial
+ *    wall time, and not retried. Plain body jobs that never poll fall
+ *    back to the old post-hoc classification. A process shutdown
+ *    request (SIGINT/SIGTERM via CampaignOptions::cancel) likewise
+ *    preempts the running jobs, which are recorded as kCancelled and
+ *    left for a checkpoint resume. Either way the rest of the sweep
+ *    keeps running (or, for shutdown, winds down cleanly).
+ *  - Crash safety: with CampaignOptions::checkpointDir set (usually
+ *    via AOS_CAMPAIGN_RESUME) every completed job is durably appended
+ *    to a CRC-framed shard log, and a rerun restores those results and
+ *    executes only the remainder — see campaign/checkpoint.hh.
  *  - Aggregation: per-job stats flatten to StatSet and fold into a
  *    campaign-wide rollup via StatSet::merge(); named reducers
  *    (geomean/sum/max/min/mean over a stat, with an optional job
@@ -36,6 +45,7 @@
 #include <vector>
 
 #include "baselines/system_config.hh"
+#include "common/cancel.hh"
 #include "common/stats.hh"
 #include "core/aos_system.hh"
 #include "workloads/workload_profile.hh"
@@ -54,12 +64,21 @@ struct Job
 
     /**
      * Test/extension hook: when set, runs instead of the AosSystem
-     * simulation (exception capture, retry and timeout still apply).
+     * simulation (exception capture, retry and timeout still apply;
+     * the timeout falls back to post-hoc classification since a plain
+     * body has no cancellation points).
      */
     std::function<core::RunResult()> body;
+
+    /**
+     * Like body, but handed the per-attempt CancelToken so it can poll
+     * cancellation points and be preempted like a simulation job.
+     * Takes precedence over body when both are set.
+     */
+    std::function<core::RunResult(const CancelToken &)> cancellableBody;
 };
 
-enum class JobStatus { kPending, kOk, kFailed, kTimeout };
+enum class JobStatus { kPending, kOk, kFailed, kTimeout, kCancelled };
 
 const char *jobStatusName(JobStatus status);
 
@@ -75,12 +94,18 @@ struct JobResult
 
     JobStatus status = JobStatus::kPending;
     unsigned attempts = 0;
+    bool resumed = false; //!< Restored from a checkpoint, not executed.
     double wallMs = 0;    //!< Wall clock of the final attempt (timing).
     std::string error;    //!< Exception text for kFailed / kTimeout.
 
-    core::RunResult run;  //!< Valid when ok().
+    core::RunResult run;  //!< Valid when ok() && !resumed (not
+                          //!< checkpointed; read stats instead).
     StatSet stats;        //!< Flattened run stats (mutable: harnesses
                           //!< may inject derived scalars pre-reduce).
+    StatSet timing{"timing"}; //!< Wall-derived scalars (e.g. host
+                              //!< ops/sec). Kept out of stats so the
+                              //!< canonical JSON stays byte-identical
+                              //!< across resumes and worker counts.
 
     bool ok() const { return status == JobStatus::kOk; }
 };
@@ -94,8 +119,10 @@ struct Reducer
 {
     std::string name;
     ReduceOp op = ReduceOp::kGeomean;
-    std::string stat; //!< Key into JobResult::stats.
+    std::string stat; //!< Key into JobResult::stats (or timing, below).
     std::function<bool(const JobResult &)> filter; //!< null = all ok.
+    bool timing = false; //!< Stat lives in JobResult::timing; the
+                         //!< output is emitted only in timing JSON.
 };
 
 struct ReducerOutput
@@ -105,6 +132,7 @@ struct ReducerOutput
     std::string stat;
     double value = 0;
     u64 count = 0; //!< Jobs that contributed.
+    bool timing = false; //!< Excluded from canonical JSON.
 };
 
 struct CampaignOptions
@@ -115,6 +143,21 @@ struct CampaignOptions
     double timeoutSec = 0;     //!< Per-attempt wall budget; 0 = none.
     bool progress = false;     //!< progressf() completion/ETA lines.
     double progressIntervalSec = 2.0;
+
+    /**
+     * Checkpoint directory (usually from AOS_CAMPAIGN_RESUME). Empty
+     * disables checkpointing. When set, completed jobs are durably
+     * logged there and a rerun resumes instead of re-executing.
+     */
+    std::string checkpointDir;
+
+    /**
+     * Shutdown token (usually &shutdownToken()). When it trips,
+     * running jobs are preempted at their next cancellation point and
+     * recorded kCancelled, queued jobs are skipped, and
+     * CampaignResult::interrupted is set.
+     */
+    const CancelToken *cancel = nullptr;
 };
 
 struct CampaignResult
@@ -124,6 +167,12 @@ struct CampaignResult
     unsigned maxAttempts = 1;
     double timeoutSec = 0;
     double totalWallMs = 0;    //!< Timing field.
+
+    unsigned resumedJobs = 0;  //!< Restored from the checkpoint.
+    unsigned executedJobs = 0; //!< Actually run this invocation.
+    u64 discardedRecords = 0;  //!< Corrupt checkpoint tails dropped.
+    bool interrupted = false;  //!< Shutdown requested before completion.
+    std::string checkpointDir; //!< Where results were checkpointed.
 
     std::vector<JobResult> jobs;
     std::vector<ReducerOutput> reducers;
@@ -188,7 +237,11 @@ class Campaign
 void computeReducers(CampaignResult &result,
                      const std::vector<Reducer> &reducers);
 
-/** AOS_CAMPAIGN_JOBS env override; @p fallback when unset/invalid. */
+/**
+ * AOS_CAMPAIGN_JOBS env override; @p fallback when unset or 0.
+ * A value that is not a complete unsigned integer is a fatal error
+ * (common/env.hh), never silently ignored.
+ */
 unsigned workersFromEnv(unsigned fallback = 0);
 
 } // namespace aos::campaign

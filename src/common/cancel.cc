@@ -1,0 +1,51 @@
+#include "common/cancel.hh"
+
+#include <csignal>
+
+namespace aos {
+
+namespace {
+
+std::atomic<int> gShutdownSignal{0};
+
+void
+shutdownHandler(int signo)
+{
+    // Only lock-free atomic stores: async-signal-safe.
+    shutdownToken().requestCancel(CancelToken::Reason::kShutdown);
+    gShutdownSignal.store(signo, std::memory_order_release);
+}
+
+} // namespace
+
+CancelToken &
+shutdownToken()
+{
+    static CancelToken token;
+    return token;
+}
+
+void
+installShutdownHandlers()
+{
+    static std::atomic<bool> installed{false};
+    bool expected = false;
+    if (!installed.compare_exchange_strong(expected, true))
+        return;
+    // Force construction before a handler can run.
+    (void)shutdownToken();
+    struct sigaction sa{};
+    sa.sa_handler = shutdownHandler;
+    sigemptyset(&sa.sa_mask);
+    sa.sa_flags = 0; // No SA_RESTART: interrupt blocking syscalls too.
+    ::sigaction(SIGINT, &sa, nullptr);
+    ::sigaction(SIGTERM, &sa, nullptr);
+}
+
+int
+shutdownSignal()
+{
+    return gShutdownSignal.load(std::memory_order_acquire);
+}
+
+} // namespace aos

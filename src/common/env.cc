@@ -1,0 +1,85 @@
+#include "common/env.hh"
+
+#include <cctype>
+#include <cerrno>
+#include <climits>
+#include <cstdlib>
+
+#include "common/logging.hh"
+
+namespace aos {
+
+bool
+parseU64(const char *text, u64 &out)
+{
+    if (!text || !*text)
+        return false;
+    // strtoull skips whitespace and accepts '-' (wrapping!); forbid
+    // both by requiring the first character to start a digit sequence.
+    if (!std::isdigit(static_cast<unsigned char>(text[0])))
+        return false;
+    errno = 0;
+    char *end = nullptr;
+    const unsigned long long value = std::strtoull(text, &end, 0);
+    if (errno == ERANGE || end == text || *end != '\0')
+        return false;
+    out = static_cast<u64>(value);
+    return true;
+}
+
+bool
+parseUnsigned(const char *text, unsigned &out)
+{
+    u64 wide = 0;
+    if (!parseU64(text, wide) || wide > UINT_MAX)
+        return false;
+    out = static_cast<unsigned>(wide);
+    return true;
+}
+
+u64
+envU64(const char *name, u64 fallback)
+{
+    const char *value = std::getenv(name);
+    if (!value || !*value)
+        return fallback;
+    u64 parsed = 0;
+    if (!parseU64(value, parsed)) {
+        fatal("%s: expected a non-negative integer, got \"%s\"", name,
+              value);
+    }
+    return parsed ? parsed : fallback;
+}
+
+unsigned
+envUnsigned(const char *name, unsigned fallback)
+{
+    const char *value = std::getenv(name);
+    if (!value || !*value)
+        return fallback;
+    unsigned parsed = 0;
+    if (!parseUnsigned(value, parsed)) {
+        fatal("%s: expected an unsigned integer (<= %u), got \"%s\"",
+              name, UINT_MAX, value);
+    }
+    return parsed ? parsed : fallback;
+}
+
+bool
+envFlag(const char *name, bool fallback)
+{
+    const char *value = std::getenv(name);
+    if (!value)
+        return fallback;
+    const std::string v(value);
+    return v != "0" && v != "off";
+}
+
+std::string
+envString(const char *name, const std::string &fallback)
+{
+    const char *value = std::getenv(name);
+    return value ? std::string(value) : fallback;
+}
+
+} // namespace aos

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Strict environment-variable parsing.
+ *
+ * The AOS_* knobs used to be parsed with bare strtoul(), which
+ * silently accepts garbage ("4x", "1e6", "-3") and overflow — a typo'd
+ * sweep would run with a default the user never asked for. The strict
+ * parsers here accept only a complete non-negative integer (decimal,
+ * or hex/octal with the usual prefixes) and the env wrappers fail fast
+ * with a fatal() naming the offending variable otherwise.
+ *
+ * Convention preserved from the old helpers: an unset or empty
+ * variable means "use the fallback", and so does an explicit 0 (every
+ * current knob treats 0 as "auto"/"default"; a zero op budget would
+ * stall the measure loop).
+ */
+
+#ifndef AOS_COMMON_ENV_HH
+#define AOS_COMMON_ENV_HH
+
+#include <string>
+
+#include "common/types.hh"
+
+namespace aos {
+
+/**
+ * Parse @p text as a u64. The whole string must be consumed: leading
+ * whitespace, signs, trailing characters, and out-of-range values all
+ * fail. Bases 10/16/8 via strtoull's base-0 rules.
+ */
+bool parseU64(const char *text, u64 &out);
+
+/** parseU64 narrowed to unsigned; fails when the value does not fit. */
+bool parseUnsigned(const char *text, unsigned &out);
+
+/**
+ * Read env var @p name. Unset/empty/0 yield @p fallback; anything that
+ * parseU64 rejects is a fatal() diagnostic naming the variable.
+ */
+u64 envU64(const char *name, u64 fallback);
+
+/** envU64 narrowed to unsigned (fatal on overflow too). */
+unsigned envUnsigned(const char *name, unsigned fallback);
+
+/**
+ * Boolean knob: unset means @p fallback, "0"/"off" false, everything
+ * else true (matches the historical AOS_CAMPAIGN_PROGRESS contract).
+ */
+bool envFlag(const char *name, bool fallback);
+
+/** Raw env var as a string; @p fallback when unset. */
+std::string envString(const char *name, const std::string &fallback = "");
+
+} // namespace aos
+
+#endif // AOS_COMMON_ENV_HH

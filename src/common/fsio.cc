@@ -1,0 +1,267 @@
+#include "common/fsio.hh"
+
+#include <array>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+#include <dirent.h>
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+namespace aos::fsio {
+
+namespace {
+
+std::array<u32, 256>
+makeCrcTable()
+{
+    std::array<u32, 256> table{};
+    for (u32 i = 0; i < 256; ++i) {
+        u32 c = i;
+        for (int k = 0; k < 8; ++k)
+            c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+        table[i] = c;
+    }
+    return table;
+}
+
+/** Directory part of @p path ("." when there is no separator). */
+std::string
+dirOf(const std::string &path)
+{
+    const size_t slash = path.find_last_of('/');
+    if (slash == std::string::npos)
+        return ".";
+    if (slash == 0)
+        return "/";
+    return path.substr(0, slash);
+}
+
+int
+openRetry(const char *path, int flags, mode_t mode = 0)
+{
+    int fd;
+    do {
+        fd = ::open(path, flags, mode); // NOLINT(cppcoreguidelines-pro-type-vararg)
+    } while (fd < 0 && errno == EINTR);
+    return fd;
+}
+
+bool
+writeAll(int fd, const void *data, size_t len)
+{
+    const char *p = static_cast<const char *>(data);
+    while (len) {
+        const ssize_t n = ::write(fd, p, len);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            return false;
+        }
+        p += n;
+        len -= static_cast<size_t>(n);
+    }
+    return true;
+}
+
+} // namespace
+
+u32
+crc32(const void *data, size_t len, u32 seed)
+{
+    static const std::array<u32, 256> table = makeCrcTable();
+    u32 c = seed ^ 0xFFFFFFFFu;
+    const auto *p = static_cast<const unsigned char *>(data);
+    for (size_t i = 0; i < len; ++i)
+        c = table[(c ^ p[i]) & 0xFFu] ^ (c >> 8);
+    return c ^ 0xFFFFFFFFu;
+}
+
+u64
+fnv1a64(const void *data, size_t len, u64 seed)
+{
+    u64 h = seed;
+    const auto *p = static_cast<const unsigned char *>(data);
+    for (size_t i = 0; i < len; ++i) {
+        h ^= p[i];
+        h *= 0x100000001b3ULL;
+    }
+    return h;
+}
+
+bool
+fileExists(const std::string &path)
+{
+    struct stat st{};
+    return ::stat(path.c_str(), &st) == 0;
+}
+
+bool
+makeDirs(const std::string &path)
+{
+    if (path.empty())
+        return false;
+    std::string partial;
+    size_t pos = 0;
+    while (pos <= path.size()) {
+        const size_t slash = path.find('/', pos);
+        const size_t end = slash == std::string::npos ? path.size() : slash;
+        partial = path.substr(0, end);
+        pos = end + 1;
+        if (partial.empty() || partial == ".")
+            continue;
+        if (::mkdir(partial.c_str(), 0777) != 0 && errno != EEXIST)
+            return false;
+    }
+    struct stat st{};
+    return ::stat(path.c_str(), &st) == 0 && S_ISDIR(st.st_mode);
+}
+
+bool
+readFile(const std::string &path, std::string &out)
+{
+    out.clear();
+    const int fd = openRetry(path.c_str(), O_RDONLY);
+    if (fd < 0)
+        return false;
+    char buf[1 << 16];
+    for (;;) {
+        const ssize_t n = ::read(fd, buf, sizeof(buf));
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            ::close(fd);
+            out.clear();
+            return false;
+        }
+        if (n == 0)
+            break;
+        out.append(buf, static_cast<size_t>(n));
+    }
+    ::close(fd);
+    return true;
+}
+
+bool
+atomicWriteFile(const std::string &path, const std::string &data)
+{
+    const std::string tmp = path + ".tmp";
+    const int fd =
+        openRetry(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0666);
+    if (fd < 0)
+        return false;
+    const bool wrote = writeAll(fd, data.data(), data.size()) &&
+                       ::fsync(fd) == 0;
+    ::close(fd);
+    if (!wrote || ::rename(tmp.c_str(), path.c_str()) != 0) {
+        ::unlink(tmp.c_str());
+        return false;
+    }
+    return fsyncDir(dirOf(path));
+}
+
+bool
+fsyncDir(const std::string &dir)
+{
+    const int fd = openRetry(dir.c_str(), O_RDONLY | O_DIRECTORY);
+    if (fd < 0)
+        return false;
+    const bool ok = ::fsync(fd) == 0;
+    ::close(fd);
+    return ok;
+}
+
+bool
+removeFile(const std::string &path)
+{
+    return ::unlink(path.c_str()) == 0 || errno == ENOENT;
+}
+
+bool
+truncateFile(const std::string &path, u64 length)
+{
+    int rc;
+    do {
+        rc = ::truncate(path.c_str(), static_cast<off_t>(length));
+    } while (rc != 0 && errno == EINTR);
+    return rc == 0;
+}
+
+std::vector<std::string>
+listDir(const std::string &dir)
+{
+    std::vector<std::string> names;
+    DIR *d = ::opendir(dir.c_str());
+    if (!d)
+        return names;
+    while (struct dirent *entry = ::readdir(d)) {
+        const std::string name = entry->d_name;
+        if (name != "." && name != "..")
+            names.push_back(name);
+    }
+    ::closedir(d);
+    return names;
+}
+
+AppendLog::~AppendLog()
+{
+    close();
+}
+
+AppendLog::AppendLog(AppendLog &&other) noexcept
+    : _fd(other._fd), _path(std::move(other._path))
+{
+    other._fd = -1;
+}
+
+AppendLog &
+AppendLog::operator=(AppendLog &&other) noexcept
+{
+    if (this != &other) {
+        close();
+        _fd = other._fd;
+        _path = std::move(other._path);
+        other._fd = -1;
+    }
+    return *this;
+}
+
+bool
+AppendLog::open(const std::string &path)
+{
+    close();
+    _fd = openRetry(path.c_str(), O_WRONLY | O_CREAT | O_APPEND, 0666);
+    if (_fd < 0)
+        return false;
+    _path = path;
+    return true;
+}
+
+bool
+AppendLog::append(const void *data, size_t len)
+{
+    if (_fd < 0)
+        return false;
+    return writeAll(_fd, data, len) && ::fsync(_fd) == 0;
+}
+
+bool
+AppendLog::sync()
+{
+    return _fd >= 0 && ::fsync(_fd) == 0;
+}
+
+void
+AppendLog::close()
+{
+    if (_fd >= 0) {
+        ::close(_fd);
+        _fd = -1;
+    }
+    _path.clear();
+}
+
+} // namespace aos::fsio

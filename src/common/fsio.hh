@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Crash-consistent filesystem primitives for the campaign checkpoint
+ * layer (DESIGN.md §10).
+ *
+ * Two durability idioms are provided:
+ *
+ *  - atomicWriteFile(): write-to-temp + fsync + rename + directory
+ *    fsync. After a crash the target path holds either the old or the
+ *    new content in full, never a mix — used for the checkpoint
+ *    manifest.
+ *  - AppendLog: an O_APPEND record log with explicit sync(). A crash
+ *    can leave at most a truncated tail, which the reader detects with
+ *    the CRC32 framing and discards — used for the checkpoint shards.
+ *
+ * Plus crc32() (IEEE 802.3 polynomial) for record framing and fnv1a64
+ * for the campaign identity hash.
+ */
+
+#ifndef AOS_COMMON_FSIO_HH
+#define AOS_COMMON_FSIO_HH
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace aos::fsio {
+
+/** CRC32 (IEEE, reflected 0xEDB88320); chain calls via @p seed. */
+u32 crc32(const void *data, size_t len, u32 seed = 0);
+
+/** FNV-1a 64-bit over a byte range; chain calls via @p seed. */
+u64 fnv1a64(const void *data, size_t len, u64 seed = 0xcbf29ce484222325ULL);
+
+bool fileExists(const std::string &path);
+
+/** mkdir -p. Returns false only when a component cannot be created. */
+bool makeDirs(const std::string &path);
+
+/** Read a whole file. False on open/read error (out is cleared). */
+bool readFile(const std::string &path, std::string &out);
+
+/**
+ * Durably replace @p path with @p data: write <path>.tmp, fsync it,
+ * rename over @p path, fsync the containing directory. On any failure
+ * the temp file is removed and @p path is untouched.
+ */
+bool atomicWriteFile(const std::string &path, const std::string &data);
+
+/** fsync a directory so renames/creates/unlinks within it are durable. */
+bool fsyncDir(const std::string &dir);
+
+bool removeFile(const std::string &path);
+
+/** Truncate @p path to @p length bytes (drops a corrupt log tail). */
+bool truncateFile(const std::string &path, u64 length);
+
+/** Names (not paths) of directory entries; empty if unreadable. */
+std::vector<std::string> listDir(const std::string &dir);
+
+/**
+ * Append-only log file. Each append() issues one write(2) of the whole
+ * record followed by fsync(2), so a record is either fully durable or
+ * recognizably truncated — never silently half-trusted.
+ */
+class AppendLog
+{
+  public:
+    AppendLog() = default;
+    ~AppendLog();
+
+    AppendLog(const AppendLog &) = delete;
+    AppendLog &operator=(const AppendLog &) = delete;
+    AppendLog(AppendLog &&other) noexcept;
+    AppendLog &operator=(AppendLog &&other) noexcept;
+
+    /** Open (creating if absent) for appending. */
+    bool open(const std::string &path);
+
+    bool isOpen() const { return _fd >= 0; }
+    const std::string &path() const { return _path; }
+
+    /** Write the whole buffer and fsync. False on short write/IO error. */
+    bool append(const void *data, size_t len);
+
+    bool sync();
+    void close();
+
+  private:
+    int _fd = -1;
+    std::string _path;
+};
+
+} // namespace aos::fsio
+
+#endif // AOS_COMMON_FSIO_HH

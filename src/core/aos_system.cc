@@ -2,6 +2,7 @@
 
 #include <exception>
 
+#include "common/cancel.hh"
 #include "common/logging.hh"
 #include "common/profiler.hh"
 #include "common/random.hh"
@@ -183,6 +184,7 @@ AosSystem::AosSystem(const workloads::WorkloadProfile &profile,
 
     cpu::CoreConfig core_config;
     core_config.codeFootprint = profile.codeFootprint;
+    core_config.cancel = options.cancel;
     _core = std::make_unique<cpu::OoOCore>(core_config, layout, _mem.get(),
                                            _mcu.get());
 
@@ -288,7 +290,12 @@ AosSystem::fastForward()
 {
     const pa::PointerLayout &layout = _pa->layout();
     ir::MicroOp op;
+    u64 polled = 0;
     while (_stream->next(op)) {
+        // Fast-forward has no cycle loop, so poll the cancellation
+        // token here (every 4096 ops keeps the overhead negligible).
+        if ((++polled & 0xfff) == 0 && _options.cancel)
+            _options.cancel->throwIfCancelled();
         switch (op.kind) {
           case ir::OpKind::kPhaseMark:
             return;
@@ -355,6 +362,10 @@ AosSystem::run()
             // instead of killing the sweep.)
             try {
                 _core->run(*_stream, 0);
+            } catch (const CancelledException &) {
+                // Not a simulator fault: cancellation is the campaign
+                // preempting this job, and must reach its engine.
+                throw;
             } catch (const std::exception &) {
                 _injector->noteSimulatorFault(
                     faultinject::FaultType::kNumTypes);

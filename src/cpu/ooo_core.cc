@@ -1,5 +1,6 @@
 #include "cpu/ooo_core.hh"
 
+#include "common/cancel.hh"
 #include "common/logging.hh"
 #include "common/profiler.hh"
 
@@ -210,6 +211,15 @@ OoOCore::run(ir::InstStream &stream, u64 max_ops)
             _mcqStallCooldownUntil = now + 4;
 
         ++now;
+
+        // Cancellation point (campaign timeout / shutdown): cheap
+        // enough at one check per 1024 cycles to be invisible in the
+        // hot-loop profile, frequent enough to preempt within an
+        // op-quantum (the issue width bounds ops per cycle).
+        if ((now & 0x3ff) == 0 && _config.cancel) {
+            _stats.cycles = now;
+            _config.cancel->throwIfCancelled();
+        }
 
         if (stream_done && !have_pending && _rob.empty() &&
             (!_mcu || _mcu->empty())) {

@@ -36,6 +36,10 @@
 #include "memsim/memory_system.hh"
 #include "pa/pointer_layout.hh"
 
+namespace aos {
+class CancelToken;
+}
+
 namespace aos::cpu {
 
 /** Core configuration (Table IV defaults). */
@@ -51,6 +55,13 @@ struct CoreConfig
     Cycles stripLatency = 1;//!< xpacm / autm.
     Cycles fpLatency = 3;
     u64 codeFootprint = 16 * 1024; //!< Synthetic instruction footprint.
+
+    /**
+     * Polled every 1024 cycles in run(); raises CancelledException at
+     * that cancellation point so campaign timeouts/shutdown preempt a
+     * simulation at op granularity. Null disables (not owned).
+     */
+    const CancelToken *cancel = nullptr;
 };
 
 /** Aggregate run statistics. */

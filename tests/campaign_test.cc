@@ -166,6 +166,8 @@ TEST(CampaignRobustness, PersistentFailureExhaustsAttempts)
 
 TEST(CampaignRobustness, OverBudgetAttemptClassifiedAsTimeout)
 {
+    // A plain body never polls the CancelToken, so this exercises the
+    // post-hoc fallback classification.
     setQuiet(true);
     CampaignOptions options;
     options.timeoutSec = 0.005;
@@ -184,6 +186,59 @@ TEST(CampaignRobustness, OverBudgetAttemptClassifiedAsTimeout)
     EXPECT_EQ(r.jobs[0].attempts, 1u);
     EXPECT_NE(r.jobs[0].error.find("wall-clock budget"),
               std::string::npos);
+}
+
+TEST(CampaignRobustness, SimulationJobIsPreemptedByTimeout)
+{
+    // A real simulation polls the token at its cancellation points, so
+    // an over-budget job is preempted cooperatively — recorded as
+    // kTimeout with its partial wall time long before the full window
+    // would have finished, and never retried.
+    setQuiet(true);
+    CampaignOptions options;
+    options.timeoutSec = 0.02;
+    options.maxAttempts = 3;
+    Campaign c(options);
+    // A window this large takes far longer than 20ms uncancelled.
+    c.addConfig(workloads::profileByName("bzip2"),
+                Mechanism::kAos, 400'000'000);
+
+    CampaignResult r = c.run();
+    EXPECT_EQ(r.jobs[0].status, JobStatus::kTimeout);
+    EXPECT_EQ(r.jobs[0].attempts, 1u);
+    EXPECT_NE(r.jobs[0].error.find("preempted"), std::string::npos);
+    // Preemption must land within one op-quantum of the deadline, not
+    // after the whole window; 1s is orders of magnitude of slack.
+    EXPECT_LT(r.jobs[0].wallMs, 1000.0);
+}
+
+TEST(CampaignRobustness, CancellableBodyObservesShutdown)
+{
+    setQuiet(true);
+    CancelToken shutdown;
+    CampaignOptions options;
+    options.workers = 1;
+    options.cancel = &shutdown;
+    Campaign c(options);
+    Job first;
+    first.name = "trips-shutdown";
+    first.cancellableBody =
+        [&shutdown](const CancelToken &token) -> core::RunResult {
+        shutdown.requestCancel();
+        token.throwIfCancelled(); // Parent trip propagates here.
+        return core::RunResult();
+    };
+    c.add(std::move(first));
+    c.add(bodyJob("never-starts", 1));
+
+    CampaignResult r = c.run();
+    EXPECT_TRUE(r.interrupted);
+    EXPECT_EQ(r.jobs[0].status, JobStatus::kCancelled);
+    EXPECT_NE(r.jobs[0].error.find("shutdown"), std::string::npos);
+    // The queued job is skipped, not failed: it stays pending for a
+    // checkpoint resume.
+    EXPECT_EQ(r.jobs[1].status, JobStatus::kPending);
+    EXPECT_EQ(r.executedJobs, 0u);
 }
 
 TEST(CampaignPool, ManyJobsAllRunExactlyOnce)
@@ -322,10 +377,24 @@ TEST(CampaignMisc, WorkersFromEnvParsesOverride)
 {
     ::setenv("AOS_CAMPAIGN_JOBS", "6", 1);
     EXPECT_EQ(workersFromEnv(2), 6u);
-    ::setenv("AOS_CAMPAIGN_JOBS", "garbage", 1);
+    ::setenv("AOS_CAMPAIGN_JOBS", "0", 1);
     EXPECT_EQ(workersFromEnv(2), 2u);
     ::unsetenv("AOS_CAMPAIGN_JOBS");
     EXPECT_EQ(workersFromEnv(3), 3u);
+}
+
+TEST(CampaignMiscDeathTest, WorkersFromEnvRejectsGarbage)
+{
+    // A typo'd override used to fall back silently — the sweep would
+    // run with a worker count the user never asked for. Now it is a
+    // fatal diagnostic naming the variable.
+    ::setenv("AOS_CAMPAIGN_JOBS", "garbage", 1);
+    EXPECT_DEATH(workersFromEnv(2), "AOS_CAMPAIGN_JOBS");
+    ::setenv("AOS_CAMPAIGN_JOBS", "4x", 1);
+    EXPECT_DEATH(workersFromEnv(2), "AOS_CAMPAIGN_JOBS");
+    ::setenv("AOS_CAMPAIGN_JOBS", "-3", 1);
+    EXPECT_DEATH(workersFromEnv(2), "AOS_CAMPAIGN_JOBS");
+    ::unsetenv("AOS_CAMPAIGN_JOBS");
 }
 
 TEST(CampaignJson, NonFiniteStatsEmitAsNull)

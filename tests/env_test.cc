@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Tests for the strict environment-variable parsing (common/env.hh):
+ * complete-integer acceptance, garbage/overflow/sign rejection, the
+ * unset/empty/0-means-fallback convention, and the fatal() diagnostics
+ * that name the offending variable.
+ */
+
+#include <climits>
+#include <cstdlib>
+
+#include <gtest/gtest.h>
+
+#include "common/env.hh"
+
+namespace aos {
+namespace {
+
+TEST(ParseU64, AcceptsCompleteIntegers)
+{
+    u64 v = 0;
+    EXPECT_TRUE(parseU64("0", v));
+    EXPECT_EQ(v, 0u);
+    EXPECT_TRUE(parseU64("42", v));
+    EXPECT_EQ(v, 42u);
+    EXPECT_TRUE(parseU64("18446744073709551615", v)); // UINT64_MAX
+    EXPECT_EQ(v, ~u64{0});
+    // strtoull base-0 rules: hex and octal prefixes.
+    EXPECT_TRUE(parseU64("0x10", v));
+    EXPECT_EQ(v, 16u);
+    EXPECT_TRUE(parseU64("010", v));
+    EXPECT_EQ(v, 8u);
+}
+
+TEST(ParseU64, RejectsGarbage)
+{
+    u64 v = 99;
+    EXPECT_FALSE(parseU64(nullptr, v));
+    EXPECT_FALSE(parseU64("", v));
+    EXPECT_FALSE(parseU64("garbage", v));
+    EXPECT_FALSE(parseU64("4x", v));      // Trailing junk.
+    EXPECT_FALSE(parseU64("1e6", v));     // Not an integer literal.
+    EXPECT_FALSE(parseU64("12 ", v));     // Trailing whitespace.
+    EXPECT_FALSE(parseU64(" 12", v));     // Leading whitespace.
+    EXPECT_FALSE(parseU64("+12", v));     // Signs are not digits.
+    EXPECT_FALSE(parseU64("-3", v));      // strtoull would wrap this!
+    EXPECT_FALSE(parseU64("18446744073709551616", v)); // Overflow.
+    EXPECT_EQ(v, 99u); // Rejection never clobbers the output.
+}
+
+TEST(ParseUnsigned, NarrowsWithOverflowCheck)
+{
+    unsigned v = 0;
+    EXPECT_TRUE(parseUnsigned("123", v));
+    EXPECT_EQ(v, 123u);
+    EXPECT_TRUE(parseUnsigned("4294967295", v)); // UINT_MAX
+    EXPECT_EQ(v, UINT_MAX);
+    EXPECT_FALSE(parseUnsigned("4294967296", v)); // UINT_MAX + 1.
+    EXPECT_FALSE(parseUnsigned("-1", v));
+}
+
+TEST(EnvU64, UnsetEmptyAndZeroMeanFallback)
+{
+    ::unsetenv("AOS_TEST_ENV_U64");
+    EXPECT_EQ(envU64("AOS_TEST_ENV_U64", 7), 7u);
+    ::setenv("AOS_TEST_ENV_U64", "", 1);
+    EXPECT_EQ(envU64("AOS_TEST_ENV_U64", 7), 7u);
+    ::setenv("AOS_TEST_ENV_U64", "0", 1);
+    EXPECT_EQ(envU64("AOS_TEST_ENV_U64", 7), 7u);
+    ::setenv("AOS_TEST_ENV_U64", "12", 1);
+    EXPECT_EQ(envU64("AOS_TEST_ENV_U64", 7), 12u);
+    ::unsetenv("AOS_TEST_ENV_U64");
+}
+
+TEST(EnvU64DeathTest, GarbageIsFatalAndNamesTheVariable)
+{
+    ::setenv("AOS_TEST_ENV_U64", "1e6", 1);
+    EXPECT_DEATH(envU64("AOS_TEST_ENV_U64", 7), "AOS_TEST_ENV_U64");
+    ::setenv("AOS_TEST_ENV_U64", "-1", 1);
+    EXPECT_DEATH(envU64("AOS_TEST_ENV_U64", 7), "AOS_TEST_ENV_U64");
+    ::setenv("AOS_TEST_ENV_U64", "18446744073709551616", 1);
+    EXPECT_DEATH(envU64("AOS_TEST_ENV_U64", 7), "AOS_TEST_ENV_U64");
+    ::unsetenv("AOS_TEST_ENV_U64");
+}
+
+TEST(EnvUnsignedDeathTest, OverflowIsFatal)
+{
+    ::setenv("AOS_TEST_ENV_UNS", "4294967296", 1);
+    EXPECT_DEATH(envUnsigned("AOS_TEST_ENV_UNS", 7), "AOS_TEST_ENV_UNS");
+    ::setenv("AOS_TEST_ENV_UNS", "garbage", 1);
+    EXPECT_DEATH(envUnsigned("AOS_TEST_ENV_UNS", 7), "AOS_TEST_ENV_UNS");
+    ::unsetenv("AOS_TEST_ENV_UNS");
+}
+
+TEST(EnvFlag, OffSpellingsAndFallback)
+{
+    ::unsetenv("AOS_TEST_ENV_FLAG");
+    EXPECT_TRUE(envFlag("AOS_TEST_ENV_FLAG", true));
+    EXPECT_FALSE(envFlag("AOS_TEST_ENV_FLAG", false));
+    ::setenv("AOS_TEST_ENV_FLAG", "0", 1);
+    EXPECT_FALSE(envFlag("AOS_TEST_ENV_FLAG", true));
+    ::setenv("AOS_TEST_ENV_FLAG", "off", 1);
+    EXPECT_FALSE(envFlag("AOS_TEST_ENV_FLAG", true));
+    ::setenv("AOS_TEST_ENV_FLAG", "1", 1);
+    EXPECT_TRUE(envFlag("AOS_TEST_ENV_FLAG", false));
+    ::unsetenv("AOS_TEST_ENV_FLAG");
+}
+
+TEST(EnvString, FallbackWhenUnset)
+{
+    ::unsetenv("AOS_TEST_ENV_STR");
+    EXPECT_EQ(envString("AOS_TEST_ENV_STR"), "");
+    EXPECT_EQ(envString("AOS_TEST_ENV_STR", "dflt"), "dflt");
+    ::setenv("AOS_TEST_ENV_STR", "/tmp/ckpt", 1);
+    EXPECT_EQ(envString("AOS_TEST_ENV_STR", "dflt"), "/tmp/ckpt");
+    ::unsetenv("AOS_TEST_ENV_STR");
+}
+
+} // namespace
+} // namespace aos
