@@ -19,10 +19,13 @@
 
 #include "bench/harness.hh"
 
+#include "analysis/dataflow/engine.hh"
+#include "compiler/aos_bounds_elide_pass.hh"
 #include "compiler/aos_elide_pass.hh"
 #include "compiler/aos_passes.hh"
 #include "compiler/pa_pass.hh"
 #include "pa/pa_context.hh"
+#include "staticcheck/obligation_checker.hh"
 #include "staticcheck/stream_executor.hh"
 
 using namespace aos;
@@ -102,21 +105,26 @@ main()
     setQuiet(true);
     const u64 ops = simOps();
 
-    std::printf("Elision ablation: PA+AOS vs PA+AOS with autm elision, "
-                "%llu ops/run\n\n",
+    std::printf("Elision ablation: PA+AOS vs autm elision vs dataflow "
+                "bounds elision, %llu ops/run\n\n",
                 static_cast<unsigned long long>(ops));
-    std::printf("%-12s %10s %10s %7s %8s %8s %10s %10s %8s\n", "workload",
-                "autm", "autm-el", "rate", "ipc", "ipc-el", "mcq-stall",
-                "mcq-st-el", "norm");
-    rule(92);
+    std::printf("%-12s %10s %10s %7s %7s %8s %8s %8s %10s %10s %8s "
+                "%8s\n",
+                "workload", "autm", "autm-el", "rate", "cover", "ipc",
+                "ipc-el", "ipc-bel", "mcq-stall", "mcq-st-el", "norm",
+                "norm-bel");
+    rule(112);
 
     SystemOptions with_elision;
     with_elision.aosElision = true;
+    SystemOptions with_belide;
+    with_belide.aosBoundsElision = true;
 
     campaign::Campaign sweep(campaignOptions("elision_ablation"));
     const auto &profiles = workloads::specProfiles();
     for (const auto &profile : profiles) {
-        // Two jobs per profile: [2p] = PA+AOS base, [2p+1] = elided.
+        // Three jobs per profile: [3p] = PA+AOS base, [3p+1] = autm
+        // elision, [3p+2] = dataflow bounds elision.
         campaign::Job base;
         base.name = profile.name + "/pa_aos";
         base.profile = profile;
@@ -131,6 +139,14 @@ main()
         elided.options = with_elision;
         elided.ops = ops;
         sweep.add(std::move(elided));
+
+        campaign::Job belided;
+        belided.name = profile.name + "/pa_aos_belide";
+        belided.profile = profile;
+        belided.mech = Mechanism::kPaAos;
+        belided.options = with_belide;
+        belided.ops = ops;
+        sweep.add(std::move(belided));
     }
     campaign::CampaignResult result = sweep.run();
     exitIfInterrupted(result);
@@ -143,43 +159,63 @@ main()
 
     GeoAccum norm_geo;
     GeoAccum rate_geo;
+    GeoAccum belide_norm_geo;
     for (size_t p = 0; p < profiles.size(); ++p) {
         // Read the flattened stats, not run.*: a job restored from a
         // checkpoint carries stats only.
-        const StatSet &base = result.jobs[2 * p].stats;
-        campaign::JobResult &elided_job = result.jobs[2 * p + 1];
+        const StatSet &base = result.jobs[3 * p].stats;
+        campaign::JobResult &elided_job = result.jobs[3 * p + 1];
+        campaign::JobResult &belided_job = result.jobs[3 * p + 2];
         const StatSet &elided = elided_job.stats;
+        const StatSet &belided = belided_job.stats;
         const double elision_rate =
             elided.has("elide_rate") ? elided.value("elide_rate") : 0.0;
+        const double cover = belided.has("belide_bndstr_rate")
+                                 ? belided.value("belide_bndstr_rate")
+                                 : 0.0;
         const double norm =
             elided.value("cycles") / base.value("cycles");
+        const double belide_norm =
+            belided.value("cycles") / base.value("cycles");
         elided_job.stats.scalar("norm_exec_time") = norm;
         elided_job.stats.scalar("kept_autm_fraction") = 1.0 - elision_rate;
+        belided_job.stats.scalar("norm_exec_time_belide") = belide_norm;
         norm_geo.add(norm);
         rate_geo.add(1.0 - elision_rate);
-        std::printf("%-12s %10.0f %10.0f %6.1f%% %8.3f %8.3f %10.0f "
-                    "%10.0f %8.3f\n",
+        belide_norm_geo.add(belide_norm);
+        std::printf("%-12s %10.0f %10.0f %6.1f%% %6.1f%% %8.3f %8.3f "
+                    "%8.3f %10.0f %10.0f %8.3f %8.3f\n",
                     profiles[p].name.c_str(), base.value("mix_autms"),
                     elided.value("mix_autms"), 100.0 * elision_rate,
-                    base.value("ipc"), elided.value("ipc"),
+                    100.0 * cover, base.value("ipc"),
+                    elided.value("ipc"), belided.value("ipc"),
                     base.value("mcq_full_stalls"),
-                    elided.value("mcq_full_stalls"), norm);
+                    elided.value("mcq_full_stalls"), norm, belide_norm);
         std::fflush(stdout);
     }
-    rule(92);
-    std::printf("%-12s geomean exec time (elided/base): %.3f, "
-                "geomean kept-autm fraction: %.3f\n\n", "",
-                norm_geo.geomean(), rate_geo.geomean());
+    rule(112);
+    std::printf("%-12s geomean exec time elided/base: %.3f, "
+                "belide/base: %.3f, geomean kept-autm fraction: "
+                "%.3f\n\n", "",
+                norm_geo.geomean(), belide_norm_geo.geomean(),
+                rate_geo.geomean());
 
     const auto elided_only = [](const campaign::JobResult &job) {
         return job.stats.has("norm_exec_time");
+    };
+    const auto belided_only = [](const campaign::JobResult &job) {
+        return job.stats.has("norm_exec_time_belide");
     };
     campaign::computeReducers(
         result,
         {{"geomean_norm_elided", campaign::ReduceOp::kGeomean,
           "norm_exec_time", elided_only},
          {"geomean_kept_autm_fraction", campaign::ReduceOp::kGeomean,
-          "kept_autm_fraction", elided_only}});
+          "kept_autm_fraction", elided_only},
+         {"geomean_norm_belide", campaign::ReduceOp::kGeomean,
+          "norm_exec_time_belide", belided_only},
+         {"mean_bndstr_coverage", campaign::ReduceOp::kMean,
+          "belide_bndstr_rate", belided_only}});
     const bool json_ok = emitCampaignJson(result, "elision_ablation");
 
     // --- Detection parity on the attack-gallery classes ---
@@ -224,5 +260,88 @@ main()
                                 "elision enabled."
                               : "PARITY FAILURE: elision dropped a "
                                 "security-relevant check!");
-    return (all_parity && json_ok) ? 0 : 1;
+
+    // --- Fault-matrix parity under bounds elision ---
+    // A representative program mixing elidable private chunks with an
+    // escaping, an out-of-bounds and a use-after-free chunk; the
+    // ObligationChecker injects the aligned fault matrix into the full
+    // and the bounds-elided lowering, and per fault class the elided
+    // stream must detect at least as much as the full one.
+    bool fault_ok = true;
+    {
+        std::vector<ir::MicroOp> program;
+        constexpr Addr kBase = 0x20100000;
+        constexpr Addr kStride = 0x2000;
+        for (int c = 0; c < 12; ++c) {
+            const Addr chunk = kBase + c * kStride;
+            program.push_back(src(ir::OpKind::kMallocMark, 0, chunk, 96));
+            for (int a = 0; a < 6; ++a)
+                program.push_back(src(ir::OpKind::kLoad, chunk + 8 * a,
+                                      chunk, 8,
+                                      /*loads_pointer=*/c % 4 == 1));
+            if (c % 4 == 2) // out-of-bounds probe: spatially unsafe.
+                program.push_back(src(ir::OpKind::kStore, chunk + 4096,
+                                      chunk, 8));
+            program.push_back(src(ir::OpKind::kFreeMark, 0, chunk));
+            if (c % 4 == 3) // use-after-free probe: temporally unsafe.
+                program.push_back(src(ir::OpKind::kLoad, chunk + 16,
+                                      chunk, 8));
+        }
+
+        pa::PaContext pa(pa::PointerLayout(16, 46));
+        ir::VectorStream analysis_stream(program);
+        analysis::dataflow::DataflowEngine engine(pa.layout());
+        engine.run(analysis_stream);
+        const auto plan = analysis::dataflow::planBoundsElision(engine);
+
+        const auto full = lower(program, pa);
+        ir::VectorStream full_stream(full);
+        compiler::AosBoundsElidePass belide(&full_stream, pa.layout(),
+                                            &plan);
+        std::vector<ir::MicroOp> belided;
+        ir::MicroOp next;
+        while (belide.next(next))
+            belided.push_back(next);
+
+        staticcheck::ObligationChecker checker;
+        const auto report = checker.check(full, belided, plan);
+        fault_ok = report.ok;
+
+        std::printf("\nFault-matrix parity under bounds elision "
+                    "(%zu/%llu chunks elided, aligned injection):\n",
+                    plan.obligations().size(),
+                    static_cast<unsigned long long>(
+                        plan.stats().chunksSeen));
+        std::printf("  %-16s %9s %9s %9s %9s\n", "fault class", "inj",
+                    "inj-el", "det", "det-el");
+        for (unsigned t = 0; t < faultinject::kNumFaultTypes; ++t) {
+            const auto &fs = report.fullFaultStats;
+            const auto &es = report.elidedFaultStats;
+            if (fs.perType[t] == 0 && es.perType[t] == 0)
+                continue;
+            std::printf("  %-16s %9llu %9llu %9llu %9llu   %s\n",
+                        faultinject::faultTypeName(
+                            static_cast<faultinject::FaultType>(t)),
+                        static_cast<unsigned long long>(fs.perType[t]),
+                        static_cast<unsigned long long>(es.perType[t]),
+                        static_cast<unsigned long long>(
+                            fs.perTypeDetected[t]),
+                        static_cast<unsigned long long>(
+                            es.perTypeDetected[t]),
+                        es.perTypeDetected[t] >= fs.perTypeDetected[t]
+                            ? "PARITY"
+                            : "MISMATCH");
+        }
+        std::printf("%s\n", fault_ok
+                                ? "  bounds elision lost no fault "
+                                  "detections."
+                                : "  FAULT PARITY FAILURE: an elided "
+                                  "check was load-bearing!");
+        if (!fault_ok) {
+            for (const auto &failure : report.failures)
+                std::printf("    %s\n", failure.c_str());
+        }
+    }
+
+    return (all_parity && fault_ok && json_ok) ? 0 : 1;
 }

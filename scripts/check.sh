@@ -1,10 +1,13 @@
 #!/usr/bin/env bash
 # Full local gate: default build + tier-1 tests, sanitizer build +
-# tests, campaign-engine smoke (JSON emission + serial/parallel
-# parity), fault-matrix smoke (graceful-degradation audit under
-# sanitizers), simulator-throughput regression guard, crash-resume
-# check (SIGKILL mid-campaign + AOS_CAMPAIGN_RESUME byte parity), and
-# clang-tidy lint. Run from the repository root:
+# tests, thread-sanitizer pass over the concurrent subsystems
+# (campaign pool, checkpoint writer, logging), campaign-engine smoke
+# (JSON emission + serial/parallel parity), fault-matrix smoke
+# (graceful-degradation audit under sanitizers), bounds-elision
+# ablation (obligation gates + jobs parity), simulator-throughput
+# regression guard, crash-resume check (SIGKILL mid-campaign +
+# AOS_CAMPAIGN_RESUME byte parity), and clang-tidy lint. Run from the
+# repository root:
 #
 #   scripts/check.sh              # everything
 #   AOS_CHECK_SKIP_SANITIZE=1 scripts/check.sh   # skip the ASan pass
@@ -19,24 +22,45 @@ cd "$(dirname "$0")/.."
 
 JOBS="${AOS_CHECK_JOBS:-$(nproc)}"
 
-echo "== [1/8] default build =="
+echo "== [1/10] default build =="
 cmake --preset default
 cmake --build --preset default -j "${JOBS}"
 
-echo "== [2/8] tier-1 tests =="
+echo "== [2/10] tier-1 tests =="
 ctest --preset default -j "${JOBS}"
 
+SMOKE_DIR="$(mktemp -d)"
+trap 'rm -rf "${SMOKE_DIR}"' EXIT
+
 if [ "${AOS_CHECK_SKIP_SANITIZE:-0}" != "1" ]; then
-    echo "== [3/8] sanitizer build + fast tests (ASan+UBSan) =="
+    echo "== [3/10] sanitizer build + fast tests (ASan+UBSan) =="
     cmake --preset sanitize
     cmake --build --preset sanitize -j "${JOBS}"
     ctest --preset sanitize -LE slow -j "${JOBS}"
 else
-    echo "== [3/8] sanitizer pass skipped (AOS_CHECK_SKIP_SANITIZE=1) =="
+    echo "== [3/10] sanitizer pass skipped (AOS_CHECK_SKIP_SANITIZE=1) =="
 fi
 
-SMOKE_DIR="$(mktemp -d)"
-trap 'rm -rf "${SMOKE_DIR}"' EXIT
+if [ "${AOS_CHECK_SKIP_SANITIZE:-0}" != "1" ]; then
+    echo "== [4/10] thread-sanitizer pass (TSan) =="
+    # The campaign worker pool, checkpoint writer and logging sinks are
+    # the only concurrent subsystems: build exactly what exercises
+    # them, run their suites, then drive a jobs=4 campaign end to end
+    # under TSan so the pool races against the JSON/checkpoint writers.
+    cmake --preset tsan
+    cmake --build --preset tsan -j "${JOBS}" --target \
+        campaign_smoke campaign_test checkpoint_test logging_test
+    ./build-tsan/tests/campaign_test
+    ./build-tsan/tests/checkpoint_test
+    ./build-tsan/tests/logging_test
+    AOS_SIM_OPS=20000 AOS_CAMPAIGN_PROGRESS=0 AOS_CAMPAIGN_JOBS=4 \
+        AOS_CAMPAIGN_JSON="${SMOKE_DIR}/tsan-smoke.json" \
+        ./build-tsan/bench/campaign_smoke
+    grep -q '"schema": "aos-campaign-v1"' "${SMOKE_DIR}/tsan-smoke.json"
+    echo "tsan: concurrency suites OK"
+else
+    echo "== [4/10] TSan pass skipped (AOS_CHECK_SKIP_SANITIZE=1) =="
+fi
 
 # Strip the timing-only fields (each JSON member is on its own line)
 # and require byte-equality: the determinism contract of DESIGN.md §7.
@@ -50,7 +74,7 @@ json_parity() {
     fi
 }
 
-echo "== [4/8] campaign smoke (JSON + jobs=1 vs jobs=4 parity) =="
+echo "== [5/10] campaign smoke (JSON + jobs=1 vs jobs=4 parity) =="
 AOS_SIM_OPS=20000 AOS_CAMPAIGN_PROGRESS=0 AOS_CAMPAIGN_JOBS=1 \
     AOS_CAMPAIGN_JSON="${SMOKE_DIR}/serial.json" ./build/bench/campaign_smoke
 AOS_SIM_OPS=20000 AOS_CAMPAIGN_PROGRESS=0 AOS_CAMPAIGN_JOBS=4 \
@@ -61,7 +85,7 @@ json_parity "${SMOKE_DIR}/serial.json" "${SMOKE_DIR}/parallel.json" \
     "campaign smoke"
 echo "campaign smoke: parity OK"
 
-echo "== [5/8] fault-matrix smoke (DESIGN.md §8 audit) =="
+echo "== [6/10] fault-matrix smoke (DESIGN.md §8 audit) =="
 # Run the graceful-degradation audit under the sanitizer build when
 # available — injected corruption must be UB-free, not just survivable.
 FAULT_BIN=./build/bench/fault_matrix
@@ -77,7 +101,22 @@ json_parity "${SMOKE_DIR}/fault1.json" "${SMOKE_DIR}/faultN.json" \
     "fault matrix"
 echo "fault matrix: audit + parity OK"
 
-echo "== [6/8] simulator throughput guard =="
+echo "== [7/10] bounds-elision ablation (obligation gates + parity) =="
+# The benchmark itself exits non-zero if any ObligationChecker gate
+# fails or elision coverage collapses (DESIGN.md §11); the wrapper adds
+# the determinism contract on top.
+AOS_SIM_OPS=20000 AOS_CAMPAIGN_PROGRESS=0 AOS_CAMPAIGN_JOBS=1 \
+    AOS_CAMPAIGN_JSON="${SMOKE_DIR}/belide1.json" \
+    ./build/bench/bounds_elision
+AOS_SIM_OPS=20000 AOS_CAMPAIGN_PROGRESS=0 AOS_CAMPAIGN_JOBS=4 \
+    AOS_CAMPAIGN_JSON="${SMOKE_DIR}/belideN.json" \
+    ./build/bench/bounds_elision
+grep -q '"schema": "aos-campaign-v1"' "${SMOKE_DIR}/belide1.json"
+json_parity "${SMOKE_DIR}/belide1.json" "${SMOKE_DIR}/belideN.json" \
+    "bounds elision"
+echo "bounds elision: gates + parity OK"
+
+echo "== [8/10] simulator throughput guard =="
 # Smoke-mode run of the host-throughput benchmark against the
 # checked-in baseline: the per-mechanism ops/sec geomeans may not drop
 # more than the guard band below scripts/throughput_baseline.json
@@ -120,7 +159,7 @@ done
 [ "${THROUGHPUT_GUARD_OK}" = "1" ] || exit 1
 echo "throughput guard: OK"
 
-echo "== [7/8] crash-resume (SIGKILL mid-campaign, resume, parity) =="
+echo "== [9/10] crash-resume (SIGKILL mid-campaign, resume, parity) =="
 # Kill a checkpointed campaign once its first record is durable, resume
 # it with AOS_CAMPAIGN_RESUME, and require the canonical JSON to be
 # byte-identical to an uninterrupted run (DESIGN.md §10).
@@ -175,7 +214,7 @@ resume_check fig14 ./build/bench/fig14_exec_time 4 20000
 resume_check fault_matrix "${FAULT_BIN}" 4 20000
 resume_check sim_throughput ./build/bench/sim_throughput 4 20000
 
-echo "== [8/8] lint =="
+echo "== [10/10] lint =="
 cmake --build --preset default --target lint
 
 echo "All checks passed."

@@ -1,0 +1,56 @@
+#include "analysis/dataflow/elision_plan.hh"
+
+namespace aos::analysis::dataflow {
+
+ElisionPlan
+planBoundsElision(const DataflowEngine &engine)
+{
+    ElisionPlan plan;
+    PlanStats &st = plan._stats;
+
+    for (const ChunkSummary &sum : engine.summaries()) {
+        ++st.chunksSeen;
+
+        // Each reject counter names the *first* failed assumption, so
+        // the counters partition the rejected set.
+        if (sum.size == 0) {
+            ++st.rejectZeroSize;
+            continue;
+        }
+        if (sum.escape.escaped()) {
+            ++st.rejectEscaped;
+            continue;
+        }
+        if (sum.freeCount > 1 || sum.accessesAfterFree > 0) {
+            ++st.rejectTemporal;
+            continue;
+        }
+        if (sum.range.widened()) {
+            ++st.rejectWidened;
+            continue;
+        }
+        if (!sum.allInBounds || !sum.range.withinSize(sum.size)) {
+            ++st.rejectOutOfBounds;
+            continue;
+        }
+
+        ProofObligation ob;
+        ob.chunk = sum.id;
+        ob.size = sum.size;
+        ob.assumptions = kNonEscaping | kInBounds | kTemporalSafe;
+        ob.firstOp = sum.mallocOp;
+        ob.lastOp = sum.lastOp;
+        ob.accesses = sum.accesses;
+        if (!sum.range.empty()) {
+            ob.minOff = sum.range.lo();
+            ob.maxOff = sum.range.hi();
+        }
+        plan._byChunk[{sum.id.base, sum.id.gen}] =
+            plan._obligations.size();
+        plan._obligations.push_back(ob);
+        ++st.chunksElided;
+    }
+    return plan;
+}
+
+} // namespace aos::analysis::dataflow

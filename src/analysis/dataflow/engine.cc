@@ -1,0 +1,228 @@
+#include "analysis/dataflow/engine.hh"
+
+#include "bounds/compression.hh"
+
+namespace aos::analysis::dataflow {
+
+namespace {
+
+/** Cancellation-poll stride inside run(); power of two. */
+constexpr u64 kCancelStride = 4096;
+
+} // namespace
+
+DataflowEngine::DataflowEngine(const pa::PointerLayout &layout)
+    : DataflowEngine(layout, Options())
+{
+}
+
+DataflowEngine::DataflowEngine(const pa::PointerLayout &layout,
+                               Options options)
+    : _layout(layout), _options(options)
+{
+}
+
+ChunkSummary *
+DataflowEngine::openAt(Addr base)
+{
+    auto it = _open.find(base);
+    return it == _open.end() ? nullptr : &_summaries[it->second];
+}
+
+size_t
+DataflowEngine::coveringIndex(Addr raw) const
+{
+    // _extents is keyed by base: the candidate is the greatest base
+    // <= raw; it covers raw iff raw < its recorded end.
+    auto it = _extents.upper_bound(raw);
+    if (it == _extents.begin())
+        return _summaries.size();
+    --it;
+    if (raw >= it->first && raw < it->second.first)
+        return it->second.second;
+    return _summaries.size();
+}
+
+void
+DataflowEngine::onMalloc(const ir::MicroOp &op)
+{
+    const Addr base = op.chunkBase;
+    if (base == 0)
+        return;
+    // A re-allocation at a still-open base means the allocator model
+    // and the stream disagree; close the stale instance defensively.
+    if (ChunkSummary *stale = openAt(base)) {
+        stale->escape.onUnknownAlias();
+        _open.erase(base);
+        _extents.erase(base);
+    }
+
+    ChunkSummary sum;
+    sum.id = ChunkId{base, ++_gen[base]};
+    sum.size = op.size;
+    sum.mallocOp = _opIndex;
+    sum.lastOp = _opIndex;
+    sum.range.setWidenLimit(sum.size);
+
+    const size_t idx = _summaries.size();
+    _summaries.push_back(sum);
+    _open[base] = idx;
+    _last[base] = idx;
+    if (sum.size)
+        _extents[base] = {base + sum.size, idx};
+}
+
+void
+DataflowEngine::onFree(const ir::MicroOp &op)
+{
+    const Addr base = op.chunkBase;
+    if (base == 0)
+        return;
+    if (ChunkSummary *sum = openAt(base)) {
+        ++sum->freeCount;
+        sum->freeOp = _opIndex;
+        sum->lastOp = _opIndex;
+        _open.erase(base);
+        _extents.erase(base);
+        return;
+    }
+    auto it = _last.find(base);
+    if (it != _last.end()) {
+        // Freeing a base whose instance is already closed: the second
+        // free of a double-free pair, attributed to the latest
+        // instance so the plan rejects it as temporally unsafe.
+        ChunkSummary &sum = _summaries[it->second];
+        ++sum.freeCount;
+        sum.lastOp = _opIndex;
+        return;
+    }
+    ++_invalidFrees;
+}
+
+void
+DataflowEngine::onAccess(const ir::MicroOp &op)
+{
+    const Addr raw = _layout.strip(op.addr);
+
+    if (op.chunkBase == 0) {
+        // Unknown provenance: if the access lands inside a live chunk,
+        // that chunk is aliased by a pointer the analysis cannot see.
+        const size_t idx = coveringIndex(raw);
+        if (idx < _summaries.size()) {
+            _summaries[idx].escape.onUnknownAlias();
+            _summaries[idx].lastOp = _opIndex;
+        }
+        return;
+    }
+
+    ChunkSummary *sum = openAt(op.chunkBase);
+    if (sum == nullptr) {
+        auto it = _last.find(op.chunkBase);
+        if (it == _last.end()) {
+            ++_orphanAccesses;
+            return;
+        }
+        // Access attributed to a freed instance: use-after-free.
+        ChunkSummary &stale = _summaries[it->second];
+        ++stale.accessesAfterFree;
+        stale.lastOp = _opIndex;
+        return;
+    }
+
+    ++sum->accesses;
+    sum->lastOp = _opIndex;
+    if (op.loadsPointer) {
+        ++sum->pointerLoads;
+        sum->escape.onPointerLoaded();
+    }
+
+    // Spatial verdict: the access must sit inside the requested object
+    // *and* inside the compressed HBT record the ground-truth executor
+    // would check against (the latter is what determines whether an
+    // elided bndstr/check pair could ever have fired).
+    const u64 bytes = op.size ? op.size : 1;
+    bool inb = raw >= sum->id.base;
+    if (inb) {
+        const u64 off = raw - sum->id.base;
+        sum->range.observe(off, bytes);
+        inb = off + bytes <= sum->size &&
+              bounds::inBounds(
+                  bounds::compress(sum->id.base, sum->size), raw);
+    }
+    if (!inb)
+        sum->allInBounds = false;
+}
+
+void
+DataflowEngine::onAutm(const ir::MicroOp &op)
+{
+    if (op.chunkBase == 0)
+        return;
+    if (ChunkSummary *sum = openAt(op.chunkBase)) {
+        ++sum->autms;
+        sum->lastOp = _opIndex;
+    }
+}
+
+void
+DataflowEngine::step(const ir::MicroOp &op)
+{
+    switch (op.kind) {
+      case ir::OpKind::kMallocMark:
+      case ir::OpKind::kAosMallocIntr:
+        onMalloc(op);
+        break;
+      case ir::OpKind::kFreeMark:
+      case ir::OpKind::kAosFreeIntr:
+        onFree(op);
+        break;
+      case ir::OpKind::kLoad:
+      case ir::OpKind::kStore:
+        onAccess(op);
+        break;
+      case ir::OpKind::kAutm:
+        onAutm(op);
+        break;
+      case ir::OpKind::kCall:
+        if (_options.escapeOpenChunksOnCall) {
+            for (auto &[base, idx] : _open)
+                _summaries[idx].escape.onPassedThroughCall();
+        }
+        break;
+      default:
+        break;
+    }
+    ++_opIndex;
+}
+
+u64
+DataflowEngine::run(ir::InstStream &stream, const CancelToken *cancel)
+{
+    ir::MicroOp op;
+    u64 consumed = 0;
+    while (stream.next(op)) {
+        if (cancel && (consumed & (kCancelStride - 1)) == 0)
+            cancel->throwIfCancelled();
+        step(op);
+        ++consumed;
+    }
+    return consumed;
+}
+
+const ChunkSummary *
+DataflowEngine::current(Addr base) const
+{
+    auto it = _open.find(base);
+    return it == _open.end() ? nullptr : &_summaries[it->second];
+}
+
+ProvenanceValue
+DataflowEngine::provenanceOf(Addr addr) const
+{
+    const size_t idx = coveringIndex(_layout.strip(addr));
+    if (idx >= _summaries.size())
+        return ProvenanceValue::unknown();
+    return ProvenanceValue::chunk(_summaries[idx].id);
+}
+
+} // namespace aos::analysis::dataflow

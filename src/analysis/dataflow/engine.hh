@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Forward abstract-interpretation engine over aos::ir::InstStream
+ * (DESIGN.md §11).
+ *
+ * The engine makes one forward pass over a micro-op stream and folds
+ * every op through the three abstract domains (domains.hh), producing
+ * one ChunkSummary per chunk *instance* (base address + generation:
+ * fastbin reuse means a base names a timeline of objects).
+ *
+ * It interprets both source-level streams (kMallocMark/kFreeMark plus
+ * raw accesses, as SyntheticWorkload emits them) and lowered streams
+ * (intrinsics and autm ops are attributed too). Because every workload
+ * stream in this repo is a pure function of (profile, measureOps,
+ * seedSalt), AosSystem can run the engine on a regenerated duplicate
+ * stream and obtain an *exact* model of the stream the pipeline will
+ * see — the "whole program" of this simulator. Front-ends with real
+ * control flow would instead run the engine per path and join() the
+ * summaries; the domains support that, the streams here don't need it.
+ *
+ * Escape events observable in this IR are pointer loads
+ * (MicroOp::loadsPointer) and unknown-provenance aliasing (an access
+ * with chunkBase == 0 whose address lands inside a live chunk). The
+ * store-to-memory and call transfers of EscapeState exist for richer
+ * front-ends; Options::escapeOpenChunksOnCall gives the maximally
+ * conservative call treatment for callers that want it.
+ */
+
+#ifndef AOS_ANALYSIS_DATAFLOW_ENGINE_HH
+#define AOS_ANALYSIS_DATAFLOW_ENGINE_HH
+
+#include <map>
+#include <unordered_map>
+#include <vector>
+
+#include "analysis/dataflow/domains.hh"
+#include "common/cancel.hh"
+#include "ir/micro_op.hh"
+#include "pa/pointer_layout.hh"
+
+namespace aos::analysis::dataflow {
+
+/** Everything the engine learned about one chunk instance. */
+struct ChunkSummary
+{
+    ChunkId id;
+    u64 size = 0;         //!< Requested allocation size in bytes.
+    u64 mallocOp = 0;     //!< Op index of the allocation marker.
+    u64 freeOp = 0;       //!< Op index of the free marker (if freed).
+    u64 lastOp = 0;       //!< Last op index attributed to this instance.
+    u64 accesses = 0;     //!< Loads/stores attributed while live.
+    u64 pointerLoads = 0; //!< Subset of accesses with loadsPointer.
+    u64 autms = 0;        //!< autm ops attributed (lowered streams).
+    u32 freeCount = 0;    //!< >1 means double free.
+    u64 accessesAfterFree = 0; //!< Temporal violations (UAF).
+    bool allInBounds = true;   //!< Every access spatially proven.
+    EscapeState escape;
+    OffsetRange range;
+};
+
+/** Forward dataflow over a micro-op stream. */
+class DataflowEngine
+{
+  public:
+    struct Options
+    {
+        /** Treat every kCall as escaping all live chunks (the most
+         *  conservative call transfer; off for this repo's IR). */
+        bool escapeOpenChunksOnCall = false;
+    };
+
+    explicit DataflowEngine(const pa::PointerLayout &layout);
+    DataflowEngine(const pa::PointerLayout &layout, Options options);
+
+    /** Transfer one op through all domains. */
+    void step(const ir::MicroOp &op);
+
+    /**
+     * Drain @p stream through step(). Polls @p cancel periodically so
+     * campaign jobs stay preemptible. Returns ops consumed.
+     */
+    u64 run(ir::InstStream &stream, const CancelToken *cancel = nullptr);
+
+    /** All chunk instances, in allocation order. */
+    const std::vector<ChunkSummary> &summaries() const
+    {
+        return _summaries;
+    }
+
+    /** The live (not yet freed) instance at @p base, or nullptr. */
+    const ChunkSummary *current(Addr base) const;
+
+    /** Provenance of @p addr under the current heap state. */
+    ProvenanceValue provenanceOf(Addr addr) const;
+
+    u64 opsSeen() const { return _opIndex; }
+    u64 invalidFrees() const { return _invalidFrees; }
+    u64 orphanAccesses() const { return _orphanAccesses; }
+
+  private:
+    void onMalloc(const ir::MicroOp &op);
+    void onFree(const ir::MicroOp &op);
+    void onAccess(const ir::MicroOp &op);
+    void onAutm(const ir::MicroOp &op);
+
+    ChunkSummary *openAt(Addr base);
+    /** Summary index of the live chunk whose extent covers @p raw. */
+    size_t coveringIndex(Addr raw) const;
+
+    const pa::PointerLayout &_layout;
+    Options _options;
+
+    std::vector<ChunkSummary> _summaries;
+    std::unordered_map<Addr, u32> _gen;       //!< Next-gen per base.
+    std::unordered_map<Addr, size_t> _open;   //!< base -> live summary.
+    std::unordered_map<Addr, size_t> _last;   //!< base -> latest summary.
+    /** Live extents for alias lookup: base -> (end, summary index). */
+    std::map<Addr, std::pair<Addr, size_t>> _extents;
+
+    u64 _opIndex = 0;
+    u64 _invalidFrees = 0;   //!< Frees of never-allocated bases.
+    u64 _orphanAccesses = 0; //!< chunkBase names no known instance.
+};
+
+} // namespace aos::analysis::dataflow
+
+#endif // AOS_ANALYSIS_DATAFLOW_ENGINE_HH

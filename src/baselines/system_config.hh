@@ -64,6 +64,12 @@ struct SystemOptions
 
     // Static-analysis layer (DESIGN.md "Static analysis layer").
     bool aosElision = false;  //!< Elide provably-redundant autm ops.
+    /**
+     * Dataflow-driven bounds elision (DESIGN.md §11): drop the whole
+     * pacma/bndstr/bndclr/autm quadruple for chunks the abstract
+     * interpreter proves non-escaping with all accesses in bounds.
+     */
+    bool aosBoundsElision = false;
     bool verifyStream = false;//!< Lint the instrumented stream online.
 
     /**

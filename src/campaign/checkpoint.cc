@@ -356,6 +356,7 @@ identityHash(const CampaignOptions &options, const std::vector<Job> &jobs)
         h.u32v(o.pacBits);
         h.u32v(o.initialHbtAssoc);
         h.b(o.aosElision);
+        h.b(o.aosBoundsElision);
         h.b(o.verifyStream);
         h.u32v(o.faultTypes);
         h.u32v(o.faultCount);

@@ -1,0 +1,104 @@
+#include "compiler/aos_bounds_elide_pass.hh"
+
+namespace aos::compiler {
+
+void
+AosBoundsElidePass::transform(const ir::MicroOp &in)
+{
+    if (_plan == nullptr) {
+        emit(in);
+        return;
+    }
+
+    switch (in.kind) {
+      case ir::OpKind::kMallocMark: {
+        // Generation bookkeeping must mirror the DataflowEngine's so
+        // plan verdicts attach to the same instances.
+        if (in.chunkBase != 0) {
+            const u32 gen = ++_gen[in.chunkBase];
+            _freeing.erase(in.chunkBase);
+            if (_plan->elided(in.chunkBase, gen))
+                _elidedOpen.insert(in.chunkBase);
+            else
+                _elidedOpen.erase(in.chunkBase);
+        }
+        emit(in);
+        return;
+      }
+
+      case ir::OpKind::kPacma:
+        if (in.chunkBase != 0) {
+            // Malloc-side signing (carries the chunk base).
+            ++_stats.pacmaSeen;
+            if (elidedOpen(in.chunkBase)) {
+                ++_stats.pacmaElided;
+                return;
+            }
+        } else if (in.size == 0 &&
+                   _freeing.count(_layout.strip(in.addr))) {
+            // Free-side re-sign of an elided chunk's pointer: the
+            // last op of the free quadruple; the instance is closed.
+            const Addr base = _layout.strip(in.addr);
+            _freeing.erase(base);
+            _elidedOpen.erase(base);
+            ++_stats.pacmaElided;
+            return;
+        }
+        emit(in);
+        return;
+
+      case ir::OpKind::kBndstr:
+        ++_stats.bndstrSeen;
+        if (in.chunkBase != 0 && elidedOpen(in.chunkBase)) {
+            ++_stats.bndstrElided;
+            return;
+        }
+        emit(in);
+        return;
+
+      case ir::OpKind::kBndclr:
+        ++_stats.bndclrSeen;
+        if (in.chunkBase != 0 && elidedOpen(in.chunkBase)) {
+            ++_stats.bndclrElided;
+            _freeing.insert(in.chunkBase);
+            return;
+        }
+        emit(in);
+        return;
+
+      case ir::OpKind::kXpacm:
+        if (_freeing.count(_layout.strip(in.addr))) {
+            ++_stats.xpacmElided;
+            return;
+        }
+        emit(in);
+        return;
+
+      case ir::OpKind::kAutm:
+        if (in.chunkBase != 0 && elidedOpen(in.chunkBase)) {
+            ++_stats.autmElided;
+            return;
+        }
+        emit(in);
+        return;
+
+      case ir::OpKind::kLoad:
+      case ir::OpKind::kStore:
+        if (in.chunkBase != 0 && elidedOpen(in.chunkBase) &&
+            _layout.signed_(in.addr)) {
+            ir::MicroOp out = in;
+            out.addr = _layout.strip(in.addr);
+            ++_stats.accessesStripped;
+            emit(out);
+            return;
+        }
+        emit(in);
+        return;
+
+      default:
+        emit(in);
+        return;
+    }
+}
+
+} // namespace aos::compiler

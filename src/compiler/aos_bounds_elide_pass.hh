@@ -1,0 +1,104 @@
+/**
+ * @file
+ * AosBoundsElidePass — proof-carrying elision of whole-chunk AOS
+ * instrumentation (DESIGN.md §11).
+ *
+ * Where AosElidePass removes *repeated* autm checks, this pass removes
+ * the entire pacma/bndstr/bndclr/autm quadruple for chunk instances an
+ * ElisionPlan proved non-escaping, spatially in-bounds, and temporally
+ * safe (elision_plan.hh). It runs after the AOS backend and PA passes,
+ * so it sees lowered streams and rewrites them as a compiler with the
+ * analysis results would have emitted them in the first place:
+ *
+ *   - the malloc-side pacma + bndstr of an elided instance are dropped
+ *     (the pointer is never signed, no HBT row is occupied);
+ *   - loads/stores attributed to the instance have their addresses
+ *     stripped back to the raw VA (the backend signed them; an elided
+ *     chunk's pointer was never signed);
+ *   - the free-side bndclr / xpacm / re-sign pacma are dropped;
+ *   - any autm attributed to the instance is dropped (normally none:
+ *     a pointer load from a chunk makes it escape, so elided chunks
+ *     have no attributed authentications — the counter is defensive).
+ *
+ * Everything else — other chunks, unsigned accesses, invalid frees —
+ * passes through untouched, which is what preserves the detection set:
+ * an elided check is one the plan proved could never fire, and even a
+ * wrong temporal assumption fails safe (a signed use-after-free access
+ * still traps, against a missing record instead of a cleared one).
+ * The ObligationChecker validates exactly this claim dynamically.
+ */
+
+#ifndef AOS_COMPILER_AOS_BOUNDS_ELIDE_PASS_HH
+#define AOS_COMPILER_AOS_BOUNDS_ELIDE_PASS_HH
+
+#include <unordered_map>
+#include <unordered_set>
+
+#include "analysis/dataflow/elision_plan.hh"
+#include "compiler/pass.hh"
+#include "pa/pointer_layout.hh"
+
+namespace aos::compiler {
+
+/** Per-op-kind elision counters (exported as belide_* stats). */
+struct BoundsElideStats
+{
+    u64 pacmaSeen = 0;
+    u64 pacmaElided = 0;
+    u64 bndstrSeen = 0;
+    u64 bndstrElided = 0;
+    u64 bndclrSeen = 0;
+    u64 bndclrElided = 0;
+    u64 xpacmElided = 0;
+    u64 autmElided = 0;
+    u64 accessesStripped = 0;
+
+    double
+    bndstrElisionRate() const
+    {
+        return bndstrSeen
+                   ? static_cast<double>(bndstrElided) / bndstrSeen
+                   : 0.0;
+    }
+};
+
+/** Plan-driven whole-chunk instrumentation elision. */
+class AosBoundsElidePass : public Pass
+{
+  public:
+    /** @param plan Analysis result; not owned. Null disables the pass. */
+    AosBoundsElidePass(ir::InstStream *source, pa::PointerLayout layout,
+                       const analysis::dataflow::ElisionPlan *plan)
+        : Pass(source), _layout(layout), _plan(plan)
+    {
+    }
+
+    std::string name() const override { return "aos-bounds-elide-pass"; }
+
+    const BoundsElideStats &stats() const { return _stats; }
+
+  protected:
+    void transform(const ir::MicroOp &in) override;
+
+  private:
+    bool elidedOpen(Addr base) const
+    {
+        return _elidedOpen.count(base) != 0;
+    }
+
+    pa::PointerLayout _layout;
+    const analysis::dataflow::ElisionPlan *_plan;
+
+    /** Allocation ordinal per base; must mirror DataflowEngine. */
+    std::unordered_map<Addr, u32> _gen;
+    /** Bases whose *current* instance is elided. */
+    std::unordered_set<Addr> _elidedOpen;
+    /** Elided bases between their bndclr and their re-sign pacma. */
+    std::unordered_set<Addr> _freeing;
+
+    BoundsElideStats _stats;
+};
+
+} // namespace aos::compiler
+
+#endif // AOS_COMPILER_AOS_BOUNDS_ELIDE_PASS_HH

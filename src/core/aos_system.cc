@@ -2,6 +2,7 @@
 
 #include <exception>
 
+#include "analysis/dataflow/engine.hh"
 #include "common/cancel.hh"
 #include "common/logging.hh"
 #include "common/profiler.hh"
@@ -105,9 +106,47 @@ RunResult::toStatSet() const
             static_cast<double>(elide.invalidations);
         set.scalar("elide_rate") = elide.elisionRate();
     }
+    if (belide.bndstrSeen) {
+        set.scalar("belide_chunks_seen") =
+            static_cast<double>(belidePlan.chunksSeen);
+        set.scalar("belide_chunks_elided") =
+            static_cast<double>(belidePlan.chunksElided);
+        set.scalar("belide_plan_rate") = belidePlan.elisionRate();
+        set.scalar("belide_reject_escaped") =
+            static_cast<double>(belidePlan.rejectEscaped);
+        set.scalar("belide_reject_oob") =
+            static_cast<double>(belidePlan.rejectOutOfBounds);
+        set.scalar("belide_reject_widened") =
+            static_cast<double>(belidePlan.rejectWidened);
+        set.scalar("belide_reject_temporal") =
+            static_cast<double>(belidePlan.rejectTemporal);
+        set.scalar("belide_reject_zero_size") =
+            static_cast<double>(belidePlan.rejectZeroSize);
+        set.scalar("belide_pacma_seen") =
+            static_cast<double>(belide.pacmaSeen);
+        set.scalar("belide_pacma_elided") =
+            static_cast<double>(belide.pacmaElided);
+        set.scalar("belide_bndstr_seen") =
+            static_cast<double>(belide.bndstrSeen);
+        set.scalar("belide_bndstr_elided") =
+            static_cast<double>(belide.bndstrElided);
+        set.scalar("belide_bndstr_rate") = belide.bndstrElisionRate();
+        set.scalar("belide_bndclr_seen") =
+            static_cast<double>(belide.bndclrSeen);
+        set.scalar("belide_bndclr_elided") =
+            static_cast<double>(belide.bndclrElided);
+        set.scalar("belide_xpacm_elided") =
+            static_cast<double>(belide.xpacmElided);
+        set.scalar("belide_autm_elided") =
+            static_cast<double>(belide.autmElided);
+        set.scalar("belide_accesses_stripped") =
+            static_cast<double>(belide.accessesStripped);
+    }
     if (verified) {
         set.scalar("verify_total") =
             static_cast<double>(verifyDiagnostics);
+        set.scalar("verify_suppressed") =
+            static_cast<double>(verifySuppressed);
         for (const auto &[rule, count] : verifyRuleCounts) {
             set.scalar(std::string("verify_") + staticcheck::ruleId(rule) +
                        "_" + staticcheck::ruleName(rule)) =
@@ -191,6 +230,20 @@ AosSystem::AosSystem(const workloads::WorkloadProfile &profile,
     _workload = std::make_unique<workloads::SyntheticWorkload>(
         profile, options.measureOps, options.seedSalt);
 
+    if (options.aosBoundsElision && options.usesAos()) {
+        // The synthetic stream is a pure function of
+        // (profile, measureOps, seedSalt), so abstractly interpreting a
+        // regenerated duplicate is an exact model of the stream the
+        // pipeline below will instrument.
+        prof::Scope scope("sys.boundsplan");
+        workloads::SyntheticWorkload analysis_copy(
+            profile, options.measureOps, options.seedSalt);
+        analysis::dataflow::DataflowEngine engine(layout);
+        engine.run(analysis_copy, options.cancel);
+        _boundsPlan = std::make_unique<analysis::dataflow::ElisionPlan>(
+            analysis::dataflow::planBoundsElision(engine));
+    }
+
     if (options.faultTypes != 0) {
         // Faults against structures a configuration does not have are
         // meaningless: restrict the plan to the applicable classes so
@@ -247,11 +300,21 @@ AosSystem::buildPipeline()
       case baselines::Mechanism::kAos:
         _pipeline->add<compiler::AosOptPass>();
         _pipeline->add<compiler::AosBackendPass>(_pa.get());
+        if (_boundsPlan) {
+            _belide = _pipeline->add<compiler::AosBoundsElidePass>(
+                _pa->layout(), _boundsPlan.get());
+        }
         break;
       case baselines::Mechanism::kPaAos:
         _pipeline->add<compiler::AosOptPass>();
         _pipeline->add<compiler::AosBackendPass>(_pa.get());
         _pipeline->add<compiler::PaPass>(compiler::PaMode::kPaAos);
+        if (_boundsPlan) {
+            // After PaPass so elided regions are dropped before autm
+            // elision sees them; before the counter like AosElidePass.
+            _belide = _pipeline->add<compiler::AosBoundsElidePass>(
+                _pa->layout(), _boundsPlan.get());
+        }
         if (_options.aosElision) {
             // Before the counter so the mix reflects executed autms.
             _elide = _pipeline->add<compiler::AosElidePass>(_pa->layout());
@@ -269,6 +332,7 @@ AosSystem::buildPipeline()
         staticcheck::VerifierOptions verify_options;
         verify_options.layout = _pa->layout();
         verify_options.requireAosLowering = _options.usesAos();
+        verify_options.elisionPlan = _boundsPlan.get();
         _verifier =
             std::make_unique<staticcheck::StreamVerifier>(verify_options);
         _verified = std::make_unique<staticcheck::VerifyingStream>(
@@ -394,9 +458,14 @@ AosSystem::run()
     }
     if (_elide)
         result.elide = _elide->stats();
+    if (_boundsPlan)
+        result.belidePlan = _boundsPlan->stats();
+    if (_belide)
+        result.belide = _belide->stats();
     if (_verifier) {
         result.verified = true;
         result.verifyDiagnostics = _verifier->totalDiagnostics();
+        result.verifySuppressed = _verifier->suppressedDiagnostics();
         result.verifyRuleCounts = _verifier->ruleCounts();
         result.verifyFindings = _verifier->diagnostics();
     }

@@ -23,9 +23,11 @@
 #include <memory>
 #include <ostream>
 
+#include "analysis/dataflow/elision_plan.hh"
 #include "baselines/system_config.hh"
 #include "common/stats.hh"
 #include "bounds/bounds_way_buffer.hh"
+#include "compiler/aos_bounds_elide_pass.hh"
 #include "compiler/aos_elide_pass.hh"
 #include "compiler/op_counter.hh"
 #include "cpu/ooo_core.hh"
@@ -61,9 +63,14 @@ struct RunResult
 
     compiler::ElideStats elide;   //!< autm elision (options.aosElision).
 
+    // Bounds elision (options.aosBoundsElision, DESIGN.md §11).
+    analysis::dataflow::PlanStats belidePlan; //!< Dataflow plan verdicts.
+    compiler::BoundsElideStats belide;        //!< Ops actually dropped.
+
     // Stream-verifier findings (options.verifyStream).
     bool verified = false;        //!< The run was linted online.
     u64 verifyDiagnostics = 0;    //!< Total findings (0 = clean).
+    u64 verifySuppressed = 0;     //!< Findings deduplicated or capped.
     std::map<staticcheck::RuleId, u64> verifyRuleCounts;
     std::vector<staticcheck::Diagnostic> verifyFindings;
 
@@ -108,6 +115,8 @@ class AosSystem
     std::unique_ptr<compiler::PassManager> _pipeline;
     compiler::OpCounter *_counter = nullptr;
     compiler::AosElidePass *_elide = nullptr;
+    std::unique_ptr<analysis::dataflow::ElisionPlan> _boundsPlan;
+    compiler::AosBoundsElidePass *_belide = nullptr;
     std::unique_ptr<staticcheck::StreamVerifier> _verifier;
     std::unique_ptr<staticcheck::VerifyingStream> _verified;
     std::unique_ptr<faultinject::FaultPlan> _faultPlan;

@@ -22,6 +22,10 @@ ruleId(RuleId rule)
       case RuleId::kAllocMarkMissingFields: return "SC12";
       case RuleId::kBoundsOpUnsigned: return "SC13";
       case RuleId::kAutmOrphan: return "SC14";
+      case RuleId::kElidedResidualInstr: return "SC15";
+      case RuleId::kElidedSignedAccess: return "SC16";
+      case RuleId::kElidedAccessOutOfPlan: return "SC17";
+      case RuleId::kElidedEscape: return "SC18";
     }
     return "SC??";
 }
@@ -44,6 +48,11 @@ ruleName(RuleId rule)
       case RuleId::kAllocMarkMissingFields: return "alloc-mark-missing-fields";
       case RuleId::kBoundsOpUnsigned: return "bounds-op-unsigned";
       case RuleId::kAutmOrphan: return "autm-orphan";
+      case RuleId::kElidedResidualInstr: return "elided-residual-instr";
+      case RuleId::kElidedSignedAccess: return "elided-signed-access";
+      case RuleId::kElidedAccessOutOfPlan:
+        return "elided-access-out-of-plan";
+      case RuleId::kElidedEscape: return "elided-escape";
     }
     return "unknown-rule";
 }

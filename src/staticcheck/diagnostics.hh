@@ -50,10 +50,18 @@ enum class RuleId : u8
     kBoundsOpUnsigned,    //!< SC13 bndstr/bndclr on an unsigned pointer.
     kAutmOrphan,          //!< SC14 autm not authenticating the
                           //!< immediately preceding load's value.
+    kElidedResidualInstr, //!< SC15 pacma/bndstr/bndclr/autm survived
+                          //!< inside an elided chunk's region.
+    kElidedSignedAccess,  //!< SC16 access to an elided chunk still
+                          //!< carries a signed address (not stripped).
+    kElidedAccessOutOfPlan, //!< SC17 access to an elided chunk outside
+                            //!< the obligation's proven object extent.
+    kElidedEscape,        //!< SC18 pointer load from an elided chunk
+                          //!< (the non-escaping assumption is false).
 };
 
 /** Number of distinct rules (for iteration in reports). */
-inline constexpr unsigned kNumRules = 14;
+inline constexpr unsigned kNumRules = 18;
 
 /** Stable short id, e.g. "SC05". */
 const char *ruleId(RuleId rule);

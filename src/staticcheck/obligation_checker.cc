@@ -1,0 +1,313 @@
+#include "staticcheck/obligation_checker.hh"
+
+#include <sstream>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "faultinject/fault_plan.hh"
+#include "faultinject/injector.hh"
+
+namespace aos::staticcheck {
+
+namespace {
+
+/**
+ * Tracks which chunk instance is current per base while replaying a
+ * lowered stream, mirroring the generation bookkeeping of the
+ * DataflowEngine and AosBoundsElidePass. Membership in the elided set
+ * persists past the chunk's free (the full stream's free quadruple and
+ * any use-after-free access must still attribute to the instance) and
+ * resets at the base's next allocation.
+ */
+class InstanceCursor
+{
+  public:
+    explicit InstanceCursor(const analysis::dataflow::ElisionPlan &plan)
+        : _plan(plan)
+    {
+    }
+
+    void
+    step(const ir::MicroOp &op)
+    {
+        if (op.chunkBase == 0)
+            return;
+        if (op.kind == ir::OpKind::kMallocMark) {
+            const u32 gen = ++_gen[op.chunkBase];
+            _open[op.chunkBase] = op.size;
+            if (_plan.elided(op.chunkBase, gen))
+                _elided.insert(op.chunkBase);
+            else
+                _elided.erase(op.chunkBase);
+        } else if (op.kind == ir::OpKind::kFreeMark) {
+            _open.erase(op.chunkBase);
+        }
+    }
+
+    bool elided(Addr base) const { return _elided.count(base) != 0; }
+
+    u32
+    gen(Addr base) const
+    {
+        auto it = _gen.find(base);
+        return it == _gen.end() ? 0 : it->second;
+    }
+
+    bool
+    inChunk(Addr base, Addr addr) const
+    {
+        auto it = _open.find(base);
+        return it != _open.end() && addr >= base &&
+               addr < base + it->second;
+    }
+
+  private:
+    const analysis::dataflow::ElisionPlan &_plan;
+    std::unordered_map<Addr, u32> _gen;
+    std::unordered_map<Addr, u64> _open;
+    std::unordered_set<Addr> _elided;
+};
+
+/** Chunk attribution of one op: explicit provenance, else raw VA. */
+Addr
+attributionBase(const ir::MicroOp &op, const pa::PointerLayout &layout)
+{
+    return op.chunkBase != 0 ? op.chunkBase : layout.strip(op.addr);
+}
+
+} // namespace
+
+std::string
+ObligationReport::summary() const
+{
+    std::ostringstream os;
+    os << (ok ? "OK" : "FAIL") << ": " << obligationsChecked
+       << " obligations, " << obligationsViolated << " violated; benign "
+       << (benignParity ? "parity" : "MISMATCH") << " (full "
+       << fullStats.detections() << " vs elided "
+       << elidedStats.detections() << " detections)";
+    if (faultsChecked) {
+        os << "; faults " << (faultParity ? "parity" : "MISMATCH")
+           << " (detected " << faultsDetectedFull << " full vs "
+           << faultsDetectedElided << " elided, " << simulatorFaults
+           << " sim faults, " << victimsInElidedRegions
+           << " victims in elided regions)";
+    }
+    return os.str();
+}
+
+ObligationChecker::ObligationChecker(ObligationCheckOptions options)
+    : _options(options)
+{
+}
+
+ObligationReport
+ObligationChecker::check(const std::vector<ir::MicroOp> &full,
+                         const std::vector<ir::MicroOp> &elided,
+                         const analysis::dataflow::ElisionPlan &plan)
+{
+    ObligationReport report;
+
+    // Phase 1: benign detection parity.
+    {
+        StreamExecutor full_exec(_options.layout);
+        StreamExecutor elided_exec(_options.layout);
+        report.fullStats = full_exec.run(full);
+        report.elidedStats = elided_exec.run(elided);
+        report.benignParity =
+            report.elidedStats.sameDetections(report.fullStats);
+        if (!report.benignParity) {
+            std::ostringstream os;
+            os << "detection profile changed: full(auth="
+               << report.fullStats.authFailures
+               << " bounds=" << report.fullStats.boundsViolations
+               << " clear=" << report.fullStats.clearFailures
+               << ") vs elided(auth=" << report.elidedStats.authFailures
+               << " bounds=" << report.elidedStats.boundsViolations
+               << " clear=" << report.elidedStats.clearFailures << ")";
+            report.failures.push_back(os.str());
+        }
+    }
+
+    // Phase 2: obligation replay against the ground-truth executor.
+    replayObligations(full, plan, report);
+
+    // Phase 3: fault replay.
+    if (_options.checkFaults && !full.empty() && !elided.empty())
+        replayFaults(full, elided, plan, report);
+
+    report.ok = report.benignParity && report.obligationsViolated == 0 &&
+                (!report.faultsChecked || report.faultParity);
+    return report;
+}
+
+void
+ObligationChecker::replayObligations(
+    const std::vector<ir::MicroOp> &full,
+    const analysis::dataflow::ElisionPlan &plan, ObligationReport &report)
+{
+    report.obligationsChecked = plan.obligations().size();
+
+    StreamExecutor exec(_options.layout);
+    InstanceCursor cursor(plan);
+    std::unordered_set<Addr> violated_bases;
+    u64 violated = 0;
+
+    for (const ir::MicroOp &op : full) {
+        cursor.step(op);
+        const u64 before = exec.stats().detections();
+        exec.step(op);
+        if (exec.stats().detections() == before)
+            continue;
+        // The ground truth raised a detection on this op. If the op
+        // attributes to an elided instance, the check the pass removed
+        // was the one that fired: that obligation's proof is wrong.
+        const Addr base = attributionBase(op, _options.layout);
+        if (cursor.elided(base) && violated_bases.insert(base).second) {
+            ++violated;
+            if (report.failures.size() < 16) {
+                std::ostringstream os;
+                os << "obligation violated: chunk 0x" << std::hex << base
+                   << std::dec << " gen " << cursor.gen(base)
+                   << " raised a detection (" << ir::opKindName(op.kind)
+                   << ") despite being elided";
+                report.failures.push_back(os.str());
+            }
+        }
+    }
+    report.obligationsViolated = violated;
+}
+
+void
+ObligationChecker::replayFaults(const std::vector<ir::MicroOp> &full,
+                                const std::vector<ir::MicroOp> &elided,
+                                const analysis::dataflow::ElisionPlan &plan,
+                                ObligationReport &report)
+{
+    report.faultsChecked = true;
+
+    // Fault exposure must hit the SAME victims in both runs, or victim
+    // shift (a fault sliding past a removed op onto a different signed
+    // access) makes the comparison meaningless. The elided stream is
+    // the full stream minus dropped ops, with elided-chunk accesses
+    // stripped, so a greedy subsequence match recovers the ops that are
+    // bit-identical in both streams; only those are exposed to the
+    // injector, indexed by their shared ordinal. Both replays then
+    // schedule identical faults onto identical victims, and the only
+    // remaining difference is the HBT contents — the elided table holds
+    // a subset of the full run's records, so detections are monotone.
+    // (Faults on elided-region ops have no elided counterpart at all:
+    // the pointer is never signed there, which phase 2 and the SC16
+    // verifier contract already police.)
+    auto same_op = [](const ir::MicroOp &a, const ir::MicroOp &b) {
+        return a.kind == b.kind && a.addr == b.addr &&
+               a.chunkBase == b.chunkBase && a.size == b.size &&
+               a.taken == b.taken && a.loadsPointer == b.loadsPointer;
+    };
+    std::vector<std::pair<size_t, size_t>> shared; // (full, elided) idx
+    for (size_t i = 0, j = 0; i < full.size() && j < elided.size(); ++i) {
+        if (same_op(full[i], elided[j])) {
+            shared.push_back({i, j});
+            ++j;
+            continue;
+        }
+        ir::MicroOp stripped = full[i];
+        stripped.addr = _options.layout.strip(full[i].addr);
+        if (same_op(stripped, elided[j]))
+            ++j; // present but stripped: corresponding, not shared
+        // else: dropped from the elided stream; consume full[i] only.
+    }
+
+    faultinject::FaultPlanConfig config;
+    config.types = _options.faultTypes;
+    config.perType = _options.faultsPerType;
+    config.seed = _options.faultSeed;
+    config.opWindow = std::max<u64>(1, shared.size());
+
+    struct FaultRun
+    {
+        faultinject::FaultStats stats;
+        u64 victimsInElided = 0;
+    };
+
+    auto replay = [&](const std::vector<ir::MicroOp> &stream,
+                      bool use_full_index) {
+        StreamExecutor exec(_options.layout);
+        InstanceCursor cursor(plan);
+        faultinject::FaultPlan fault_plan(config);
+
+        faultinject::InjectorEnv env;
+        env.layout = _options.layout;
+        env.model = faultinject::ProtectionModel::kPaAos;
+        env.hbt = &exec.mutableHbt();
+        env.inChunk = [&cursor](Addr base, Addr addr) {
+            return cursor.inChunk(base, addr);
+        };
+        faultinject::FaultInjector injector(fault_plan, env);
+
+        FaultRun run;
+        size_t s = 0;
+        for (size_t i = 0; i < stream.size(); ++i) {
+            const ir::MicroOp &op = stream[i];
+            cursor.step(op);
+            ir::MicroOp mutated = op;
+            const size_t here =
+                s < shared.size()
+                    ? (use_full_index ? shared[s].first : shared[s].second)
+                    : stream.size();
+            if (i == here) {
+                injector.onOp(s, mutated);
+                ++s;
+            }
+            if (mutated.addr != op.addr &&
+                cursor.elided(attributionBase(op, _options.layout))) {
+                ++run.victimsInElided;
+            }
+            exec.step(mutated);
+        }
+        run.stats = injector.stats();
+        return run;
+    };
+
+    const FaultRun full_run = replay(full, true);
+    const FaultRun elided_run = replay(elided, false);
+
+    report.fullFaultStats = full_run.stats;
+    report.elidedFaultStats = elided_run.stats;
+    report.faultsInjectedFull = full_run.stats.injected;
+    report.faultsInjectedElided = elided_run.stats.injected;
+    report.faultsDetectedFull = full_run.stats.detected();
+    report.faultsDetectedElided = elided_run.stats.detected();
+    report.victimsInElidedRegions = elided_run.victimsInElided;
+    report.simulatorFaults =
+        full_run.stats.simFault + elided_run.stats.simFault;
+
+    bool ok = true;
+    if (report.simulatorFaults != 0) {
+        ok = false;
+        report.failures.push_back("fault replay raised simulator faults");
+    }
+    if (report.victimsInElidedRegions != 0) {
+        ok = false;
+        report.failures.push_back(
+            "pointer fault struck an op inside an elided region: the "
+            "pass left a signed access uninstrumented checks relied on");
+    }
+    for (unsigned t = 0; t < faultinject::kNumFaultTypes; ++t) {
+        if (elided_run.stats.perTypeDetected[t] >=
+            full_run.stats.perTypeDetected[t]) {
+            continue;
+        }
+        ok = false;
+        std::ostringstream os;
+        os << "lost fault detections for "
+           << faultinject::faultTypeName(
+                  static_cast<faultinject::FaultType>(t))
+           << ": full detected " << full_run.stats.perTypeDetected[t]
+           << ", elided detected " << elided_run.stats.perTypeDetected[t];
+        report.failures.push_back(os.str());
+    }
+    report.faultParity = ok;
+}
+
+} // namespace aos::staticcheck

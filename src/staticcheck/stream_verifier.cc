@@ -22,21 +22,78 @@ StreamVerifier::StreamVerifier(VerifierOptions options)
 }
 
 void
-StreamVerifier::report(RuleId rule, std::string message)
+StreamVerifier::report(RuleId rule, Addr site, std::string message)
 {
     ++_totalDiags;
     ++_ruleCounts[rule];
-    if (_diags.size() < _options.maxDiagnostics) {
-        // _opIndex is pre-incremented in observe(); the offending op is
-        // the one currently being checked.
-        _diags.push_back(Diagnostic{_opIndex - 1, rule, std::move(message)});
+
+    auto [it, fresh] = _siteCounts.emplace(std::make_pair(rule, site), u64{0});
+    ++it->second;
+    if (fresh)
+        ++_distinctSites[rule];
+
+    u64 &stored = _storedSites[rule];
+    if (!fresh || stored >= _options.maxPerRuleSites ||
+        _diags.size() >= _options.maxDiagnostics) {
+        ++_suppressed[rule];
+        ++_totalSuppressed;
+        return;
     }
+    ++stored;
+    // _opIndex is pre-incremented in observe(); the offending op is the
+    // one currently being checked.
+    _diags.push_back(Diagnostic{_opIndex - 1, rule, std::move(message)});
 }
 
 Addr
 StreamVerifier::chunkKey(const ir::MicroOp &op) const
 {
     return op.chunkBase != 0 ? op.chunkBase : _options.layout.strip(op.addr);
+}
+
+Addr
+StreamVerifier::elidedBaseOf(const ir::MicroOp &op) const
+{
+    using ir::OpKind;
+    if (_options.elisionPlan == nullptr || _elidedOpen.empty())
+        return 0;
+    Addr base = 0;
+    switch (op.kind) {
+      case OpKind::kPacma:
+      case OpKind::kBndstr:
+      case OpKind::kBndclr:
+      case OpKind::kAutm:
+        base = chunkKey(op);
+        break;
+      case OpKind::kXpacm:
+        base = _options.layout.strip(op.addr);
+        break;
+      case OpKind::kLoad:
+      case OpKind::kStore:
+        // Only provenance-tagged accesses attribute to a chunk; the
+        // workload's untracked bookkeeping ops never do.
+        base = op.chunkBase;
+        break;
+      default:
+        return 0;
+    }
+    return base != 0 && _elidedOpen.count(base) != 0 ? base : 0;
+}
+
+void
+StreamVerifier::trackElision(const ir::MicroOp &op)
+{
+    // Mirror AosBoundsElidePass: an instance's membership starts at its
+    // kMallocMark and persists through the free event until the base is
+    // reallocated, so the whole free quadruple of an elided chunk is
+    // still attributed to it.
+    if (op.kind != ir::OpKind::kMallocMark || op.chunkBase == 0)
+        return;
+    const u32 gen = ++_gen[op.chunkBase];
+    if (_options.elisionPlan->elided(op.chunkBase, gen))
+        _elidedOpen.insert(op.chunkBase);
+    else
+        _elidedOpen.erase(op.chunkBase);
 }
 
 void
@@ -47,14 +104,14 @@ StreamVerifier::flushLowering()
     const Lowering &p = *_pending;
     if (p.isFree) {
         if (!p.sawBndclr || !p.sawXpacm || !p.sawResign) {
-            report(RuleId::kFreeNotLowered,
+            report(RuleId::kFreeNotLowered, p.chunk,
                    "kFreeMark for chunk " + hex(p.chunk) + " at op " +
                        std::to_string(p.markIndex) +
                        " missing bndclr/xpacm/re-sign lowering");
         }
     } else {
         if (!p.sawPacma || !p.sawBndstr) {
-            report(RuleId::kMallocNotLowered,
+            report(RuleId::kMallocNotLowered, p.chunk,
                    "kMallocMark for chunk " + hex(p.chunk) + " at op " +
                        std::to_string(p.markIndex) +
                        " missing pacma/bndstr lowering");
@@ -69,33 +126,86 @@ StreamVerifier::checkFields(const ir::MicroOp &op)
     using ir::OpKind;
     if (op.isMem()) {
         if (op.addr == 0)
-            report(RuleId::kMemMissingAddr,
+            report(RuleId::kMemMissingAddr, op.addr,
                    std::string(ir::opKindName(op.kind)) +
                        " carries no address");
         if (op.size == 0)
-            report(RuleId::kMemMissingSize,
+            report(RuleId::kMemMissingSize, op.addr,
                    std::string(ir::opKindName(op.kind)) +
                        " carries no access size");
     }
     if (op.kind == OpKind::kMallocMark &&
         (op.chunkBase == 0 || op.size == 0)) {
-        report(RuleId::kAllocMarkMissingFields,
+        report(RuleId::kAllocMarkMissingFields, op.chunkBase,
                "kMallocMark missing chunk base or size");
     }
     if (op.kind == OpKind::kFreeMark && op.chunkBase == 0) {
-        report(RuleId::kAllocMarkMissingFields,
+        report(RuleId::kAllocMarkMissingFields, op.chunkBase,
                "kFreeMark missing chunk base");
     }
     if (op.isBoundsOp() && !_options.layout.signed_(op.addr)) {
-        report(RuleId::kBoundsOpUnsigned,
+        report(RuleId::kBoundsOpUnsigned, chunkKey(op),
                std::string(ir::opKindName(op.kind)) +
                    " on unsigned pointer " + hex(op.addr));
     }
     if (op.kind == OpKind::kPhaseMark) {
         ++_phaseMarks;
         if (_phaseMarks > 1)
-            report(RuleId::kPhaseImbalance,
+            report(RuleId::kPhaseImbalance, 0,
                    "more than one warmup/measure phase mark");
+    }
+}
+
+void
+StreamVerifier::checkElided(const ir::MicroOp &op)
+{
+    using ir::OpKind;
+    const Addr base = elidedBaseOf(op);
+    if (base == 0)
+        return;
+
+    switch (op.kind) {
+      case OpKind::kPacma:
+      case OpKind::kBndstr:
+      case OpKind::kBndclr:
+      case OpKind::kXpacm:
+      case OpKind::kAutm:
+        report(RuleId::kElidedResidualInstr, base,
+               std::string(ir::opKindName(op.kind)) + " for elided chunk " +
+                   hex(base) + " survived AosBoundsElidePass");
+        break;
+
+      case OpKind::kLoad:
+      case OpKind::kStore: {
+        const pa::PointerLayout &layout = _options.layout;
+        if (layout.signed_(op.addr)) {
+            report(RuleId::kElidedSignedAccess, base,
+                   std::string(ir::opKindName(op.kind)) +
+                       " to elided chunk " + hex(base) +
+                       " still carries signed address " + hex(op.addr));
+        }
+        const Addr raw = layout.strip(op.addr);
+        auto it = _gen.find(base);
+        const analysis::dataflow::ProofObligation *ob =
+            it == _gen.end()
+                ? nullptr
+                : _options.elisionPlan->find(base, it->second);
+        if (ob == nullptr || raw < base || raw - base + op.size > ob->size) {
+            report(RuleId::kElidedAccessOutOfPlan, base,
+                   std::string(ir::opKindName(op.kind)) + " at " + hex(raw) +
+                       " falls outside the proven extent of elided chunk " +
+                       hex(base));
+        }
+        if (op.kind == OpKind::kLoad && op.loadsPointer) {
+            report(RuleId::kElidedEscape, base,
+                   "pointer load from elided chunk " + hex(base) +
+                       " contradicts its non-escaping obligation");
+        }
+        break;
+      }
+
+      default:
+        break;
     }
 }
 
@@ -104,6 +214,13 @@ StreamVerifier::checkDataflow(const ir::MicroOp &op)
 {
     using ir::OpKind;
     const pa::PointerLayout &layout = _options.layout;
+
+    // Ops attributed to an elided instance are governed by the
+    // SC15..SC18 contracts instead; any residual instrumentation has
+    // already been reported there and must not corrupt the dataflow
+    // state of live (non-elided) chunks.
+    if (elidedBaseOf(op) != 0)
+        return;
 
     switch (op.kind) {
       case OpKind::kPacma:
@@ -114,7 +231,7 @@ StreamVerifier::checkDataflow(const ir::MicroOp &op)
       case OpKind::kBndstr: {
         const Addr key = chunkKey(op);
         if (!_liveBounds.insert(key).second) {
-            report(RuleId::kDuplicateBndstr,
+            report(RuleId::kDuplicateBndstr, key,
                    "bndstr for chunk " + hex(key) +
                        " whose bounds are already live");
         }
@@ -130,7 +247,7 @@ StreamVerifier::checkDataflow(const ir::MicroOp &op)
       case OpKind::kBndclr: {
         const Addr key = chunkKey(op);
         if (_liveBounds.erase(key) == 0) {
-            report(RuleId::kUnpairedBndclr,
+            report(RuleId::kUnpairedBndclr, key,
                    "bndclr for chunk " + hex(key) +
                        " with no live bounds (double/invalid free)");
         }
@@ -142,25 +259,25 @@ StreamVerifier::checkDataflow(const ir::MicroOp &op)
         if (!layout.signed_(op.addr))
             break;
         if (op.chunkBase == 0) {
-            report(RuleId::kSignedBeforeSign,
+            report(RuleId::kSignedBeforeSign, 0,
                    "signed access " + hex(op.addr) +
                        " with no chunk provenance");
             break;
         }
         auto it = _signedPtrs.find(op.chunkBase);
         if (it == _signedPtrs.end()) {
-            report(RuleId::kSignedBeforeSign,
+            report(RuleId::kSignedBeforeSign, op.chunkBase,
                    "signed access to chunk " + hex(op.chunkBase) +
                        " before its pacma");
         } else if (layout.pac(op.addr) != layout.pac(it->second)) {
-            report(RuleId::kPacMismatch,
+            report(RuleId::kPacMismatch, op.chunkBase,
                    "signed access " + hex(op.addr) + " carries PAC " +
                        std::to_string(layout.pac(op.addr)) +
                        " but chunk " + hex(op.chunkBase) +
                        " was signed with PAC " +
                        std::to_string(layout.pac(it->second)));
         } else if (_liveBounds.find(op.chunkBase) == _liveBounds.end()) {
-            report(RuleId::kSignedAfterClear,
+            report(RuleId::kSignedAfterClear, op.chunkBase,
                    "signed access to chunk " + hex(op.chunkBase) +
                        " after its bndclr (static use-after-free)");
         }
@@ -172,7 +289,7 @@ StreamVerifier::checkDataflow(const ir::MicroOp &op)
                                   _prevOp->kind == OpKind::kLoad &&
                                   _prevOp->addr == op.addr;
         if (!follows_load) {
-            report(RuleId::kAutmOrphan,
+            report(RuleId::kAutmOrphan, layout.strip(op.addr),
                    "autm of " + hex(op.addr) +
                        " does not authenticate the preceding load");
         }
@@ -192,6 +309,12 @@ StreamVerifier::checkLowering(const ir::MicroOp &op)
       case OpKind::kMallocMark:
       case OpKind::kFreeMark: {
         flushLowering();
+        if (_options.elisionPlan != nullptr &&
+            _elidedOpen.count(op.chunkBase) != 0) {
+            // Elided instance: the Fig. 7 sequence is intentionally
+            // absent, so no lowering expectation is created.
+            break;
+        }
         Lowering pending;
         pending.markIndex = _opIndex - 1;
         pending.chunk = op.chunkBase;
@@ -242,13 +365,18 @@ StreamVerifier::observe(const ir::MicroOp &op)
     if (_options.requireLoweredIntrinsics &&
         (op.kind == ir::OpKind::kAosMallocIntr ||
          op.kind == ir::OpKind::kAosFreeIntr)) {
-        report(RuleId::kIntrinsicSurvived,
+        report(RuleId::kIntrinsicSurvived, op.chunkBase,
                std::string(ir::opKindName(op.kind)) +
                    " survived the backend pass");
     }
 
+    if (_options.elisionPlan != nullptr)
+        trackElision(op);
+
     if (_options.checkFields)
         checkFields(op);
+    if (_options.elisionPlan != nullptr)
+        checkElided(op);
     if (_options.checkDataflow)
         checkDataflow(op);
     if (_options.requireAosLowering)
@@ -260,14 +388,30 @@ StreamVerifier::observe(const ir::MicroOp &op)
 void
 StreamVerifier::finish()
 {
+    if (_finished)
+        return;
+    _finished = true;
     if (_options.requireAosLowering)
         flushLowering();
+
+    // One summary line per rule with suppressed repeats; these are
+    // bookkeeping, not findings, so _totalDiags is left untouched.
+    for (const auto &[rule, count] : _suppressed) {
+        if (count == 0)
+            continue;
+        _diags.push_back(Diagnostic{
+            _opIndex, rule,
+            "suppressed " + std::to_string(count) +
+                " further finding(s) across " +
+                std::to_string(_distinctSites[rule]) + " distinct site(s)"});
+    }
 }
 
 void
 StreamVerifier::addStats(StatSet &set, const std::string &prefix) const
 {
     set.scalar(prefix + "total") = static_cast<double>(_totalDiags);
+    set.scalar(prefix + "suppressed") = static_cast<double>(_totalSuppressed);
     for (const auto &[rule, count] : _ruleCounts) {
         set.scalar(prefix + ruleId(rule) + "_" + ruleName(rule)) =
             static_cast<double>(count);

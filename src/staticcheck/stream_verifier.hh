@@ -18,11 +18,22 @@
  *  only appear after the owning pacma and carry its PAC, and never
  *  after the chunk's bndclr (a *static* use-after-free of a signed
  *  value), every kMallocMark/kFreeMark is lowered to the Fig. 7
- *  sequences when the stream claims to be AOS-instrumented.
+ *  sequences when the stream claims to be AOS-instrumented;
+ *
+ *  elision rules (SC15..SC18, active when options.elisionPlan is set) —
+ *  a chunk instance the plan elides must carry *no* residual
+ *  instrumentation, its accesses must be stripped and stay inside the
+ *  obligation's proven extent, and no pointer load may touch it (the
+ *  verified-stream side of the obligations the ObligationChecker
+ *  replays dynamically).
  *
  * Violations are collected as structured diagnostics (see
  * diagnostics.hh), never asserts, so tests can probe individual rules
- * and the system harness can export per-rule counters.
+ * and the system harness can export per-rule counters. Repeated
+ * findings of one (rule, site) pair are deduplicated and every rule
+ * stores at most maxPerRuleSites distinct sites; suppressed repeats
+ * are tallied and surface as one per-rule summary line at finish(), so
+ * a pathological stream cannot flood O(ops) diagnostics.
  */
 
 #ifndef AOS_STATICCHECK_STREAM_VERIFIER_HH
@@ -32,8 +43,10 @@
 #include <optional>
 #include <unordered_map>
 #include <unordered_set>
+#include <utility>
 #include <vector>
 
+#include "analysis/dataflow/elision_plan.hh"
 #include "common/stats.hh"
 #include "ir/micro_op.hh"
 #include "pa/pointer_layout.hh"
@@ -68,8 +81,20 @@ struct VerifierOptions
     /** Enforce per-op field sanity (SC09..SC13). */
     bool checkFields = true;
 
+    /**
+     * Bounds-elision plan the stream was rewritten under; not owned.
+     * When set, instances the plan elides are exempt from SC02/SC03
+     * and the dataflow rules, and the SC15..SC18 elided-region
+     * contracts are enforced instead.
+     */
+    const analysis::dataflow::ElisionPlan *elisionPlan = nullptr;
+
     /** Stop storing diagnostics past this many (counters keep going). */
     size_t maxDiagnostics = 1024;
+
+    /** Distinct sites stored per rule; further sites are suppressed
+     *  into the per-rule summary line. */
+    size_t maxPerRuleSites = 8;
 };
 
 /** Single-pass verifier; feed ops with observe(), then call finish(). */
@@ -81,7 +106,8 @@ class StreamVerifier
     /** Check one op (call in stream order). */
     void observe(const ir::MicroOp &op);
 
-    /** End-of-stream checks (unlowered trailing markers). */
+    /** End-of-stream checks (unlowered trailing markers) plus the
+     *  per-rule suppressed-count summary lines. */
     void finish();
 
     /** All findings so far (capped at options.maxDiagnostics). */
@@ -90,8 +116,11 @@ class StreamVerifier
     /** True iff no rule fired. */
     bool clean() const { return _totalDiags == 0; }
 
-    /** Total findings, including those past the storage cap. */
+    /** Total findings, including deduplicated and capped ones. */
     u64 totalDiagnostics() const { return _totalDiags; }
+
+    /** Findings suppressed by (rule, site) dedup or the caps. */
+    u64 suppressedDiagnostics() const { return _totalSuppressed; }
 
     /** Ops observed so far. */
     u64 opsObserved() const { return _opIndex; }
@@ -127,11 +156,20 @@ class StreamVerifier
         bool sawResign = false;
     };
 
-    void report(RuleId rule, std::string message);
+    /** @p site identifies the finding's subject (chunk base, address)
+     *  for dedup; repeats of one (rule, site) pair are suppressed. */
+    void report(RuleId rule, Addr site, std::string message);
     void flushLowering();
     void checkFields(const ir::MicroOp &op);
     void checkDataflow(const ir::MicroOp &op);
     void checkLowering(const ir::MicroOp &op);
+    void checkElided(const ir::MicroOp &op);
+
+    /** Advance the elision-plan generation state (kMallocMark). */
+    void trackElision(const ir::MicroOp &op);
+
+    /** Chunk the op attributes to under the elision plan, or 0. */
+    Addr elidedBaseOf(const ir::MicroOp &op) const;
 
     /** Chunk key for bounds ops: explicit chunkBase, else raw address. */
     Addr chunkKey(const ir::MicroOp &op) const;
@@ -139,7 +177,9 @@ class StreamVerifier
     VerifierOptions _options;
     u64 _opIndex = 0;
     u64 _totalDiags = 0;
+    u64 _totalSuppressed = 0;
     unsigned _phaseMarks = 0;
+    bool _finished = false;
     std::optional<Lowering> _pending;
     std::optional<ir::MicroOp> _prevOp;
 
@@ -147,6 +187,17 @@ class StreamVerifier
     std::unordered_map<Addr, Addr> _signedPtrs;
     // chunks whose bounds are currently live (bndstr without bndclr).
     std::unordered_set<Addr> _liveBounds;
+
+    // Elision-plan state: allocation ordinal per base and the bases
+    // whose current instance the plan elides (mirrors the pass).
+    std::unordered_map<Addr, u32> _gen;
+    std::unordered_set<Addr> _elidedOpen;
+
+    // (rule, site) -> occurrences; drives dedup and the summaries.
+    std::map<std::pair<RuleId, Addr>, u64> _siteCounts;
+    std::map<RuleId, u64> _storedSites;
+    std::map<RuleId, u64> _distinctSites;
+    std::map<RuleId, u64> _suppressed;
 
     std::vector<Diagnostic> _diags;
     std::map<RuleId, u64> _ruleCounts;

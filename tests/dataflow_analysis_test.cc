@@ -1,0 +1,521 @@
+/**
+ * @file
+ * Tests for the dataflow static-analysis stack (DESIGN.md §11): the
+ * abstract domains in isolation, the forward engine's chunk summaries,
+ * bounds-elision planning, the AosBoundsElidePass rewrite, and the
+ * ObligationChecker's dynamic validation of the emitted proofs. Also
+ * pins the opKindName table exhaustively, since the diagnostics of
+ * every layer above lean on it.
+ */
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "analysis/dataflow/domains.hh"
+#include "analysis/dataflow/elision_plan.hh"
+#include "analysis/dataflow/engine.hh"
+#include "compiler/aos_bounds_elide_pass.hh"
+#include "compiler/aos_passes.hh"
+#include "compiler/pa_pass.hh"
+#include "ir/micro_op.hh"
+#include "pa/pa_context.hh"
+#include "staticcheck/obligation_checker.hh"
+#include "staticcheck/stream_executor.hh"
+#include "staticcheck/stream_verifier.hh"
+
+namespace aos::analysis::dataflow {
+namespace {
+
+using ir::MicroOp;
+using ir::OpKind;
+
+const pa::PointerLayout kLayout(16, 46);
+
+constexpr Addr kChunkA = 0x20001000;
+constexpr Addr kChunkB = 0x20003000;
+
+MicroOp
+op(OpKind kind, Addr addr = 0, Addr chunk = 0, u32 size = 0)
+{
+    MicroOp out;
+    out.kind = kind;
+    out.addr = addr;
+    out.chunkBase = chunk;
+    out.size = size;
+    return out;
+}
+
+MicroOp
+ptrLoad(Addr addr, Addr chunk, u32 size = 8)
+{
+    MicroOp out = op(OpKind::kLoad, addr, chunk, size);
+    out.loadsPointer = true;
+    return out;
+}
+
+// --- opKindName: exhaustive round-trip over every OpKind. ---
+
+TEST(OpKindName, EveryKindHasAUniqueNonFallbackName)
+{
+    std::set<std::string> names;
+    for (u8 raw = 0; raw <= static_cast<u8>(OpKind::kPhaseMark); ++raw) {
+        const char *name = ir::opKindName(static_cast<OpKind>(raw));
+        ASSERT_NE(name, nullptr);
+        EXPECT_STRNE(name, "");
+        EXPECT_STRNE(name, "unknown") << "kind " << unsigned(raw);
+        EXPECT_TRUE(names.insert(name).second)
+            << "duplicate name '" << name << "' for kind " << unsigned(raw);
+    }
+    EXPECT_EQ(names.size(),
+              static_cast<size_t>(OpKind::kPhaseMark) + 1);
+    // Out-of-range values fall back instead of reading garbage.
+    EXPECT_STREQ(ir::opKindName(static_cast<OpKind>(
+                     static_cast<u8>(OpKind::kPhaseMark) + 1)),
+                 "unknown");
+}
+
+// --- ProvenanceValue: flat lattice. ---
+
+TEST(ProvenanceValue, JoinFollowsTheFlatLattice)
+{
+    const ChunkId a{kChunkA, 1};
+    const ChunkId b{kChunkB, 1};
+    const auto bot = ProvenanceValue::bottom();
+    const auto va = ProvenanceValue::chunk(a);
+    const auto vb = ProvenanceValue::chunk(b);
+    const auto top = ProvenanceValue::unknown();
+
+    EXPECT_TRUE(bot.join(va) == va);       // bottom is the identity
+    EXPECT_TRUE(va.join(bot) == va);
+    EXPECT_TRUE(va.join(va) == va);        // idempotent
+    EXPECT_TRUE(va.join(vb).isUnknown());  // different chunks -> top
+    EXPECT_TRUE(va.join(top).isUnknown()); // top absorbs
+    EXPECT_TRUE(bot.join(bot).isBottom());
+}
+
+TEST(ProvenanceValue, GenerationsAreDistinctChunks)
+{
+    const auto gen1 = ProvenanceValue::chunk(ChunkId{kChunkA, 1});
+    const auto gen2 = ProvenanceValue::chunk(ChunkId{kChunkA, 2});
+    EXPECT_TRUE(gen1.join(gen2).isUnknown());
+}
+
+TEST(ProvenanceValue, TransfersPreserveAndForget)
+{
+    const auto va = ProvenanceValue::chunk(ChunkId{kChunkA, 1});
+    EXPECT_TRUE(va.transferArith() == va);
+    EXPECT_TRUE(ProvenanceValue::transferLoadUntracked().isUnknown());
+}
+
+// --- EscapeState: monotone two-point lattice. ---
+
+TEST(EscapeState, TransfersAreMonotoneAndFirstCauseWins)
+{
+    EscapeState state;
+    EXPECT_FALSE(state.escaped());
+    state.onPointerLoaded();
+    EXPECT_TRUE(state.escaped());
+    EXPECT_EQ(state.cause(), EscapeState::Cause::kPointerLoaded);
+    state.onUnknownAlias(); // later causes do not overwrite the first
+    EXPECT_EQ(state.cause(), EscapeState::Cause::kPointerLoaded);
+}
+
+TEST(EscapeState, JoinIsLogicalOr)
+{
+    EscapeState local;
+    EscapeState escaped;
+    escaped.onStoredToMemory();
+    EXPECT_TRUE(local.join(escaped).escaped());
+    EXPECT_TRUE(escaped.join(local).escaped());
+    EXPECT_FALSE(local.join(local).escaped());
+    EXPECT_EQ(local.join(escaped).cause(),
+              EscapeState::Cause::kStoredToMemory);
+}
+
+// --- OffsetRange: interval with widening. ---
+
+TEST(OffsetRange, ObserveAndContains)
+{
+    OffsetRange range;
+    EXPECT_TRUE(range.empty());
+    EXPECT_TRUE(range.withinSize(0));
+    range.observe(16, 8);
+    EXPECT_EQ(range.lo(), 16u);
+    EXPECT_EQ(range.hi(), 23u);
+    EXPECT_TRUE(range.contains(20));
+    EXPECT_FALSE(range.contains(24));
+    EXPECT_TRUE(range.withinSize(24));
+    EXPECT_FALSE(range.withinSize(23));
+    range.observe(0, 8); // extends the hull downwards
+    EXPECT_EQ(range.lo(), 0u);
+    EXPECT_FALSE(range.widened());
+}
+
+TEST(OffsetRange, JoinTakesTheConvexHull)
+{
+    OffsetRange a;
+    a.observe(0, 8);
+    OffsetRange b;
+    b.observe(32, 8);
+    const OffsetRange hull = a.join(b);
+    EXPECT_EQ(hull.lo(), 0u);
+    EXPECT_EQ(hull.hi(), 39u);
+    EXPECT_TRUE(a.join(OffsetRange()).contains(0)); // empty is identity
+}
+
+TEST(OffsetRange, RepeatedGrowthWidensToTheLimit)
+{
+    OffsetRange range;
+    range.setWidenLimit(1024);
+    for (unsigned i = 0; i <= OffsetRange::kWidenThreshold + 1; ++i)
+        range.observe(8 * i, 8); // every observe extends the hull
+    EXPECT_TRUE(range.widened());
+    EXPECT_EQ(range.lo(), 0u);
+    EXPECT_EQ(range.hi(), 1023u);
+    // In-range re-observations are not lattice steps.
+    OffsetRange stable;
+    stable.observe(0, 64);
+    for (unsigned i = 0; i < 4 * OffsetRange::kWidenThreshold; ++i)
+        stable.observe(8, 8);
+    EXPECT_FALSE(stable.widened());
+}
+
+// --- DataflowEngine: chunk summaries over a source stream. ---
+
+TEST(DataflowEngine, SummarizesABenignLifecycle)
+{
+    DataflowEngine engine(kLayout);
+    ir::VectorStream source(std::vector<MicroOp>{
+        op(OpKind::kMallocMark, 0, kChunkA, 64),
+        op(OpKind::kLoad, kChunkA + 16, kChunkA, 8),
+        op(OpKind::kStore, kChunkA + 24, kChunkA, 8),
+        op(OpKind::kFreeMark, 0, kChunkA)});
+    EXPECT_EQ(engine.run(source), 4u);
+
+    ASSERT_EQ(engine.summaries().size(), 1u);
+    const ChunkSummary &sum = engine.summaries()[0];
+    EXPECT_EQ(sum.id.base, kChunkA);
+    EXPECT_EQ(sum.id.gen, 1u);
+    EXPECT_EQ(sum.size, 64u);
+    EXPECT_EQ(sum.accesses, 2u);
+    EXPECT_EQ(sum.freeCount, 1u);
+    EXPECT_EQ(sum.accessesAfterFree, 0u);
+    EXPECT_TRUE(sum.allInBounds);
+    EXPECT_FALSE(sum.escape.escaped());
+    EXPECT_EQ(sum.range.lo(), 16u);
+    EXPECT_EQ(sum.range.hi(), 31u);
+}
+
+TEST(DataflowEngine, PointerLoadEscapesTheChunk)
+{
+    DataflowEngine engine(kLayout);
+    ir::VectorStream source(std::vector<MicroOp>{
+        op(OpKind::kMallocMark, 0, kChunkA, 64),
+        ptrLoad(kChunkA + 8, kChunkA)});
+    engine.run(source);
+    ASSERT_EQ(engine.summaries().size(), 1u);
+    EXPECT_TRUE(engine.summaries()[0].escape.escaped());
+    EXPECT_EQ(engine.summaries()[0].escape.cause(),
+              EscapeState::Cause::kPointerLoaded);
+    EXPECT_EQ(engine.summaries()[0].pointerLoads, 1u);
+}
+
+TEST(DataflowEngine, UnknownProvenanceAliasEscapesTheChunk)
+{
+    DataflowEngine engine(kLayout);
+    ir::VectorStream source(std::vector<MicroOp>{
+        op(OpKind::kMallocMark, 0, kChunkA, 64),
+        op(OpKind::kStore, kChunkA + 8, 0, 8)}); // no provenance
+    engine.run(source);
+    ASSERT_EQ(engine.summaries().size(), 1u);
+    EXPECT_EQ(engine.summaries()[0].escape.cause(),
+              EscapeState::Cause::kUnknownAlias);
+}
+
+TEST(DataflowEngine, FlagsSpatialAndTemporalViolations)
+{
+    DataflowEngine engine(kLayout);
+    ir::VectorStream source(std::vector<MicroOp>{
+        op(OpKind::kMallocMark, 0, kChunkA, 64),
+        op(OpKind::kLoad, kChunkA + 4096, kChunkA, 8), // out of bounds
+        op(OpKind::kFreeMark, 0, kChunkA),
+        op(OpKind::kLoad, kChunkA + 8, kChunkA, 8),    // use after free
+        op(OpKind::kFreeMark, 0, kChunkA)});           // double free
+    engine.run(source);
+    ASSERT_EQ(engine.summaries().size(), 1u);
+    const ChunkSummary &sum = engine.summaries()[0];
+    EXPECT_FALSE(sum.allInBounds);
+    EXPECT_EQ(sum.accessesAfterFree, 1u);
+    EXPECT_EQ(sum.freeCount, 2u);
+}
+
+TEST(DataflowEngine, BaseReuseOpensANewGeneration)
+{
+    DataflowEngine engine(kLayout);
+    ir::VectorStream source(std::vector<MicroOp>{
+        op(OpKind::kMallocMark, 0, kChunkA, 64),
+        op(OpKind::kFreeMark, 0, kChunkA),
+        op(OpKind::kMallocMark, 0, kChunkA, 128),
+        op(OpKind::kLoad, kChunkA + 8, kChunkA, 8)});
+    engine.run(source);
+    ASSERT_EQ(engine.summaries().size(), 2u);
+    EXPECT_EQ(engine.summaries()[0].id.gen, 1u);
+    EXPECT_EQ(engine.summaries()[1].id.gen, 2u);
+    EXPECT_EQ(engine.summaries()[1].size, 128u);
+    EXPECT_EQ(engine.summaries()[1].accesses, 1u);
+    EXPECT_EQ(engine.summaries()[0].accesses, 0u);
+}
+
+TEST(DataflowEngine, ProvenanceQueryTracksTheLiveHeap)
+{
+    DataflowEngine engine(kLayout);
+    ir::VectorStream source(std::vector<MicroOp>{
+        op(OpKind::kMallocMark, 0, kChunkA, 64)});
+    engine.run(source);
+    EXPECT_TRUE(engine.provenanceOf(kChunkA + 8).isChunk());
+    EXPECT_EQ(engine.provenanceOf(kChunkA + 8).id().base, kChunkA);
+    EXPECT_TRUE(engine.provenanceOf(kChunkB).isUnknown());
+    ASSERT_NE(engine.current(kChunkA), nullptr);
+    EXPECT_EQ(engine.current(kChunkB), nullptr);
+}
+
+// --- planBoundsElision: verdicts and obligations. ---
+
+ElisionPlan
+planFor(const std::vector<MicroOp> &source)
+{
+    DataflowEngine engine(kLayout);
+    ir::VectorStream stream(source);
+    engine.run(stream);
+    return planBoundsElision(engine);
+}
+
+TEST(ElisionPlanning, ProvenChunkCarriesAFullObligation)
+{
+    const ElisionPlan plan = planFor(
+        {op(OpKind::kMallocMark, 0, kChunkA, 64),
+         op(OpKind::kLoad, kChunkA + 16, kChunkA, 8),
+         op(OpKind::kFreeMark, 0, kChunkA)});
+    EXPECT_TRUE(plan.elided(kChunkA, 1));
+    EXPECT_EQ(plan.stats().chunksSeen, 1u);
+    EXPECT_EQ(plan.stats().chunksElided, 1u);
+    const ProofObligation *ob = plan.find(kChunkA, 1);
+    ASSERT_NE(ob, nullptr);
+    EXPECT_EQ(ob->size, 64u);
+    EXPECT_EQ(ob->assumptions,
+              u32{kNonEscaping | kInBounds | kTemporalSafe});
+    EXPECT_EQ(ob->accesses, 1u);
+    EXPECT_EQ(ob->minOff, 16u);
+    EXPECT_EQ(ob->maxOff, 23u);
+}
+
+TEST(ElisionPlanning, RejectionsArePartitionedByFirstFailedAssumption)
+{
+    // Escaped: pointer load.
+    const ElisionPlan escaped = planFor(
+        {op(OpKind::kMallocMark, 0, kChunkA, 64),
+         ptrLoad(kChunkA + 8, kChunkA)});
+    EXPECT_FALSE(escaped.elided(kChunkA, 1));
+    EXPECT_EQ(escaped.stats().rejectEscaped, 1u);
+
+    // Out of bounds.
+    const ElisionPlan oob = planFor(
+        {op(OpKind::kMallocMark, 0, kChunkA, 64),
+         op(OpKind::kLoad, kChunkA + 4096, kChunkA, 8)});
+    EXPECT_FALSE(oob.elided(kChunkA, 1));
+    EXPECT_EQ(oob.stats().rejectOutOfBounds, 1u);
+
+    // Temporal: double free.
+    const ElisionPlan dfree = planFor(
+        {op(OpKind::kMallocMark, 0, kChunkA, 64),
+         op(OpKind::kFreeMark, 0, kChunkA),
+         op(OpKind::kFreeMark, 0, kChunkA)});
+    EXPECT_FALSE(dfree.elided(kChunkA, 1));
+    EXPECT_EQ(dfree.stats().rejectTemporal, 1u);
+
+    // Temporal: use after free.
+    const ElisionPlan uaf = planFor(
+        {op(OpKind::kMallocMark, 0, kChunkA, 64),
+         op(OpKind::kFreeMark, 0, kChunkA),
+         op(OpKind::kLoad, kChunkA + 8, kChunkA, 8)});
+    EXPECT_FALSE(uaf.elided(kChunkA, 1));
+    EXPECT_EQ(uaf.stats().rejectTemporal, 1u);
+
+    // Zero size can never be proven in bounds.
+    const ElisionPlan zero =
+        planFor({op(OpKind::kMallocMark, 0, kChunkA, 0)});
+    EXPECT_FALSE(zero.elided(kChunkA, 1));
+    EXPECT_EQ(zero.stats().rejectZeroSize, 1u);
+}
+
+TEST(ElisionPlanning, NeverAccessedChunkIsElidable)
+{
+    // The warmup heaps are full of these; they are exactly the dead
+    // instrumentation the pass exists to drop.
+    const ElisionPlan plan = planFor(
+        {op(OpKind::kMallocMark, 0, kChunkA, 64),
+         op(OpKind::kFreeMark, 0, kChunkA)});
+    EXPECT_TRUE(plan.elided(kChunkA, 1));
+    const ProofObligation *ob = plan.find(kChunkA, 1);
+    ASSERT_NE(ob, nullptr);
+    EXPECT_EQ(ob->accesses, 0u);
+}
+
+// --- AosBoundsElidePass + ObligationChecker end to end. ---
+
+class BoundsElisionPipeline : public ::testing::Test
+{
+  protected:
+    BoundsElisionPipeline() : pa(kLayout) {}
+
+    /** Source program: chunk A is provably elidable, chunk B escapes
+     *  via a pointer load (and so keeps its instrumentation). */
+    std::vector<MicroOp>
+    sourceProgram() const
+    {
+        return {op(OpKind::kMallocMark, 0, kChunkA, 64),
+                op(OpKind::kLoad, kChunkA + 16, kChunkA, 8),
+                op(OpKind::kStore, kChunkA + 24, kChunkA, 8),
+                op(OpKind::kMallocMark, 0, kChunkB, 64),
+                ptrLoad(kChunkB + 8, kChunkB),
+                op(OpKind::kStore, kChunkB + 16, kChunkB, 8),
+                op(OpKind::kFreeMark, 0, kChunkA),
+                op(OpKind::kFreeMark, 0, kChunkB)};
+    }
+
+    std::vector<MicroOp>
+    lower(std::vector<MicroOp> input)
+    {
+        ir::VectorStream source(std::move(input));
+        compiler::AosOptPass opt(&source);
+        compiler::AosBackendPass backend(&opt, &pa);
+        compiler::PaPass papass(&backend, compiler::PaMode::kPaAos);
+        std::vector<MicroOp> out;
+        MicroOp next;
+        while (papass.next(next))
+            out.push_back(next);
+        return out;
+    }
+
+    std::vector<MicroOp>
+    elide(const std::vector<MicroOp> &lowered, const ElisionPlan &plan,
+          compiler::BoundsElideStats *stats = nullptr)
+    {
+        ir::VectorStream source(lowered);
+        compiler::AosBoundsElidePass pass(&source, kLayout, &plan);
+        std::vector<MicroOp> out;
+        MicroOp next;
+        while (pass.next(next))
+            out.push_back(next);
+        if (stats)
+            *stats = pass.stats();
+        return out;
+    }
+
+    pa::PaContext pa;
+};
+
+TEST_F(BoundsElisionPipeline, DropsTheQuadrupleForProvenChunksOnly)
+{
+    const ElisionPlan plan = planFor(sourceProgram());
+    EXPECT_TRUE(plan.elided(kChunkA, 1));
+    EXPECT_FALSE(plan.elided(kChunkB, 1));
+
+    const auto full = lower(sourceProgram());
+    compiler::BoundsElideStats stats;
+    const auto elided = elide(full, plan, &stats);
+
+    EXPECT_EQ(stats.bndstrSeen, 2u);
+    EXPECT_EQ(stats.bndstrElided, 1u);
+    EXPECT_EQ(stats.bndclrSeen, 2u);
+    EXPECT_EQ(stats.bndclrElided, 1u);
+    EXPECT_GE(stats.pacmaElided, 1u);
+    EXPECT_EQ(stats.accessesStripped, 2u); // A's two accesses
+    EXPECT_EQ(stats.autmElided, 0u);       // escaping B keeps its autm
+    EXPECT_LT(elided.size(), full.size());
+
+    // B's instrumentation is intact: same bndstr/bndclr counts for it.
+    unsigned b_bndstr = 0;
+    for (const auto &o : elided)
+        if (o.kind == OpKind::kBndstr && o.chunkBase == kChunkB)
+            ++b_bndstr;
+    EXPECT_EQ(b_bndstr, 1u);
+}
+
+TEST_F(BoundsElisionPipeline, ElidedStreamPassesTheVerifierContracts)
+{
+    const ElisionPlan plan = planFor(sourceProgram());
+    const auto elided = elide(lower(sourceProgram()), plan);
+
+    staticcheck::VerifierOptions options;
+    options.layout = kLayout;
+    options.requireAosLowering = true;
+    options.elisionPlan = &plan;
+    const auto diags = staticcheck::StreamVerifier::verify(elided, options);
+    EXPECT_TRUE(diags.empty()) << staticcheck::toString(diags);
+
+    // Without the plan the same stream is (rightly) suspicious: the
+    // SC15..SC18 contracts are what make elision verifiable.
+    options.elisionPlan = nullptr;
+    const auto bare = staticcheck::StreamVerifier::verify(elided, options);
+    EXPECT_FALSE(bare.empty());
+}
+
+TEST_F(BoundsElisionPipeline, ObligationCheckerAcceptsASoundPlan)
+{
+    const ElisionPlan plan = planFor(sourceProgram());
+    const auto full = lower(sourceProgram());
+    const auto elided = elide(full, plan);
+
+    staticcheck::ObligationCheckOptions options;
+    options.layout = kLayout;
+    staticcheck::ObligationChecker checker(options);
+    const auto report = checker.check(full, elided, plan);
+    EXPECT_TRUE(report.ok) << report.summary();
+    EXPECT_TRUE(report.benignParity);
+    EXPECT_EQ(report.obligationsChecked, plan.obligations().size());
+    EXPECT_EQ(report.obligationsViolated, 0u);
+    EXPECT_TRUE(report.faultsChecked);
+    EXPECT_TRUE(report.faultParity) << report.summary();
+    EXPECT_EQ(report.victimsInElidedRegions, 0u);
+    EXPECT_EQ(report.simulatorFaults, 0u);
+}
+
+TEST_F(BoundsElisionPipeline, ObligationCheckerRejectsAnUnsoundPlan)
+{
+    // Forge a plan that elides the escaping chunk B: detections its
+    // instrumentation produces vanish from the elided stream, which
+    // phase 1 (benign parity) or phase 2 (obligation replay) must flag.
+    std::vector<MicroOp> attack = sourceProgram();
+    // The attack: an out-of-bounds store through B's signed pointer.
+    attack.insert(attack.begin() + 6,
+                  op(OpKind::kStore, kChunkB + 4096, kChunkB, 8));
+
+    // Plan against a misleading view that hides the attack and B's
+    // pointer load, so the analysis wrongly proves B elidable.
+    std::vector<MicroOp> misleading = attack;
+    misleading.erase(misleading.begin() + 6);
+    misleading[4].loadsPointer = false;
+    DataflowEngine engine(kLayout);
+    ir::VectorStream stream(misleading);
+    engine.run(stream);
+    const ElisionPlan plan = planBoundsElision(engine);
+    ASSERT_TRUE(plan.elided(kChunkB, 1));
+
+    const auto full = lower(attack);
+    const auto elided = elide(full, plan);
+
+    staticcheck::ObligationCheckOptions options;
+    options.layout = kLayout;
+    options.checkFaults = false;
+    staticcheck::ObligationChecker checker(options);
+    const auto report = checker.check(full, elided, plan);
+    EXPECT_FALSE(report.ok) << report.summary();
+    EXPECT_FALSE(report.failures.empty());
+}
+
+} // namespace
+} // namespace aos::analysis::dataflow

@@ -15,11 +15,14 @@
 
 #include <gtest/gtest.h>
 
+#include "analysis/dataflow/engine.hh"
 #include "common/random.hh"
+#include "compiler/aos_bounds_elide_pass.hh"
 #include "compiler/aos_elide_pass.hh"
 #include "compiler/aos_passes.hh"
 #include "compiler/pa_pass.hh"
 #include "core/aos_runtime.hh"
+#include "staticcheck/obligation_checker.hh"
 #include "staticcheck/stream_executor.hh"
 
 namespace aos::core {
@@ -263,6 +266,135 @@ TEST_P(ElisionParityFuzz, ElisionNeverChangesDetections)
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, ElisionParityFuzz,
+                         ::testing::Values(11, 12, 13, 14, 15, 16, 17, 18),
+                         [](const ::testing::TestParamInfo<u64> &info) {
+                             return "seed" + std::to_string(info.param);
+                         });
+
+/**
+ * Differential bounds-elision fuzzing: the same randomized mix of
+ * benign traffic and seeded attacks, but elided by the dataflow-driven
+ * AosBoundsElidePass (DESIGN.md §11) instead of the autm-only elider.
+ * The abstract interpreter must reject every attacked chunk, and the
+ * ObligationChecker must accept the resulting plan: identical benign
+ * detections, no obligation violated, and no lost detection under the
+ * aligned fault-injection matrix.
+ */
+class BoundsElisionParityFuzz : public ::testing::TestWithParam<u64>
+{
+};
+
+TEST_P(BoundsElisionParityFuzz, PlanSurvivesTheObligationChecker)
+{
+    using ir::MicroOp;
+    using ir::OpKind;
+
+    Rng rng(GetParam());
+    const auto src = [](OpKind kind, Addr addr = 0, Addr chunk = 0,
+                        u32 size = 0, bool loads_ptr = false) {
+        MicroOp op;
+        op.kind = kind;
+        op.addr = addr;
+        op.chunkBase = chunk;
+        op.size = size;
+        op.loadsPointer = loads_ptr;
+        return op;
+    };
+
+    // Same generator shape as ElisionParityFuzz: bump-allocated bases
+    // spaced so seeded OOB probes cannot land in a live neighbour.
+    constexpr Addr kHeapBase = 0x2000'0000;
+    constexpr Addr kSpacing = 0x2000;
+    u64 next_chunk = 0;
+    u64 next_bogus = 0;
+
+    std::vector<MicroOp> source;
+    std::vector<std::pair<Addr, u64>> live; // (base, size)
+    std::vector<Addr> freed;
+
+    for (int step = 0; step < 3000; ++step) {
+        const double roll = rng.uniform();
+        if (live.empty() || roll < 0.20) {
+            const Addr base = kHeapBase + next_chunk++ * kSpacing;
+            const u64 size = 16 + rng.below(2048);
+            source.push_back(src(OpKind::kMallocMark, 0, base,
+                                 static_cast<u32>(size)));
+            live.emplace_back(base, size);
+        } else if (roll < 0.30) {
+            const u64 idx = rng.below(live.size());
+            source.push_back(src(OpKind::kFreeMark, 0, live[idx].first));
+            freed.push_back(live[idx].first);
+            live[idx] = live.back();
+            live.pop_back();
+        } else if (roll < 0.35 && !freed.empty()) {
+            // Use-after-free probe: rejects the chunk temporally.
+            const Addr base = freed[rng.below(freed.size())];
+            source.push_back(
+                src(OpKind::kLoad, base + rng.below(16), base, 8));
+        } else if (roll < 0.38 && !freed.empty()) {
+            // Double free: ditto.
+            source.push_back(
+                src(OpKind::kFreeMark, 0, freed[rng.below(freed.size())]));
+        } else if (roll < 0.40) {
+            // Invalid free of a never-allocated crafted chunk.
+            source.push_back(src(OpKind::kFreeMark, 0,
+                                 Addr{0x4000'0000} + next_bogus++ * 0x100));
+        } else if (roll < 0.44) {
+            // Out-of-bounds probe: rejects the chunk spatially.
+            const auto &[base, size] = live[rng.below(live.size())];
+            source.push_back(src(OpKind::kLoad,
+                                 base + size + 64 + rng.below(1024), base,
+                                 8));
+        } else {
+            // Benign in-bounds access; pointer loads force an escape.
+            const auto &[base, size] = live[rng.below(live.size())];
+            const Addr addr = base + rng.below(size - 8);
+            const bool is_load = rng.chance(0.7);
+            source.push_back(src(is_load ? OpKind::kLoad : OpKind::kStore,
+                                 addr, base, 8,
+                                 is_load && rng.chance(0.4)));
+        }
+    }
+
+    // Abstract-interpret the source, then lower with and without the
+    // bounds-elide pass.
+    pa::PaContext pa(pa::PointerLayout(16, 46));
+    ir::VectorStream analysis_stream(source);
+    analysis::dataflow::DataflowEngine engine(pa.layout());
+    engine.run(analysis_stream);
+    const auto plan = analysis::dataflow::planBoundsElision(engine);
+
+    ir::VectorStream stream(std::move(source));
+    compiler::AosOptPass opt(&stream);
+    compiler::AosBackendPass backend(&opt, &pa);
+    compiler::PaPass pa_pass(&backend, compiler::PaMode::kPaAos);
+    std::vector<MicroOp> full;
+    MicroOp next;
+    while (pa_pass.next(next))
+        full.push_back(next);
+
+    ir::VectorStream full_stream(full);
+    compiler::AosBoundsElidePass belide(&full_stream, pa.layout(), &plan);
+    std::vector<MicroOp> elided;
+    while (belide.next(next))
+        elided.push_back(next);
+
+    staticcheck::ObligationChecker checker;
+    const auto report = checker.check(full, elided, plan);
+    EXPECT_TRUE(report.ok)
+        << "seed " << GetParam() << ": " << report.summary();
+    for (const auto &failure : report.failures)
+        ADD_FAILURE() << "seed " << GetParam() << ": " << failure;
+
+    // The seeded attacks were detected, and elision did real work.
+    EXPECT_GT(report.fullStats.detections(), 0u);
+    EXPECT_GT(belide.stats().bndstrElided, 0u);
+    EXPECT_LT(belide.stats().bndstrElided, belide.stats().bndstrSeen)
+        << "attacked chunks must never be elided";
+    EXPECT_EQ(belide.stats().bndstrElided, plan.obligations().size());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BoundsElisionParityFuzz,
                          ::testing::Values(11, 12, 13, 14, 15, 16, 17, 18),
                          [](const ::testing::TestParamInfo<u64> &info) {
                              return "seed" + std::to_string(info.param);

@@ -11,6 +11,8 @@
 
 #include <gtest/gtest.h>
 
+#include "analysis/dataflow/engine.hh"
+#include "analysis/dataflow/elision_plan.hh"
 #include "common/logging.hh"
 #include "compiler/aos_elide_pass.hh"
 #include "compiler/aos_passes.hh"
@@ -213,6 +215,93 @@ TEST(StreamVerifierRules, Sc14AutmNotAfterItsLoad)
     EXPECT_TRUE(hasRule(diags, RuleId::kAutmOrphan));
 }
 
+// --- SC15..SC18: elided-region contracts. ---
+
+/** Dataflow plan for a benign single-chunk source program; the chunk
+ *  (gen 1) is provably elidable. */
+analysis::dataflow::ElisionPlan
+singleChunkPlan()
+{
+    analysis::dataflow::DataflowEngine engine(kLayout);
+    ir::VectorStream source(std::vector<MicroOp>{
+        op(OpKind::kMallocMark, 0, kChunk, 64),
+        op(OpKind::kLoad, kChunk + 16, kChunk, 8),
+        op(OpKind::kStore, kChunk + 24, kChunk, 8),
+        op(OpKind::kFreeMark, 0, kChunk)});
+    engine.run(source);
+    return analysis::dataflow::planBoundsElision(engine);
+}
+
+class ElidedRegionRules : public ::testing::Test
+{
+  protected:
+    ElidedRegionRules() : plan(singleChunkPlan())
+    {
+        EXPECT_TRUE(plan.elided(kChunk, 1));
+        options.layout = kLayout;
+        options.elisionPlan = &plan;
+    }
+
+    std::vector<Diagnostic>
+    verify(const std::vector<MicroOp> &ops)
+    {
+        return StreamVerifier::verify(ops, options);
+    }
+
+    analysis::dataflow::ElisionPlan plan;
+    VerifierOptions options;
+};
+
+TEST_F(ElidedRegionRules, Sc15ResidualInstrumentation)
+{
+    const auto diags = verify(std::vector<MicroOp>{
+        op(OpKind::kMallocMark, 0, kChunk, 64),
+        op(OpKind::kBndstr, signedPtr(), kChunk, 64)});
+    EXPECT_TRUE(hasRule(diags, RuleId::kElidedResidualInstr))
+        << toString(diags);
+}
+
+TEST_F(ElidedRegionRules, Sc16AccessStillSigned)
+{
+    const auto diags = verify(std::vector<MicroOp>{
+        op(OpKind::kMallocMark, 0, kChunk, 64),
+        op(OpKind::kLoad, signedPtr(kChunk + 16), kChunk, 8)});
+    EXPECT_TRUE(hasRule(diags, RuleId::kElidedSignedAccess))
+        << toString(diags);
+}
+
+TEST_F(ElidedRegionRules, Sc17AccessOutsideProvenExtent)
+{
+    const auto diags = verify(std::vector<MicroOp>{
+        op(OpKind::kMallocMark, 0, kChunk, 64),
+        op(OpKind::kLoad, kChunk + 4096, kChunk, 8)});
+    EXPECT_TRUE(hasRule(diags, RuleId::kElidedAccessOutOfPlan))
+        << toString(diags);
+}
+
+TEST_F(ElidedRegionRules, Sc18PointerLoadContradictsEscapeProof)
+{
+    MicroOp load = op(OpKind::kLoad, kChunk + 16, kChunk, 8);
+    load.loadsPointer = true;
+    const auto diags = verify(std::vector<MicroOp>{
+        op(OpKind::kMallocMark, 0, kChunk, 64), load});
+    EXPECT_TRUE(hasRule(diags, RuleId::kElidedEscape)) << toString(diags);
+}
+
+TEST_F(ElidedRegionRules, ProperlyElidedStreamStaysClean)
+{
+    // What AosBoundsElidePass actually emits for the elided chunk: bare
+    // marks and stripped in-extent accesses — no Fig. 7 sequences, and
+    // no SC02/SC03 even though requireAosLowering is on.
+    options.requireAosLowering = true;
+    const auto diags = verify(std::vector<MicroOp>{
+        op(OpKind::kMallocMark, 0, kChunk, 64),
+        op(OpKind::kLoad, kChunk + 16, kChunk, 8),
+        op(OpKind::kStore, kChunk + 24, kChunk, 8),
+        op(OpKind::kFreeMark, 0, kChunk)});
+    EXPECT_TRUE(diags.empty()) << toString(diags);
+}
+
 TEST(StreamVerifier, CleanSeededStreamStaysClean)
 {
     // The benign malloc -> access -> free lifecycle trips nothing.
@@ -232,22 +321,51 @@ TEST(StreamVerifier, CleanSeededStreamStaysClean)
     EXPECT_TRUE(diags.empty()) << toString(diags);
 }
 
-TEST(StreamVerifier, CountersSurviveTheStorageCap)
+TEST(StreamVerifier, RepeatedSitesAreDedupedButStillCounted)
 {
-    VerifierOptions options;
-    options.maxDiagnostics = 4;
-    StreamVerifier verifier(options);
+    StreamVerifier verifier{VerifierOptions{}};
     for (int i = 0; i < 10; ++i)
         verifier.observe(op(OpKind::kLoad, 0, 0, 0)); // SC10 + SC11 each
     verifier.finish();
-    EXPECT_EQ(verifier.diagnostics().size(), 4u);
+
+    // One stored diagnostic per (rule, site) plus one suppressed-count
+    // summary line per rule; the counters keep the full totals.
+    EXPECT_EQ(verifier.diagnostics().size(), 4u)
+        << toString(verifier.diagnostics());
     EXPECT_EQ(verifier.totalDiagnostics(), 20u);
+    EXPECT_EQ(verifier.suppressedDiagnostics(), 18u);
     EXPECT_EQ(verifier.ruleCounts().at(RuleId::kMemMissingAddr), 10u);
+    bool summarized = false;
+    for (const auto &d : verifier.diagnostics())
+        if (d.message.find("suppressed 9") != std::string::npos)
+            summarized = true;
+    EXPECT_TRUE(summarized) << toString(verifier.diagnostics());
 
     StatSet set("verifier");
     verifier.addStats(set);
     EXPECT_EQ(set.value("verify_total"), 20.0);
+    EXPECT_EQ(set.value("verify_suppressed"), 18.0);
     EXPECT_EQ(set.value("verify_SC10_mem-missing-addr"), 10.0);
+}
+
+TEST(StreamVerifier, PerRuleSiteCapBoundsTheFlood)
+{
+    VerifierOptions options;
+    options.maxPerRuleSites = 3;
+    StreamVerifier verifier(options);
+    // 16 distinct sites firing SC11 (distinct addrs, missing size).
+    for (int i = 0; i < 16; ++i)
+        verifier.observe(op(OpKind::kLoad, 0x00601000 + 8 * i, 0, 0));
+    verifier.finish();
+
+    size_t stored = 0;
+    for (const auto &d : verifier.diagnostics())
+        if (d.rule == RuleId::kMemMissingSize &&
+            d.message.find("suppressed") == std::string::npos)
+            ++stored;
+    EXPECT_EQ(stored, 3u);
+    EXPECT_EQ(verifier.totalDiagnostics(), 16u);
+    EXPECT_EQ(verifier.suppressedDiagnostics(), 13u);
 }
 
 // --- Corrupted real-pipeline output is flagged. ---
