@@ -20,6 +20,12 @@
  *   AOS_CAMPAIGN_RESUME    checkpoint directory: completed jobs are
  *                          durably logged there, and a rerun restores
  *                          them instead of re-executing (DESIGN.md §10)
+ *   AOS_FABRIC_WORKERS     distribute the campaign over N spawned
+ *                          worker processes (DESIGN.md §12)
+ *   AOS_FABRIC_LISTEN      also accept remote workers at
+ *                          "unix:<path>" / "tcp:<host>:<port>"
+ *   AOS_FABRIC_CONNECT     run as a remote worker serving the
+ *                          coordinator at this address
  *
  * Numeric knobs are parsed strictly (common/env.hh): a typo is a fatal
  * diagnostic naming the variable, never a silently-ignored override.
@@ -94,6 +100,15 @@ campaignOptions(const std::string &name)
     options.workers = campaign::workersFromEnv(0);
     options.progress = envFlag("AOS_CAMPAIGN_PROGRESS", true);
     options.checkpointDir = envString("AOS_CAMPAIGN_RESUME");
+    // Distributed fabric (DESIGN.md §12): AOS_FABRIC_WORKERS=N spawns N
+    // worker processes, AOS_FABRIC_LISTEN admits remote ones, and
+    // AOS_FABRIC_WORKER (spawned children) / AOS_FABRIC_CONNECT
+    // (manually started workers) turns this process into a worker.
+    options.fabricWorkers = envUnsigned("AOS_FABRIC_WORKERS", 0);
+    options.fabricListen = envString("AOS_FABRIC_LISTEN");
+    options.fabricConnect = envString("AOS_FABRIC_WORKER");
+    if (options.fabricConnect.empty())
+        options.fabricConnect = envString("AOS_FABRIC_CONNECT");
     // Graceful shutdown: SIGINT/SIGTERM trips the process token; the
     // campaign preempts running jobs at their next cancellation point,
     // flushes the checkpoint, and returns with interrupted set.

@@ -6,8 +6,10 @@
 # (graceful-degradation audit under sanitizers), bounds-elision
 # ablation (obligation gates + jobs parity), simulator-throughput
 # regression guard, crash-resume check (SIGKILL mid-campaign +
-# AOS_CAMPAIGN_RESUME byte parity), and clang-tidy lint. Run from the
-# repository root:
+# AOS_CAMPAIGN_RESUME byte parity), distributed-fabric check (worker
+# processes via AOS_FABRIC_WORKERS, worker/coordinator SIGKILL,
+# resume + byte parity), and clang-tidy lint. Run from the repository
+# root:
 #
 #   scripts/check.sh              # everything
 #   AOS_CHECK_SKIP_SANITIZE=1 scripts/check.sh   # skip the ASan pass
@@ -22,27 +24,27 @@ cd "$(dirname "$0")/.."
 
 JOBS="${AOS_CHECK_JOBS:-$(nproc)}"
 
-echo "== [1/10] default build =="
+echo "== [1/11] default build =="
 cmake --preset default
 cmake --build --preset default -j "${JOBS}"
 
-echo "== [2/10] tier-1 tests =="
+echo "== [2/11] tier-1 tests =="
 ctest --preset default -j "${JOBS}"
 
 SMOKE_DIR="$(mktemp -d)"
 trap 'rm -rf "${SMOKE_DIR}"' EXIT
 
 if [ "${AOS_CHECK_SKIP_SANITIZE:-0}" != "1" ]; then
-    echo "== [3/10] sanitizer build + fast tests (ASan+UBSan) =="
+    echo "== [3/11] sanitizer build + fast tests (ASan+UBSan) =="
     cmake --preset sanitize
     cmake --build --preset sanitize -j "${JOBS}"
     ctest --preset sanitize -LE slow -j "${JOBS}"
 else
-    echo "== [3/10] sanitizer pass skipped (AOS_CHECK_SKIP_SANITIZE=1) =="
+    echo "== [3/11] sanitizer pass skipped (AOS_CHECK_SKIP_SANITIZE=1) =="
 fi
 
 if [ "${AOS_CHECK_SKIP_SANITIZE:-0}" != "1" ]; then
-    echo "== [4/10] thread-sanitizer pass (TSan) =="
+    echo "== [4/11] thread-sanitizer pass (TSan) =="
     # The campaign worker pool, checkpoint writer and logging sinks are
     # the only concurrent subsystems: build exactly what exercises
     # them, run their suites, then drive a jobs=4 campaign end to end
@@ -59,7 +61,7 @@ if [ "${AOS_CHECK_SKIP_SANITIZE:-0}" != "1" ]; then
     grep -q '"schema": "aos-campaign-v1"' "${SMOKE_DIR}/tsan-smoke.json"
     echo "tsan: concurrency suites OK"
 else
-    echo "== [4/10] TSan pass skipped (AOS_CHECK_SKIP_SANITIZE=1) =="
+    echo "== [4/11] TSan pass skipped (AOS_CHECK_SKIP_SANITIZE=1) =="
 fi
 
 # Strip the timing-only fields (each JSON member is on its own line)
@@ -74,7 +76,7 @@ json_parity() {
     fi
 }
 
-echo "== [5/10] campaign smoke (JSON + jobs=1 vs jobs=4 parity) =="
+echo "== [5/11] campaign smoke (JSON + jobs=1 vs jobs=4 parity) =="
 AOS_SIM_OPS=20000 AOS_CAMPAIGN_PROGRESS=0 AOS_CAMPAIGN_JOBS=1 \
     AOS_CAMPAIGN_JSON="${SMOKE_DIR}/serial.json" ./build/bench/campaign_smoke
 AOS_SIM_OPS=20000 AOS_CAMPAIGN_PROGRESS=0 AOS_CAMPAIGN_JOBS=4 \
@@ -85,7 +87,7 @@ json_parity "${SMOKE_DIR}/serial.json" "${SMOKE_DIR}/parallel.json" \
     "campaign smoke"
 echo "campaign smoke: parity OK"
 
-echo "== [6/10] fault-matrix smoke (DESIGN.md §8 audit) =="
+echo "== [6/11] fault-matrix smoke (DESIGN.md §8 audit) =="
 # Run the graceful-degradation audit under the sanitizer build when
 # available — injected corruption must be UB-free, not just survivable.
 FAULT_BIN=./build/bench/fault_matrix
@@ -101,7 +103,7 @@ json_parity "${SMOKE_DIR}/fault1.json" "${SMOKE_DIR}/faultN.json" \
     "fault matrix"
 echo "fault matrix: audit + parity OK"
 
-echo "== [7/10] bounds-elision ablation (obligation gates + parity) =="
+echo "== [7/11] bounds-elision ablation (obligation gates + parity) =="
 # The benchmark itself exits non-zero if any ObligationChecker gate
 # fails or elision coverage collapses (DESIGN.md §11); the wrapper adds
 # the determinism contract on top.
@@ -116,7 +118,7 @@ json_parity "${SMOKE_DIR}/belide1.json" "${SMOKE_DIR}/belideN.json" \
     "bounds elision"
 echo "bounds elision: gates + parity OK"
 
-echo "== [8/10] simulator throughput guard =="
+echo "== [8/11] simulator throughput guard =="
 # Smoke-mode run of the host-throughput benchmark against the
 # checked-in baseline: the per-mechanism ops/sec geomeans may not drop
 # more than the guard band below scripts/throughput_baseline.json
@@ -159,7 +161,7 @@ done
 [ "${THROUGHPUT_GUARD_OK}" = "1" ] || exit 1
 echo "throughput guard: OK"
 
-echo "== [9/10] crash-resume (SIGKILL mid-campaign, resume, parity) =="
+echo "== [9/11] crash-resume (SIGKILL mid-campaign, resume, parity) =="
 # Kill a checkpointed campaign once its first record is durable, resume
 # it with AOS_CAMPAIGN_RESUME, and require the canonical JSON to be
 # byte-identical to an uninterrupted run (DESIGN.md §10).
@@ -214,7 +216,117 @@ resume_check fig14 ./build/bench/fig14_exec_time 4 20000
 resume_check fault_matrix "${FAULT_BIN}" 4 20000
 resume_check sim_throughput ./build/bench/sim_throughput 4 20000
 
-echo "== [10/10] lint =="
+echo "== [10/11] distributed fabric (worker processes, kill, resume) =="
+# The campaign fabric (DESIGN.md §12): the same benches distributed
+# over 4 spawned worker processes must emit canonical JSON
+# byte-identical to the serial run, a SIGKILLed worker must only cost
+# a reassignment, and a SIGKILLed *coordinator* must resume through
+# AOS_CAMPAIGN_RESUME to the same bytes.
+FABRIC_DIR="${SMOKE_DIR}/fabric"
+mkdir -p "${FABRIC_DIR}"
+
+# Serial references (canonical emission).
+AOS_SIM_OPS=20000 AOS_CAMPAIGN_PROGRESS=0 AOS_CAMPAIGN_JOBS=1 \
+    AOS_CAMPAIGN_JSON=off \
+    AOS_CAMPAIGN_JSON_CANONICAL="${FABRIC_DIR}/smoke-serial.json" \
+    ./build/bench/campaign_smoke > /dev/null
+AOS_SIM_OPS=20000 AOS_CAMPAIGN_PROGRESS=0 AOS_CAMPAIGN_JOBS=1 \
+    AOS_CAMPAIGN_JSON=off \
+    AOS_CAMPAIGN_JSON_CANONICAL="${FABRIC_DIR}/fault-serial.json" \
+    ./build/bench/fault_matrix > /dev/null
+
+# 4-worker fabric run: byte parity with the serial reference.
+AOS_SIM_OPS=20000 AOS_CAMPAIGN_PROGRESS=0 AOS_FABRIC_WORKERS=4 \
+    AOS_CAMPAIGN_JSON=off \
+    AOS_CAMPAIGN_JSON_CANONICAL="${FABRIC_DIR}/smoke-fabric.json" \
+    ./build/bench/campaign_smoke > /dev/null
+if ! cmp -s "${FABRIC_DIR}/smoke-serial.json" \
+            "${FABRIC_DIR}/smoke-fabric.json"; then
+    echo "fabric: campaign_smoke serial/distributed parity FAILED" >&2
+    diff "${FABRIC_DIR}/smoke-serial.json" \
+         "${FABRIC_DIR}/smoke-fabric.json" | head -40 >&2 || true
+    exit 1
+fi
+echo "  campaign_smoke: 4-worker fabric parity OK"
+
+# SIGKILL one worker process mid-campaign: the coordinator must
+# reassign its job and still reproduce the reference bytes.
+AOS_SIM_OPS=20000 AOS_CAMPAIGN_PROGRESS=0 AOS_FABRIC_WORKERS=4 \
+    AOS_CAMPAIGN_JSON=off \
+    AOS_CAMPAIGN_JSON_CANONICAL="${FABRIC_DIR}/fault-killworker.json" \
+    ./build/bench/fault_matrix > /dev/null 2>&1 &
+FABRIC_PID=$!
+for _ in $(seq 1 100); do
+    FABRIC_KID="$(pgrep -P "${FABRIC_PID}" | head -1 || true)"
+    [ -n "${FABRIC_KID}" ] && break
+    kill -0 "${FABRIC_PID}" 2>/dev/null || break
+    sleep 0.05
+done
+sleep 0.3 # Let the victim pick up an assignment first.
+[ -n "${FABRIC_KID:-}" ] && kill -9 "${FABRIC_KID}" 2>/dev/null || true
+wait "${FABRIC_PID}"
+if ! cmp -s "${FABRIC_DIR}/fault-serial.json" \
+            "${FABRIC_DIR}/fault-killworker.json"; then
+    echo "fabric: worker-SIGKILL parity FAILED" >&2
+    exit 1
+fi
+echo "  fault_matrix: worker-SIGKILL reassignment parity OK"
+
+# SIGKILL the coordinator once a shard holds a record, then resume the
+# fabric run from the checkpoint: same bytes, no re-execution of the
+# durable jobs.
+FABRIC_CKPT="${FABRIC_DIR}/ckpt"
+AOS_SIM_OPS=20000 AOS_CAMPAIGN_PROGRESS=0 AOS_FABRIC_WORKERS=4 \
+    AOS_CAMPAIGN_JSON=off AOS_CAMPAIGN_RESUME="${FABRIC_CKPT}" \
+    ./build/bench/fault_matrix > /dev/null 2>&1 &
+FABRIC_PID=$!
+for _ in $(seq 1 600); do
+    if [ -n "$(find "${FABRIC_CKPT}" -name 'shard-*.log' -size +0c \
+               2>/dev/null)" ]; then
+        break
+    fi
+    kill -0 "${FABRIC_PID}" 2>/dev/null || break
+    sleep 0.05
+done
+kill -9 "${FABRIC_PID}" 2>/dev/null || true
+wait "${FABRIC_PID}" 2>/dev/null || true
+AOS_SIM_OPS=20000 AOS_CAMPAIGN_PROGRESS=0 AOS_FABRIC_WORKERS=4 \
+    AOS_CAMPAIGN_JSON=off AOS_CAMPAIGN_RESUME="${FABRIC_CKPT}" \
+    AOS_CAMPAIGN_JSON_CANONICAL="${FABRIC_DIR}/fault-resumed.json" \
+    ./build/bench/fault_matrix > "${FABRIC_DIR}/fault-resumed.log"
+if ! cmp -s "${FABRIC_DIR}/fault-serial.json" \
+            "${FABRIC_DIR}/fault-resumed.json"; then
+    echo "fabric: coordinator-SIGKILL resume parity FAILED" >&2
+    diff "${FABRIC_DIR}/fault-serial.json" \
+         "${FABRIC_DIR}/fault-resumed.json" | head -40 >&2 || true
+    exit 1
+fi
+if ! grep -q 'resumed' "${FABRIC_DIR}/fault-resumed.log"; then
+    echo "fabric: resumed coordinator reported no restored jobs" >&2
+    exit 1
+fi
+echo "  fault_matrix: coordinator-SIGKILL fabric resume parity OK"
+
+# Re-run against the now-COMPLETE checkpoint with workers requested:
+# nothing is pending, so no worker may be spawned and the coordinator
+# must exit promptly instead of deadlocking on a child that is blocked
+# waiting for a WELCOME (regression: wind-down listener drain).
+if ! timeout 120 env AOS_SIM_OPS=20000 AOS_CAMPAIGN_PROGRESS=0 \
+    AOS_FABRIC_WORKERS=4 AOS_CAMPAIGN_JSON=off \
+    AOS_CAMPAIGN_RESUME="${FABRIC_CKPT}" \
+    AOS_CAMPAIGN_JSON_CANONICAL="${FABRIC_DIR}/fault-complete.json" \
+    ./build/bench/fault_matrix > /dev/null; then
+    echo "fabric: complete-checkpoint fabric re-run hung or failed" >&2
+    exit 1
+fi
+if ! cmp -s "${FABRIC_DIR}/fault-serial.json" \
+            "${FABRIC_DIR}/fault-complete.json"; then
+    echo "fabric: complete-checkpoint re-run parity FAILED" >&2
+    exit 1
+fi
+echo "  fault_matrix: complete-checkpoint fabric re-run exits clean OK"
+
+echo "== [11/11] lint =="
 cmake --build --preset default --target lint
 
 echo "All checks passed."

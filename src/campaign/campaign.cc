@@ -4,16 +4,17 @@
 #include <atomic>
 #include <chrono>
 #include <cstdlib>
-#include <deque>
 #include <fstream>
 #include <mutex>
 #include <sstream>
 #include <thread>
 
 #include "campaign/checkpoint.hh"
+#include "campaign/fabric/fabric.hh"
 #include "campaign/json.hh"
 #include "common/env.hh"
 #include "common/logging.hh"
+#include "common/mpmc_ring.hh"
 #include "common/profiler.hh"
 
 namespace aos::campaign {
@@ -27,49 +28,6 @@ secondsSince(Clock::time_point t0, Clock::time_point t1)
 {
     return std::chrono::duration<double>(t1 - t0).count();
 }
-
-/**
- * One worker's job queue. The owner pops from the front, thieves pop
- * from the back: stolen work is the work the owner would reach last,
- * which keeps the owner's cache-warm tail intact. A mutex per queue is
- * ample here — jobs are whole simulations, so queue traffic is cold.
- */
-class StealQueue
-{
-  public:
-    void
-    push(u32 idx)
-    {
-        std::lock_guard<std::mutex> guard(_mutex);
-        _queue.push_back(idx);
-    }
-
-    bool
-    popFront(u32 &idx)
-    {
-        std::lock_guard<std::mutex> guard(_mutex);
-        if (_queue.empty())
-            return false;
-        idx = _queue.front();
-        _queue.pop_front();
-        return true;
-    }
-
-    bool
-    popBack(u32 &idx)
-    {
-        std::lock_guard<std::mutex> guard(_mutex);
-        if (_queue.empty())
-            return false;
-        idx = _queue.back();
-        _queue.pop_back();
-        return true;
-    }
-
-  private:
-    std::mutex _mutex;
-    std::deque<u32> _queue;
-};
 
 core::RunResult
 executeJob(const Job &job, const CancelToken &cancel)
@@ -156,6 +114,27 @@ Campaign::addReducer(Reducer reducer)
 CampaignResult
 Campaign::run()
 {
+    // Fabric dispatch (DESIGN.md §12). Worker mode first: a spawned or
+    // remote worker serves the coordinator's campaign and exits inside
+    // serveAsWorker(); it only returns when the coordinator is running
+    // a *different* campaign (identity mismatch), in which case this
+    // campaign executes locally so multi-campaign harnesses advance to
+    // the one the coordinator is actually distributing.
+    if (!_options.fabricConnect.empty()) {
+        fabric::serveAsWorker(_options, _jobs);
+        warn("campaign %s: fabric coordinator at %s runs a different "
+             "campaign; executing locally",
+             _options.name.c_str(), _options.fabricConnect.c_str());
+    } else if (_options.fabricWorkers > 0 ||
+               !_options.fabricListen.empty()) {
+        return fabric::runCoordinator(_options, _jobs, _reducers);
+    }
+    return runLocal();
+}
+
+CampaignResult
+Campaign::runLocal()
+{
     const size_t total = _jobs.size();
     unsigned workers =
         _options.workers ? _options.workers
@@ -176,42 +155,8 @@ Campaign::run()
     // execute. A foreign/corrupt manifest means a full re-run — never
     // a mix of stale and fresh results.
     CheckpointWriter writer;
-    const bool checkpointing = !_options.checkpointDir.empty();
-    if (checkpointing) {
-        const CheckpointManifest manifest{identityHash(_options, _jobs),
-                                          total, _options.name};
-        CheckpointLoad load =
-            loadCheckpoint(_options.checkpointDir, manifest);
-        if (load.manifestFound && !load.valid) {
-            warn("campaign %s: checkpoint %s rejected (%s); re-running "
-                 "all %zu jobs",
-                 _options.name.c_str(), _options.checkpointDir.c_str(),
-                 load.reason.c_str(), total);
-        }
-        if (load.valid) {
-            for (size_t i = 0; i < total; ++i) {
-                if (load.present[i]) {
-                    result.jobs[i] = load.restored[i];
-                    ++result.resumedJobs;
-                }
-            }
-            result.discardedRecords = load.recordsDiscarded;
-            if (result.resumedJobs || load.recordsDiscarded) {
-                inform("campaign %s: resumed %u/%zu jobs from %s "
-                       "(%llu corrupt record region(s) discarded)",
-                       _options.name.c_str(), result.resumedJobs, total,
-                       _options.checkpointDir.c_str(),
-                       static_cast<unsigned long long>(
-                           load.recordsDiscarded));
-            }
-        }
-        if (!writer.start(_options.checkpointDir, manifest, workers,
-                          load)) {
-            fatal("campaign %s: cannot checkpoint to %s: %s",
-                  _options.name.c_str(), _options.checkpointDir.c_str(),
-                  writer.error().c_str());
-        }
-    }
+    const bool checkpointing =
+        setupCheckpoint(_options, _jobs, workers, result, writer);
 
     const Clock::time_point start = Clock::now();
     std::atomic<u32> completed{result.resumedJobs};
@@ -240,75 +185,10 @@ Campaign::run()
     };
 
     auto runOne = [&](unsigned self, u32 idx) {
-        const Job &job = _jobs[idx];
         JobResult &r = result.jobs[idx];
-        r.id = idx;
-        r.name = job.name;
-        r.profile = job.profile.name;
-        r.mech = job.mech;
-        r.seed = job.seed;
-        r.ops = job.ops ? job.ops : job.options.measureOps;
-
-        for (unsigned attempt = 1; attempt <= result.maxAttempts;
-             ++attempt) {
-            r.attempts = attempt;
-            // Per-attempt token: chains to the process shutdown token
-            // and arms the wall-clock budget, so the simulation's
-            // cancellation points preempt an over-budget attempt
-            // instead of letting it hog the worker.
-            CancelToken cancel(_options.cancel);
-            if (result.timeoutSec > 0)
-                cancel.setDeadlineAfter(result.timeoutSec);
-            const Clock::time_point t0 = Clock::now();
-            try {
-                core::RunResult run = executeJob(job, cancel);
-                r.wallMs = 1e3 * secondsSince(t0, Clock::now());
-                if (result.timeoutSec > 0 &&
-                    r.wallMs > 1e3 * result.timeoutSec) {
-                    // Post-hoc fallback for plain body jobs that never
-                    // poll the token; a pathological config would just
-                    // time out again, so no retry.
-                    r.status = JobStatus::kTimeout;
-                    r.error = csprintf(
-                        "attempt exceeded %.3fs wall-clock budget "
-                        "(took %.3fs)",
-                        result.timeoutSec, r.wallMs / 1e3);
-                    break;
-                }
-                r.run = std::move(run);
-                r.stats = r.run.toStatSet();
-                r.status = JobStatus::kOk;
-                r.error.clear();
-                break;
-            } catch (const CancelledException &) {
-                r.wallMs = 1e3 * secondsSince(t0, Clock::now());
-                if (cancel.reason() == CancelToken::Reason::kDeadline) {
-                    r.status = JobStatus::kTimeout;
-                    r.error = csprintf(
-                        "preempted after exceeding %.3fs wall-clock "
-                        "budget (ran %.3fs)",
-                        result.timeoutSec, r.wallMs / 1e3);
-                } else {
-                    // Shutdown: leave the job for a checkpoint resume.
-                    r.status = JobStatus::kCancelled;
-                    r.error = "cancelled by shutdown request";
-                }
-                break;
-            } catch (const std::exception &e) {
-                r.wallMs = 1e3 * secondsSince(t0, Clock::now());
-                r.status = JobStatus::kFailed;
-                r.error = e.what();
-            } catch (...) {
-                r.wallMs = 1e3 * secondsSince(t0, Clock::now());
-                r.status = JobStatus::kFailed;
-                r.error = "unknown exception";
-            }
-        }
-        if (r.status == JobStatus::kFailed && !quiet()) {
-            warn("campaign %s: job %s failed after %u attempt(s): %s",
-                 _options.name.c_str(), r.name.c_str(), r.attempts,
-                 r.error.c_str());
-        }
+        executeJobAttempts(_jobs, idx, r, result.maxAttempts,
+                           result.timeoutSec, _options.cancel,
+                           _options.name);
         if (r.status == JobStatus::kCancelled)
             return;
         executed.fetch_add(1, std::memory_order_relaxed);
@@ -320,15 +200,20 @@ Campaign::run()
                        1);
     };
 
-    // Deal the still-pending jobs round-robin, then let idle workers
-    // steal from the back of their peers' queues. No job creates
-    // further jobs, so a worker may retire once every queue is empty.
-    std::vector<StealQueue> queues(workers);
-    {
-        size_t dealt = 0;
-        for (size_t i = 0; i < total; ++i) {
-            if (result.jobs[i].status == JobStatus::kPending)
-                queues[dealt++ % workers].push(static_cast<u32>(i));
+    // One shared bounded MPMC ring (common/mpmc_ring.hh) feeds all
+    // workers. Jobs are whole simulations, so per-worker locality never
+    // mattered; what does matter is that nothing blocks and nothing is
+    // lost or duplicated — the ring's CAS discipline guarantees that,
+    // and AOS_CAMPAIGN_RING_MUTEX swaps in the mutex fallback for
+    // cross-checking. All jobs are enqueued up front (no job creates
+    // further jobs), so an empty ring means a worker may retire.
+    MpmcRing<u32> ring(std::max<size_t>(total, 1),
+                       envFlag("AOS_CAMPAIGN_RING_MUTEX", false));
+    for (size_t i = 0; i < total; ++i) {
+        if (result.jobs[i].status == JobStatus::kPending) {
+            const bool pushed = ring.tryPush(static_cast<u32>(i));
+            panic_if(!pushed, "campaign work ring rejected job %zu "
+                     "(capacity %zu)", i, ring.capacity());
         }
     }
 
@@ -341,18 +226,7 @@ Campaign::run()
         for (;;) {
             if (shutdown())
                 return; // Queued jobs stay pending for the resume.
-            if (queues[self].popFront(idx)) {
-                runOne(self, idx);
-                continue;
-            }
-            bool stole = false;
-            for (unsigned k = 1; k < workers; ++k) {
-                if (queues[(self + k) % workers].popBack(idx)) {
-                    stole = true;
-                    break;
-                }
-            }
-            if (!stole)
+            if (!ring.tryPop(idx))
                 return;
             runOne(self, idx);
         }
@@ -375,15 +249,100 @@ Campaign::run()
         shutdown() || result.count(JobStatus::kCancelled) > 0 ||
         result.count(JobStatus::kPending) > 0;
     result.totalWallMs = 1e3 * secondsSince(start, Clock::now());
+    detail::mergeAndReduce(result, _reducers);
+    return result;
+}
+
+void
+executeJobAttempts(const std::vector<Job> &jobs, u32 idx, JobResult &r,
+                   unsigned maxAttempts, double timeoutSec,
+                   const CancelToken *parent,
+                   const std::string &campaignName)
+{
+    const Job &job = jobs[idx];
+    r.id = idx;
+    r.name = job.name;
+    r.profile = job.profile.name;
+    r.mech = job.mech;
+    r.seed = job.seed;
+    r.ops = job.ops ? job.ops : job.options.measureOps;
+
+    maxAttempts = std::max(1u, maxAttempts);
+    for (unsigned attempt = 1; attempt <= maxAttempts; ++attempt) {
+        r.attempts = attempt;
+        // Per-attempt token: chains to the process shutdown token
+        // and arms the wall-clock budget, so the simulation's
+        // cancellation points preempt an over-budget attempt
+        // instead of letting it hog the worker.
+        CancelToken cancel(parent);
+        if (timeoutSec > 0)
+            cancel.setDeadlineAfter(timeoutSec);
+        const Clock::time_point t0 = Clock::now();
+        try {
+            core::RunResult run = executeJob(job, cancel);
+            r.wallMs = 1e3 * secondsSince(t0, Clock::now());
+            if (timeoutSec > 0 && r.wallMs > 1e3 * timeoutSec) {
+                // Post-hoc fallback for plain body jobs that never
+                // poll the token; a pathological config would just
+                // time out again, so no retry.
+                r.status = JobStatus::kTimeout;
+                r.error = csprintf(
+                    "attempt exceeded %.3fs wall-clock budget "
+                    "(took %.3fs)",
+                    timeoutSec, r.wallMs / 1e3);
+                break;
+            }
+            r.run = std::move(run);
+            r.stats = r.run.toStatSet();
+            r.status = JobStatus::kOk;
+            r.error.clear();
+            break;
+        } catch (const CancelledException &) {
+            r.wallMs = 1e3 * secondsSince(t0, Clock::now());
+            if (cancel.reason() == CancelToken::Reason::kDeadline) {
+                r.status = JobStatus::kTimeout;
+                r.error = csprintf(
+                    "preempted after exceeding %.3fs wall-clock "
+                    "budget (ran %.3fs)",
+                    timeoutSec, r.wallMs / 1e3);
+            } else {
+                // Shutdown: leave the job for a checkpoint resume.
+                r.status = JobStatus::kCancelled;
+                r.error = "cancelled by shutdown request";
+            }
+            break;
+        } catch (const std::exception &e) {
+            r.wallMs = 1e3 * secondsSince(t0, Clock::now());
+            r.status = JobStatus::kFailed;
+            r.error = e.what();
+        } catch (...) {
+            r.wallMs = 1e3 * secondsSince(t0, Clock::now());
+            r.status = JobStatus::kFailed;
+            r.error = "unknown exception";
+        }
+    }
+    if (r.status == JobStatus::kFailed && !quiet()) {
+        warn("campaign %s: job %s failed after %u attempt(s): %s",
+             campaignName.c_str(), r.name.c_str(), r.attempts,
+             r.error.c_str());
+    }
+}
+
+namespace detail {
+
+void
+mergeAndReduce(CampaignResult &result, const std::vector<Reducer> &reducers)
+{
     for (const JobResult &r : result.jobs) {
         if (r.ok())
             result.merged.merge(r.stats);
     }
-    computeReducers(result, _reducers);
+    computeReducers(result, reducers);
     if (prof::enabled())
         prof::addTo(result.profile);
-    return result;
 }
+
+} // namespace detail
 
 void
 computeReducers(CampaignResult &result, const std::vector<Reducer> &reducers)

@@ -365,6 +365,30 @@ identityHash(const CampaignOptions &options, const std::vector<Job> &jobs)
     return h.h;
 }
 
+bool
+decodeCheckpointRecord(const void *data, size_t size, JobResult &out,
+                       size_t *consumed)
+{
+    const auto *bytes = static_cast<const unsigned char *>(data);
+    if (size < 12)
+        return false;
+    Cursor header{bytes, 12};
+    const u32 magic = header.u32v();
+    const u32 length = header.u32v();
+    const u32 crc = header.u32v();
+    if (magic != kRecordMagic || length > kMaxRecordBytes ||
+        12 + static_cast<size_t>(length) > size) {
+        return false;
+    }
+    if (fsio::crc32(bytes + 12, length) != crc)
+        return false;
+    if (!decodePayload(bytes + 12, length, out))
+        return false;
+    if (consumed)
+        *consumed = 12 + static_cast<size_t>(length);
+    return true;
+}
+
 std::string
 encodeCheckpointRecord(const JobResult &r)
 {
@@ -428,18 +452,10 @@ loadCheckpoint(const std::string &dir, const CheckpointManifest &expect)
             reinterpret_cast<const unsigned char *>(shard.data());
         size_t off = 0;
         while (off + 12 <= shard.size()) {
-            Cursor header{bytes + off, 12};
-            const u32 magic = header.u32v();
-            const u32 length = header.u32v();
-            const u32 crc = header.u32v();
-            if (magic != kRecordMagic || length > kMaxRecordBytes ||
-                off + 12 + length > shard.size()) {
-                break;
-            }
-            if (fsio::crc32(bytes + off + 12, length) != crc)
-                break;
             JobResult r;
-            if (!decodePayload(bytes + off + 12, length, r) ||
+            size_t consumed = 0;
+            if (!decodeCheckpointRecord(bytes + off, shard.size() - off,
+                                        r, &consumed) ||
                 r.id >= expect.jobCount) {
                 break;
             }
@@ -451,7 +467,7 @@ loadCheckpoint(const std::string &dir, const CheckpointManifest &expect)
             load.present[r.id] = true;
             load.restored[r.id] = std::move(r);
             ++load.recordsLoaded;
-            off += 12 + length;
+            off += consumed;
         }
         validBytes = off;
         if (off < shard.size())
@@ -538,6 +554,48 @@ CheckpointWriter::close()
     for (auto &log : _logs)
         log.close();
     _logs.clear();
+}
+
+bool
+setupCheckpoint(const CampaignOptions &options,
+                const std::vector<Job> &jobs, unsigned shards,
+                CampaignResult &result, CheckpointWriter &writer)
+{
+    if (options.checkpointDir.empty())
+        return false;
+    const size_t total = jobs.size();
+    const CheckpointManifest manifest{identityHash(options, jobs), total,
+                                      options.name};
+    CheckpointLoad load = loadCheckpoint(options.checkpointDir, manifest);
+    if (load.manifestFound && !load.valid) {
+        warn("campaign %s: checkpoint %s rejected (%s); re-running "
+             "all %zu jobs",
+             options.name.c_str(), options.checkpointDir.c_str(),
+             load.reason.c_str(), total);
+    }
+    if (load.valid) {
+        for (size_t i = 0; i < total; ++i) {
+            if (load.present[i]) {
+                result.jobs[i] = load.restored[i];
+                ++result.resumedJobs;
+            }
+        }
+        result.discardedRecords = load.recordsDiscarded;
+        if (result.resumedJobs || load.recordsDiscarded) {
+            inform("campaign %s: resumed %u/%zu jobs from %s "
+                   "(%llu corrupt record region(s) discarded)",
+                   options.name.c_str(), result.resumedJobs, total,
+                   options.checkpointDir.c_str(),
+                   static_cast<unsigned long long>(
+                       load.recordsDiscarded));
+        }
+    }
+    if (!writer.start(options.checkpointDir, manifest, shards, load)) {
+        fatal("campaign %s: cannot checkpoint to %s: %s",
+              options.name.c_str(), options.checkpointDir.c_str(),
+              writer.error().c_str());
+    }
+    return true;
 }
 
 } // namespace aos::campaign

@@ -1,0 +1,587 @@
+/**
+ * @file
+ * Fabric coordinator: distributes a campaign over worker processes.
+ *
+ * Execution model (DESIGN.md §12): jobs still pending after a
+ * checkpoint restore go into an ordered queue; every admitted worker
+ * holds at most one assignment at a time, and a finished job comes back
+ * as the checkpoint record bytes, which are decoded for the in-memory
+ * result and appended to that worker's shard log. Because jobs are pure
+ * functions of their spec and doubles travel as raw IEEE-754 bits, the
+ * merged canonical JSON is byte-identical to a serial jobs=1 run no
+ * matter how assignments interleave, which worker dies, or how often
+ * the campaign is resumed.
+ *
+ * Failure handling: a worker that EOFs, sends a corrupt frame or goes
+ * heartbeat-silent forfeits its unacknowledged assignment, which goes
+ * to the front of the queue for the next free worker. If every worker
+ * is gone and no remote listener could replace them, the coordinator
+ * finishes the remainder inline — a campaign never hangs on a dead
+ * fleet. Coordinator death is the checkpoint layer's problem and is
+ * recovered with AOS_CAMPAIGN_RESUME like any other crash.
+ */
+
+#include "campaign/fabric/fabric.hh"
+
+#include <algorithm>
+#include <chrono>
+#include <csignal>
+#include <cstdlib>
+#include <cstring>
+#include <deque>
+#include <fstream>
+
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include "campaign/checkpoint.hh"
+#include "campaign/fabric/protocol.hh"
+#include "common/logging.hh"
+
+extern char **environ;
+
+namespace aos::campaign::fabric {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double
+secondsSince(Clock::time_point t0, Clock::time_point t1)
+{
+    return std::chrono::duration<double>(t1 - t0).count();
+}
+
+/** One connected worker (spawned or remote). */
+struct WorkerConn
+{
+    netio::Socket sock;
+    netio::FrameDecoder decoder;
+    u32 shard = 0;          //!< Checkpoint shard log this worker feeds.
+    bool admitted = false;  //!< HELLO validated, WELCOME sent.
+    bool hasAssignment = false;
+    u32 assignment = 0;
+    u64 reportedDone = 0;   //!< From its last HEARTBEAT.
+    std::string label;
+    Clock::time_point lastSeen = Clock::now();
+};
+
+/**
+ * argv of this process, so a spawned worker re-runs the exact same
+ * harness invocation and deterministically rebuilds the same campaign.
+ */
+std::vector<std::string>
+selfCmdline()
+{
+    std::vector<std::string> argv;
+    std::ifstream in("/proc/self/cmdline", std::ios::binary);
+    std::string all((std::istreambuf_iterator<char>(in)),
+                    std::istreambuf_iterator<char>());
+    size_t off = 0;
+    while (off < all.size()) {
+        const size_t nul = all.find('\0', off);
+        const size_t end = nul == std::string::npos ? all.size() : nul;
+        argv.emplace_back(all.substr(off, end - off));
+        off = end + 1;
+    }
+    if (argv.empty())
+        argv.emplace_back("/proc/self/exe");
+    return argv;
+}
+
+bool
+startsWith(const char *s, const char *prefix)
+{
+    return std::strncmp(s, prefix, std::strlen(prefix)) == 0;
+}
+
+/**
+ * The child environment: inherit everything except the knobs that must
+ * not recurse or collide, then point the child at our rendezvous.
+ *
+ *  - AOS_FABRIC_WORKERS/LISTEN/CONNECT: a worker must not spawn its own
+ *    fleet (or reconnect here) if it ever falls back to local execution
+ *    on an identity mismatch.
+ *  - AOS_CAMPAIGN_RESUME: only the coordinator owns the checkpoint
+ *    directory; a locally-falling-back child writing the same shards
+ *    would corrupt it.
+ *  - AOS_CAMPAIGN_JSON*: a locally-falling-back child must not clobber
+ *    the harness's output files.
+ *  - AOS_CAMPAIGN_PROGRESS=0: one global ETA line comes from the
+ *    coordinator (aggregated over HEARTBEATs), not ten interleaved ones.
+ */
+std::vector<std::string>
+childEnv(const std::string &connectAddr)
+{
+    std::vector<std::string> env;
+    for (char **e = environ; *e; ++e) {
+        if (startsWith(*e, "AOS_FABRIC_") ||
+            startsWith(*e, "AOS_CAMPAIGN_RESUME=") ||
+            startsWith(*e, "AOS_CAMPAIGN_JSON") ||
+            startsWith(*e, "AOS_CAMPAIGN_PROGRESS=")) {
+            continue;
+        }
+        env.emplace_back(*e);
+    }
+    env.emplace_back("AOS_FABRIC_WORKER=" + connectAddr);
+    env.emplace_back("AOS_CAMPAIGN_PROGRESS=0");
+    return env;
+}
+
+pid_t
+spawnWorker(const std::vector<std::string> &argv,
+            const std::vector<std::string> &env)
+{
+    // Pre-built pointer tables: only async-signal-safe calls after fork.
+    std::vector<char *> argvp;
+    argvp.reserve(argv.size() + 1);
+    for (const std::string &a : argv)
+        argvp.push_back(const_cast<char *>(a.c_str()));
+    argvp.push_back(nullptr);
+    std::vector<char *> envp;
+    envp.reserve(env.size() + 1);
+    for (const std::string &e : env)
+        envp.push_back(const_cast<char *>(e.c_str()));
+    envp.push_back(nullptr);
+
+    const pid_t pid = ::fork();
+    if (pid == 0) {
+        ::execve("/proc/self/exe", argvp.data(), envp.data());
+        ::_exit(127); // exec failed; parent sees the child vanish.
+    }
+    return pid;
+}
+
+} // namespace
+
+CampaignResult
+runCoordinator(const CampaignOptions &options, const std::vector<Job> &jobs,
+               const std::vector<Reducer> &reducers)
+{
+    const size_t total = jobs.size();
+    const unsigned spawnCount = options.fabricWorkers;
+    const unsigned shards = std::max(1u, spawnCount);
+
+    CampaignResult result;
+    result.name = options.name;
+    result.workers = shards;
+    result.maxAttempts = std::max(1u, options.maxAttempts);
+    result.timeoutSec = options.timeoutSec;
+    result.checkpointDir = options.checkpointDir;
+    result.jobs.resize(total);
+
+    CheckpointWriter writer;
+    const bool checkpointing =
+        setupCheckpoint(options, jobs, shards, result, writer);
+
+    const u64 expectIdentity = identityHash(options, jobs);
+
+    // Ordered work queue of everything the restore did not cover.
+    // Forfeited assignments go back to the *front* so a sick job cannot
+    // starve behind the rest of the sweep.
+    std::deque<u32> pending;
+    for (size_t i = 0; i < total; ++i) {
+        if (result.jobs[i].status == JobStatus::kPending)
+            pending.push_back(static_cast<u32>(i));
+    }
+
+    // Rendezvous points: a private unix socket for spawned children,
+    // plus the operator-requested listener for remote workers.
+    std::vector<netio::Socket> listeners;
+    std::string spawnDir;
+    std::string spawnAddr;
+    bool remoteListener = false;
+    if (spawnCount > 0) {
+        char tmpl[] = "/tmp/aos-fabric-XXXXXX";
+        fatal_if(!::mkdtemp(tmpl),
+                 "fabric: cannot create rendezvous directory in /tmp");
+        spawnDir = tmpl;
+        netio::Address addr;
+        addr.kind = netio::Address::Kind::kUnix;
+        addr.path = spawnDir + "/sock";
+        spawnAddr = addr.str();
+        std::string error;
+        netio::Socket l = netio::listenAt(addr, error);
+        fatal_if(!l.valid(), "fabric: cannot listen at %s: %s",
+                 spawnAddr.c_str(), error.c_str());
+        listeners.push_back(std::move(l));
+    }
+    if (!options.fabricListen.empty()) {
+        netio::Address addr;
+        std::string error;
+        fatal_if(!netio::parseAddress(options.fabricListen, addr, error),
+                 "AOS_FABRIC_LISTEN \"%s\": %s",
+                 options.fabricListen.c_str(), error.c_str());
+        netio::Socket l = netio::listenAt(addr, error);
+        fatal_if(!l.valid(), "fabric: cannot listen at %s: %s",
+                 addr.str().c_str(), error.c_str());
+        listeners.push_back(std::move(l));
+        remoteListener = true;
+    }
+
+    // Spawn at most one worker per pending job — and none at all when
+    // the checkpoint restore already covered everything: a worker with
+    // no possible assignment would only ever be told to shut down.
+    std::vector<pid_t> children;
+    const unsigned toSpawn = static_cast<unsigned>(
+        std::min<size_t>(spawnCount, pending.size()));
+    if (toSpawn > 0) {
+        const std::vector<std::string> argv = selfCmdline();
+        const std::vector<std::string> env = childEnv(spawnAddr);
+        for (unsigned w = 0; w < toSpawn; ++w) {
+            const pid_t pid = spawnWorker(argv, env);
+            if (pid < 0) {
+                warn("fabric: fork failed for worker %u of %u", w + 1,
+                     toSpawn);
+                break;
+            }
+            children.push_back(pid);
+        }
+        fatal_if(children.empty() && !remoteListener,
+                 "fabric: could not spawn any of %u workers", toSpawn);
+    }
+
+    std::vector<WorkerConn> workers;
+    u32 nextShard = 0;
+    u32 executed = 0;
+    u32 completed = result.resumedJobs; // Restored + ingested.
+    const Clock::time_point start = Clock::now();
+    Clock::time_point lastReport = start;
+    const double heartbeatSec =
+        options.fabricHeartbeatSec > 0 ? options.fabricHeartbeatSec : 1.0;
+
+    auto shutdown = [&]() {
+        return options.cancel && options.cancel->cancelled();
+    };
+
+    // Satellite: the single aggregated ETA line. Progress folds every
+    // worker's HEARTBEAT counter plus our own ingest count, so the
+    // operator sees one campaign, not N processes.
+    auto reportProgress = [&](bool force) {
+        if (!options.progress)
+            return;
+        const Clock::time_point now = Clock::now();
+        if (!force && completed < total &&
+            secondsSince(lastReport, now) < options.progressIntervalSec) {
+            return;
+        }
+        lastReport = now;
+        const double elapsed = secondsSince(start, now);
+        const u32 done = completed;
+        const double eta =
+            done ? elapsed / done * static_cast<double>(total - done) : 0.0;
+        size_t busyWorkers = 0;
+        for (const WorkerConn &w : workers)
+            busyWorkers += w.hasAssignment ? 1 : 0;
+        progressf("campaign %s: %u/%zu jobs (%.0f%%), elapsed %.1fs, "
+                  "eta %.1fs [%zu workers, %zu busy]",
+                  options.name.c_str(), done, total,
+                  total ? 100.0 * done / static_cast<double>(total) : 100.0,
+                  elapsed, eta, workers.size(), busyWorkers);
+    };
+
+    auto ingestResult = [&](WorkerConn &w, const std::string &payload) {
+        JobResult r;
+        if (!decodeCheckpointRecord(payload.data(), payload.size(), r)) {
+            warn("fabric: undecodable RESULT from worker %s; dropping it",
+                 w.label.c_str());
+            return false;
+        }
+        if (r.id >= total ||
+            result.jobs[r.id].status != JobStatus::kPending) {
+            warn("fabric: worker %s returned unexpected job %u; ignoring",
+                 w.label.c_str(), r.id);
+            return true;
+        }
+        if (w.hasAssignment && w.assignment == r.id)
+            w.hasAssignment = false;
+        if (checkpointing && !writer.append(w.shard, r)) {
+            warn("campaign %s: checkpoint append failed for job %s",
+                 options.name.c_str(), r.name.c_str());
+        }
+        result.jobs[r.id] = std::move(r);
+        ++executed;
+        ++completed;
+        reportProgress(false);
+        return true;
+    };
+
+    // A worker leaves (death or disconnect): its unacknowledged
+    // assignment goes back to the head of the queue.
+    auto forfeit = [&](WorkerConn &w, const char *why) {
+        if (w.hasAssignment) {
+            warn("fabric: worker %s %s; reassigning job %u",
+                 w.label.c_str(), why, w.assignment);
+            pending.push_front(w.assignment);
+            w.hasAssignment = false;
+        }
+        w.sock.close();
+    };
+
+    auto eraseClosed = [&]() {
+        workers.erase(std::remove_if(workers.begin(), workers.end(),
+                                     [](const WorkerConn &w) {
+                                         return !w.sock.valid();
+                                     }),
+                      workers.end());
+    };
+
+    // Drain every complete frame a worker has buffered. False when the
+    // connection must be dropped (corrupt stream / protocol breach).
+    auto handleFrames = [&](WorkerConn &w) {
+        u32 type = 0;
+        std::string payload;
+        while (w.decoder.next(type, payload)) {
+            w.lastSeen = Clock::now();
+            if (!w.admitted) {
+                Hello hello;
+                if (type != static_cast<u32>(FrameType::kHello) ||
+                    !decodeHello(payload, hello)) {
+                    warn("fabric: peer sent %s before a valid HELLO; "
+                         "disconnecting", frameTypeName(type));
+                    return false;
+                }
+                Welcome welcome =
+                    evaluateHello(hello, expectIdentity, total);
+                if (welcome.accepted) {
+                    welcome.shard = nextShard;
+                    w.shard = nextShard;
+                    nextShard = (nextShard + 1) % shards;
+                    w.label = hello.label.empty() ? "remote" : hello.label;
+                }
+                const bool sent = w.sock.sendAll(netio::encodeFrame(
+                    static_cast<u32>(FrameType::kWelcome),
+                    encodeWelcome(welcome)));
+                if (!welcome.accepted) {
+                    inform("fabric: rejected worker (%s): %s",
+                           hello.label.c_str(), welcome.reason.c_str());
+                    return false;
+                }
+                if (!sent)
+                    return false;
+                w.admitted = true;
+                continue;
+            }
+            switch (static_cast<FrameType>(type)) {
+              case FrameType::kResult:
+                if (!ingestResult(w, payload))
+                    return false;
+                break;
+              case FrameType::kHeartbeat: {
+                  Heartbeat hb;
+                  if (!decodeHeartbeat(payload, hb)) {
+                      warn("fabric: malformed HEARTBEAT from worker %s",
+                           w.label.c_str());
+                      return false;
+                  }
+                  w.reportedDone = hb.completed;
+                  break;
+              }
+              default:
+                warn("fabric: unexpected %s frame from worker %s; "
+                     "disconnecting", frameTypeName(type),
+                     w.label.c_str());
+                return false;
+            }
+        }
+        if (w.decoder.corrupt()) {
+            warn("fabric: corrupt stream from worker %s (%s)",
+                 w.label.c_str(), w.decoder.error().c_str());
+            return false;
+        }
+        return true;
+    };
+
+    const int pollMs = static_cast<int>(
+        std::max(50.0, std::min(500.0, heartbeatSec * 250.0)));
+
+    while (completed < total && !shutdown()) {
+        // Hand a job to every admitted idle worker.
+        for (WorkerConn &w : workers) {
+            if (pending.empty())
+                break;
+            if (!w.sock.valid() || !w.admitted || w.hasAssignment)
+                continue;
+            JobAssign assign;
+            assign.jobId = pending.front();
+            if (!w.sock.sendAll(netio::encodeFrame(
+                    static_cast<u32>(FrameType::kJobAssign),
+                    encodeJobAssign(assign)))) {
+                forfeit(w, "rejected an assignment");
+                continue;
+            }
+            pending.pop_front();
+            w.hasAssignment = true;
+            w.assignment = assign.jobId;
+        }
+        eraseClosed();
+
+        // Dead fleet and nobody can join: finish inline rather than
+        // hang. (With a remote listener we keep waiting — workers are
+        // someone else's responsibility to restart.)
+        if (workers.empty() && !remoteListener && !pending.empty()) {
+            bool anyChildAlive = false;
+            for (const pid_t pid : children) {
+                if (pid > 0 && ::waitpid(pid, nullptr, WNOHANG) == 0)
+                    anyChildAlive = true;
+            }
+            if (!anyChildAlive && !children.empty()) {
+                warn("campaign %s: all %zu fabric workers are gone; "
+                     "finishing %zu jobs inline",
+                     options.name.c_str(), children.size(),
+                     pending.size());
+            }
+            if (!anyChildAlive) {
+                while (!pending.empty() && !shutdown()) {
+                    const u32 idx = pending.front();
+                    pending.pop_front();
+                    JobResult &r = result.jobs[idx];
+                    executeJobAttempts(jobs, idx, r, result.maxAttempts,
+                                       result.timeoutSec, options.cancel,
+                                       options.name);
+                    if (r.status == JobStatus::kCancelled)
+                        continue;
+                    if (checkpointing && !writer.append(0, r)) {
+                        warn("campaign %s: checkpoint append failed for "
+                             "job %s", options.name.c_str(),
+                             r.name.c_str());
+                    }
+                    ++executed;
+                    ++completed;
+                    reportProgress(false);
+                }
+                continue;
+            }
+        }
+
+        std::vector<int> fds;
+        fds.reserve(listeners.size() + workers.size());
+        for (const netio::Socket &l : listeners)
+            fds.push_back(l.fd());
+        for (const WorkerConn &w : workers)
+            fds.push_back(w.sock.fd());
+        std::vector<size_t> readable;
+        if (!netio::pollReadable(fds, pollMs, readable))
+            fatal("fabric: poll failed on the coordinator event loop");
+
+        for (const size_t idx : readable) {
+            if (idx < listeners.size()) {
+                netio::Socket conn = netio::acceptOn(listeners[idx]);
+                if (conn.valid()) {
+                    WorkerConn w;
+                    w.sock = std::move(conn);
+                    w.label = "connecting";
+                    workers.push_back(std::move(w));
+                }
+                continue;
+            }
+            WorkerConn &w = workers[idx - listeners.size()];
+            char buf[64 * 1024];
+            const long n = w.sock.recvSome(buf, sizeof(buf));
+            if (n <= 0) {
+                forfeit(w, "disconnected");
+                continue;
+            }
+            w.decoder.feed(buf, static_cast<size_t>(n));
+            if (!handleFrames(w))
+                forfeit(w, "violated the protocol");
+        }
+
+        // Heartbeat-silence eviction (covers partitions; a SIGKILLed
+        // local worker is caught faster by EOF above).
+        const Clock::time_point now = Clock::now();
+        for (WorkerConn &w : workers) {
+            if (w.sock.valid() && w.admitted &&
+                secondsSince(w.lastSeen, now) > 10.0 * heartbeatSec) {
+                forfeit(w, "went heartbeat-silent");
+            }
+        }
+        eraseClosed();
+        reportProgress(false);
+    }
+
+    // Wind down: every worker gets a SHUTDOWN (best effort — closing
+    // the socket is an equivalent signal), children are reaped.
+    for (WorkerConn &w : workers) {
+        if (w.sock.valid()) {
+            w.sock.sendAll(netio::encodeFrame(
+                static_cast<u32>(FrameType::kShutdown), std::string()));
+        }
+        w.sock.close();
+    }
+    workers.clear();
+
+    // A child that connected but was never accepted — the campaign
+    // finished first (fast jobs, or fully restored from checkpoint) —
+    // is blocked waiting for its WELCOME, and closing a unix listener
+    // does NOT wake a peer already connected into the backlog. Keep
+    // draining the listeners while children remain: accept, wave the
+    // peer through and dismiss it in one breath. SIGKILL after a
+    // generous grace is the backstop for a child that still won't go.
+    Welcome wave;
+    wave.accepted = true;
+    const std::string dismiss =
+        netio::encodeFrame(static_cast<u32>(FrameType::kWelcome),
+                           encodeWelcome(wave)) +
+        netio::encodeFrame(static_cast<u32>(FrameType::kShutdown),
+                           std::string());
+    auto reapRemaining = [&]() {
+        children.erase(
+            std::remove_if(children.begin(), children.end(),
+                           [](pid_t pid) {
+                               return pid <= 0 ||
+                                      ::waitpid(pid, nullptr, WNOHANG) != 0;
+                           }),
+            children.end());
+    };
+    auto drainListeners = [&](int timeoutMs) {
+        std::vector<int> fds;
+        fds.reserve(listeners.size());
+        for (const netio::Socket &l : listeners)
+            fds.push_back(l.fd());
+        std::vector<size_t> readable;
+        if (fds.empty() || !netio::pollReadable(fds, timeoutMs, readable))
+            return;
+        for (const size_t idx : readable) {
+            netio::Socket conn = netio::acceptOn(listeners[idx]);
+            if (conn.valid())
+                conn.sendAll(dismiss); // Closed on scope exit.
+        }
+    };
+    const Clock::time_point windDown = Clock::now();
+    reapRemaining();
+    while (!children.empty()) {
+        if (secondsSince(windDown, Clock::now()) > 10.0) {
+            warn("fabric: %zu worker(s) did not exit; killing them",
+                 children.size());
+            for (const pid_t pid : children)
+                ::kill(pid, SIGKILL);
+            for (const pid_t pid : children)
+                ::waitpid(pid, nullptr, 0);
+            children.clear();
+            break;
+        }
+        drainListeners(100);
+        reapRemaining();
+    }
+    // One last 0 ms sweep for a remote peer sitting unaccepted in the
+    // backlog — it would block on WELCOME forever once we close.
+    drainListeners(0);
+    listeners.clear();
+    if (!spawnDir.empty()) {
+        ::unlink((spawnDir + "/sock").c_str());
+        ::rmdir(spawnDir.c_str());
+    }
+
+    writer.close();
+    result.executedJobs = executed;
+    result.interrupted =
+        shutdown() || result.count(JobStatus::kCancelled) > 0 ||
+        result.count(JobStatus::kPending) > 0;
+    result.totalWallMs = 1e3 * secondsSince(start, Clock::now());
+    reportProgress(true);
+    detail::mergeAndReduce(result, reducers);
+    return result;
+}
+
+} // namespace aos::campaign::fabric

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Distributed execution backend for Campaign (DESIGN.md §12): a
+ * coordinator process that partitions a campaign's jobs across worker
+ * *processes* — spawned locally (fork/exec of the same binary with
+ * AOS_FABRIC_WORKER pointing back at a unix socket) and/or connected
+ * remotely over TCP — using the framed protocol of
+ * campaign/fabric/protocol.hh.
+ *
+ * The determinism contract survives distribution end to end: every
+ * job is a pure function of its spec, results travel as checkpoint
+ * records (doubles as raw IEEE-754 bits), the coordinator ingests them
+ * into the same per-worker shard logs via CheckpointWriter, and the
+ * merged canonical `aos-campaign-v1` JSON is byte-identical to a
+ * serial jobs=1 run. A SIGKILLed worker only costs the re-execution of
+ * its in-flight job on a surviving worker; a SIGKILLed coordinator
+ * resumes through the ordinary AOS_CAMPAIGN_RESUME path.
+ *
+ * Campaign::run() dispatches here; nothing else needs to call these
+ * directly except tests, which fork workers without exec via
+ * serveCampaign().
+ */
+
+#ifndef AOS_CAMPAIGN_FABRIC_FABRIC_HH
+#define AOS_CAMPAIGN_FABRIC_FABRIC_HH
+
+#include <string>
+#include <vector>
+
+#include "campaign/campaign.hh"
+#include "common/netio.hh"
+
+namespace aos::campaign::fabric {
+
+/**
+ * Distribute the campaign: spawn options.fabricWorkers local worker
+ * processes, listen at options.fabricListen for remote ones (when
+ * set), assign jobs, ingest results, reassign on worker death, and
+ * return the merged result. Checkpointing (options.checkpointDir) and
+ * resume work exactly as in the intra-process pool.
+ */
+CampaignResult runCoordinator(const CampaignOptions &options,
+                              const std::vector<Job> &jobs,
+                              const std::vector<Reducer> &reducers);
+
+/**
+ * Worker entry point (options.fabricConnect is set): connect to the
+ * coordinator, offer this campaign's identity, and serve assignments
+ * until SHUTDOWN or coordinator death — then exit the process (a
+ * worker's run() must never fall through into harness table/JSON
+ * emission). Returns only on an identity-mismatch rejection, which
+ * tells the caller to execute the campaign locally instead. Connect
+ * or protocol failures are fatal() with a diagnostic.
+ */
+void serveAsWorker(const CampaignOptions &options,
+                   const std::vector<Job> &jobs);
+
+/**
+ * The serve loop itself, exposed for tests that fork a worker without
+ * exec: connect to @p addr (retrying briefly, for the spawn race),
+ * handshake, execute assignments, stream RESULT/HEARTBEAT frames.
+ * Returns true when service ended normally (SHUTDOWN or coordinator
+ * EOF), false on an identity-mismatch rejection; fatal() on transport
+ * or protocol errors.
+ */
+bool serveCampaign(const CampaignOptions &options,
+                   const std::vector<Job> &jobs,
+                   const netio::Address &addr);
+
+} // namespace aos::campaign::fabric
+
+#endif // AOS_CAMPAIGN_FABRIC_FABRIC_HH

@@ -1,0 +1,236 @@
+#include "campaign/fabric/protocol.hh"
+
+#include <cstring>
+
+#include "campaign/checkpoint.hh"
+#include "common/logging.hh"
+
+namespace aos::campaign::fabric {
+
+namespace {
+
+// Same little-endian primitives as checkpoint.cc; small enough that a
+// local copy beats widening the checkpoint header's surface.
+
+void
+putU32(std::string &out, u32 v)
+{
+    for (int i = 0; i < 4; ++i)
+        out.push_back(static_cast<char>((v >> (8 * i)) & 0xFF));
+}
+
+void
+putU64(std::string &out, u64 v)
+{
+    for (int i = 0; i < 8; ++i)
+        out.push_back(static_cast<char>((v >> (8 * i)) & 0xFF));
+}
+
+void
+putStr(std::string &out, const std::string &s)
+{
+    putU32(out, static_cast<u32>(s.size()));
+    out.append(s);
+}
+
+struct Cursor
+{
+    const unsigned char *data;
+    size_t size;
+    size_t off = 0;
+    bool ok = true;
+
+    bool
+    need(size_t n)
+    {
+        if (!ok || off + n > size || off + n < off)
+            ok = false;
+        return ok;
+    }
+
+    u32
+    u32v()
+    {
+        if (!need(4))
+            return 0;
+        u32 v = 0;
+        for (int i = 0; i < 4; ++i)
+            v |= static_cast<u32>(data[off + i]) << (8 * i);
+        off += 4;
+        return v;
+    }
+
+    u64
+    u64v()
+    {
+        if (!need(8))
+            return 0;
+        u64 v = 0;
+        for (int i = 0; i < 8; ++i)
+            v |= static_cast<u64>(data[off + i]) << (8 * i);
+        off += 8;
+        return v;
+    }
+
+    std::string
+    str()
+    {
+        const u32 len = u32v();
+        if (!need(len))
+            return {};
+        std::string s(reinterpret_cast<const char *>(data + off), len);
+        off += len;
+        return s;
+    }
+
+    bool consumedExactly() const { return ok && off == size; }
+};
+
+Cursor
+cursorOf(const std::string &payload)
+{
+    return Cursor{
+        reinterpret_cast<const unsigned char *>(payload.data()),
+        payload.size()};
+}
+
+} // namespace
+
+const char *
+frameTypeName(u32 type)
+{
+    switch (static_cast<FrameType>(type)) {
+      case FrameType::kHello: return "HELLO";
+      case FrameType::kWelcome: return "WELCOME";
+      case FrameType::kJobAssign: return "JOB_ASSIGN";
+      case FrameType::kResult: return "RESULT";
+      case FrameType::kHeartbeat: return "HEARTBEAT";
+      case FrameType::kShutdown: return "SHUTDOWN";
+    }
+    return "unknown";
+}
+
+std::string
+encodeHello(const Hello &h)
+{
+    std::string p;
+    putU32(p, h.protocolVersion);
+    putU32(p, h.checkpointVersion);
+    putU64(p, h.identity);
+    putU64(p, h.jobCount);
+    putStr(p, h.label);
+    return p;
+}
+
+bool
+decodeHello(const std::string &payload, Hello &out)
+{
+    Cursor c = cursorOf(payload);
+    out.protocolVersion = c.u32v();
+    out.checkpointVersion = c.u32v();
+    out.identity = c.u64v();
+    out.jobCount = c.u64v();
+    out.label = c.str();
+    return c.consumedExactly();
+}
+
+std::string
+encodeWelcome(const Welcome &w)
+{
+    std::string p;
+    putU32(p, w.accepted ? 1 : 0);
+    putU32(p, w.shard);
+    putStr(p, w.reason);
+    return p;
+}
+
+bool
+decodeWelcome(const std::string &payload, Welcome &out)
+{
+    Cursor c = cursorOf(payload);
+    const u32 accepted = c.u32v();
+    if (accepted > 1)
+        return false;
+    out.accepted = accepted == 1;
+    out.shard = c.u32v();
+    out.reason = c.str();
+    return c.consumedExactly();
+}
+
+std::string
+encodeJobAssign(const JobAssign &a)
+{
+    std::string p;
+    putU32(p, a.jobId);
+    return p;
+}
+
+bool
+decodeJobAssign(const std::string &payload, JobAssign &out)
+{
+    Cursor c = cursorOf(payload);
+    out.jobId = c.u32v();
+    return c.consumedExactly();
+}
+
+std::string
+encodeHeartbeat(const Heartbeat &hb)
+{
+    std::string p;
+    putU64(p, hb.completed);
+    putU32(p, hb.busy);
+    return p;
+}
+
+bool
+decodeHeartbeat(const std::string &payload, Heartbeat &out)
+{
+    Cursor c = cursorOf(payload);
+    out.completed = c.u64v();
+    out.busy = c.u32v();
+    if (out.busy > 1)
+        return false;
+    return c.consumedExactly();
+}
+
+Welcome
+evaluateHello(const Hello &hello, u64 expectIdentity, u64 expectJobCount)
+{
+    Welcome w;
+    if (hello.protocolVersion != kProtocolVersion) {
+        w.reason = csprintf("protocol version %u (coordinator speaks %u)",
+                            hello.protocolVersion, kProtocolVersion);
+        return w;
+    }
+    if (hello.checkpointVersion != kCheckpointFormatVersion) {
+        w.reason = csprintf(
+            "checkpoint format version %u (coordinator uses %u)",
+            hello.checkpointVersion, kCheckpointFormatVersion);
+        return w;
+    }
+    if (hello.identity != expectIdentity) {
+        w.reason = csprintf(
+            "identity hash %016llx does not match this campaign "
+            "(%016llx)",
+            static_cast<unsigned long long>(hello.identity),
+            static_cast<unsigned long long>(expectIdentity));
+        return w;
+    }
+    if (hello.jobCount != expectJobCount) {
+        w.reason = csprintf("job count %llu (campaign has %llu)",
+                            static_cast<unsigned long long>(hello.jobCount),
+                            static_cast<unsigned long long>(
+                                expectJobCount));
+        return w;
+    }
+    w.accepted = true;
+    return w;
+}
+
+bool
+isIdentityMismatch(const std::string &reason)
+{
+    return reason.rfind("identity", 0) == 0;
+}
+
+} // namespace aos::campaign::fabric

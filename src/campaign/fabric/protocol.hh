@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Wire protocol of the distributed campaign fabric (DESIGN.md §12).
+ *
+ * Every message is one netio frame ([magic|type|length|crc32] +
+ * payload, common/netio.hh). Payload encodings reuse the little-endian
+ * primitives of the checkpoint layer, and RESULT payloads are the
+ * checkpoint.hh shard record bytes *verbatim* — the coordinator can
+ * append what arrived off the wire straight into a shard log, and one
+ * decoder serves both disk and socket.
+ *
+ * Session shape (worker-initiated):
+ *
+ *   worker                         coordinator
+ *     | -- HELLO {proto, ckpt ver,     |
+ *     |     identity, jobs, label} --> |   validates the campaign
+ *     | <-- WELCOME {accept, shard,    |   identity/versions; rejects
+ *     |      reason} ----------------- |   foreign campaigns cleanly
+ *     | <-- JOB_ASSIGN {id} ---------- |
+ *     | -- RESULT {record bytes} ----> |   ingest + checkpoint + next
+ *     | -- HEARTBEAT {done, busy} ---> |   liveness + one global ETA
+ *     | <-- SHUTDOWN ----------------- |   campaign complete
+ *
+ * A worker that dies (EOF, heartbeat silence, corrupt frame) simply
+ * gets its unacknowledged assignment handed to another worker: jobs
+ * are deterministic pure functions of their spec, so reassignment
+ * cannot change any byte of the merged canonical JSON.
+ */
+
+#ifndef AOS_CAMPAIGN_FABRIC_PROTOCOL_HH
+#define AOS_CAMPAIGN_FABRIC_PROTOCOL_HH
+
+#include <string>
+
+#include "campaign/campaign.hh"
+
+namespace aos::campaign::fabric {
+
+/** Bump on any incompatible frame/payload change. */
+constexpr u32 kProtocolVersion = 1;
+
+enum class FrameType : u32 {
+    kHello = 1,
+    kWelcome = 2,
+    kJobAssign = 3,
+    kResult = 4,
+    kHeartbeat = 5,
+    kShutdown = 6,
+};
+
+const char *frameTypeName(u32 type);
+
+/** Worker's opening claim: which campaign it can serve. */
+struct Hello
+{
+    u32 protocolVersion = kProtocolVersion;
+    u32 checkpointVersion = 0; //!< kCheckpointFormatVersion of worker.
+    u64 identity = 0;          //!< identityHash of the worker's campaign.
+    u64 jobCount = 0;
+    std::string label;         //!< Diagnostic only (e.g. "pid 1234").
+};
+
+/** Coordinator's verdict on a HELLO. */
+struct Welcome
+{
+    bool accepted = false;
+    u32 shard = 0;      //!< Worker index (shard-log routing, labels).
+    std::string reason; //!< Operator diagnostic when rejected.
+};
+
+struct JobAssign
+{
+    u32 jobId = 0;
+};
+
+struct Heartbeat
+{
+    u64 completed = 0; //!< Jobs finished by this worker so far.
+    u32 busy = 0;      //!< 1 while an assignment is executing.
+};
+
+std::string encodeHello(const Hello &h);
+bool decodeHello(const std::string &payload, Hello &out);
+
+std::string encodeWelcome(const Welcome &w);
+bool decodeWelcome(const std::string &payload, Welcome &out);
+
+std::string encodeJobAssign(const JobAssign &a);
+bool decodeJobAssign(const std::string &payload, JobAssign &out);
+
+std::string encodeHeartbeat(const Heartbeat &hb);
+bool decodeHeartbeat(const std::string &payload, Heartbeat &out);
+
+/**
+ * The coordinator's HELLO admission rule, as a pure function for
+ * direct testing: protocol version, checkpoint format version,
+ * identity hash and job count must all match, in that order of
+ * diagnosis. A mismatched identity is the one *expected* rejection in
+ * healthy operation (a worker binary serving a different campaign —
+ * see Campaign::run's local fallback), so its reason string is stable:
+ * it starts with "identity".
+ */
+Welcome evaluateHello(const Hello &hello, u64 expectIdentity,
+                      u64 expectJobCount);
+
+/** True when @p reason is evaluateHello's identity-mismatch verdict. */
+bool isIdentityMismatch(const std::string &reason);
+
+} // namespace aos::campaign::fabric
+
+#endif // AOS_CAMPAIGN_FABRIC_PROTOCOL_HH

@@ -1,0 +1,193 @@
+/**
+ * @file
+ * Fabric worker: the serving half of Campaign::run() when
+ * AOS_FABRIC_WORKER / AOS_FABRIC_CONNECT is set.
+ *
+ * A worker process re-runs the same harness binary, so by the time it
+ * reaches Campaign::run() it holds an identical vector<Job> (the
+ * campaign spec is a deterministic function of the binary + env). It
+ * therefore only needs job *ids* off the wire; results go back as
+ * checkpoint record bytes. A heartbeat thread doubles as orphan
+ * detection: when the coordinator dies, the next heartbeat send fails
+ * and the in-flight simulation is cooperatively cancelled instead of
+ * burning CPU for a campaign nobody will merge.
+ */
+
+#include "campaign/fabric/fabric.hh"
+
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <mutex>
+#include <thread>
+
+#include <unistd.h>
+
+#include "campaign/checkpoint.hh"
+#include "campaign/fabric/protocol.hh"
+#include "common/logging.hh"
+
+namespace aos::campaign::fabric {
+
+namespace {
+
+/** Drain one complete frame, recv'ing as needed. False on EOF/error/
+ *  corrupt stream (the coordinator is gone or untrustworthy). */
+bool
+readFrame(netio::Socket &sock, netio::FrameDecoder &decoder, u32 &type,
+          std::string &payload)
+{
+    char buf[64 * 1024];
+    while (!decoder.next(type, payload)) {
+        if (decoder.corrupt()) {
+            warn("fabric worker: corrupt frame from coordinator (%s)",
+                 decoder.error().c_str());
+            return false;
+        }
+        const long n = sock.recvSome(buf, sizeof(buf));
+        if (n <= 0)
+            return false;
+        decoder.feed(buf, static_cast<size_t>(n));
+    }
+    return true;
+}
+
+} // namespace
+
+bool
+serveCampaign(const CampaignOptions &options, const std::vector<Job> &jobs,
+              const netio::Address &addr)
+{
+    // Connect, retrying briefly: a manually started remote worker may
+    // beat its coordinator to the rendezvous.
+    netio::Socket sock;
+    std::string error;
+    for (int attempt = 0; attempt < 25; ++attempt) {
+        sock = netio::connectTo(addr, error);
+        if (sock.valid())
+            break;
+        std::this_thread::sleep_for(std::chrono::milliseconds(200));
+    }
+    if (!sock.valid()) {
+        fatal("fabric worker: cannot reach coordinator at %s: %s",
+              addr.str().c_str(), error.c_str());
+    }
+
+    Hello hello;
+    hello.checkpointVersion = kCheckpointFormatVersion;
+    hello.identity = identityHash(options, jobs);
+    hello.jobCount = jobs.size();
+    hello.label = csprintf("pid %d", static_cast<int>(::getpid()));
+
+    std::mutex sendMutex; // RESULT (main) vs HEARTBEAT (thread).
+    auto sendFrame = [&](FrameType type, const std::string &payload) {
+        std::lock_guard<std::mutex> guard(sendMutex);
+        return sock.sendAll(
+            netio::encodeFrame(static_cast<u32>(type), payload));
+    };
+
+    if (!sendFrame(FrameType::kHello, encodeHello(hello))) {
+        fatal("fabric worker: cannot send HELLO to %s",
+              addr.str().c_str());
+    }
+
+    netio::FrameDecoder decoder;
+    u32 type = 0;
+    std::string payload;
+    if (!readFrame(sock, decoder, type, payload) ||
+        type != static_cast<u32>(FrameType::kWelcome)) {
+        fatal("fabric worker: no WELCOME from coordinator at %s",
+              addr.str().c_str());
+    }
+    Welcome welcome;
+    if (!decodeWelcome(payload, welcome))
+        fatal("fabric worker: malformed WELCOME from %s",
+              addr.str().c_str());
+    if (!welcome.accepted) {
+        if (isIdentityMismatch(welcome.reason))
+            return false; // Caller runs this campaign locally.
+        fatal("fabric worker: coordinator at %s rejected us: %s",
+              addr.str().c_str(), welcome.reason.c_str());
+    }
+
+    // Orphan detection + shutdown chaining: the heartbeat thread trips
+    // this token when the coordinator stops answering, and the process
+    // shutdown token (SIGINT/SIGTERM) propagates through it, so the
+    // in-flight job's cancellation points abandon work promptly.
+    CancelToken orphan(options.cancel);
+    std::atomic<u64> completed{0};
+    std::atomic<bool> busy{false};
+    std::atomic<bool> done{false};
+
+    const double heartbeatSec =
+        options.fabricHeartbeatSec > 0 ? options.fabricHeartbeatSec : 1.0;
+    std::thread heartbeat([&]() {
+        using namespace std::chrono;
+        const auto interval = duration<double>(heartbeatSec);
+        auto nextBeat = steady_clock::now() + interval;
+        while (!done.load(std::memory_order_acquire)) {
+            std::this_thread::sleep_for(milliseconds(20));
+            if (steady_clock::now() < nextBeat)
+                continue;
+            nextBeat = steady_clock::now() + interval;
+            Heartbeat hb;
+            hb.completed = completed.load(std::memory_order_relaxed);
+            hb.busy = busy.load(std::memory_order_relaxed) ? 1 : 0;
+            if (!sendFrame(FrameType::kHeartbeat, encodeHeartbeat(hb))) {
+                // Coordinator is gone; stop simulating for it.
+                orphan.requestCancel();
+                return;
+            }
+        }
+    });
+
+    const unsigned maxAttempts = std::max(1u, options.maxAttempts);
+    while (readFrame(sock, decoder, type, payload)) {
+        if (type == static_cast<u32>(FrameType::kShutdown))
+            break;
+        if (type != static_cast<u32>(FrameType::kJobAssign)) {
+            warn("fabric worker: ignoring unexpected %s frame",
+                 frameTypeName(type));
+            continue;
+        }
+        JobAssign assign;
+        if (!decodeJobAssign(payload, assign) ||
+            assign.jobId >= jobs.size()) {
+            fatal("fabric worker: bad JOB_ASSIGN (job %u of %zu)",
+                  assign.jobId, jobs.size());
+        }
+        busy.store(true, std::memory_order_relaxed);
+        JobResult r;
+        executeJobAttempts(jobs, assign.jobId, r, maxAttempts,
+                           options.timeoutSec, &orphan, options.name);
+        busy.store(false, std::memory_order_relaxed);
+        if (r.status == JobStatus::kCancelled)
+            break; // Shutdown or orphaned: nothing worth sending.
+        completed.fetch_add(1, std::memory_order_relaxed);
+        if (!sendFrame(FrameType::kResult, encodeCheckpointRecord(r)))
+            break; // Coordinator died; it will reassign on resume.
+    }
+
+    done.store(true, std::memory_order_release);
+    heartbeat.join();
+    return true;
+}
+
+void
+serveAsWorker(const CampaignOptions &options, const std::vector<Job> &jobs)
+{
+    netio::Address addr;
+    std::string error;
+    if (!netio::parseAddress(options.fabricConnect, addr, error)) {
+        fatal("AOS_FABRIC_WORKER/AOS_FABRIC_CONNECT \"%s\": %s",
+              options.fabricConnect.c_str(), error.c_str());
+    }
+    if (serveCampaign(options, jobs, addr)) {
+        // Served (or the coordinator vanished): this process must not
+        // fall through into the harness's table/JSON emission.
+        std::exit(0);
+    }
+    // Identity mismatch: Campaign::run() executes locally instead.
+}
+
+} // namespace aos::campaign::fabric

@@ -1,0 +1,411 @@
+#include "common/netio.hh"
+
+#include <cerrno>
+#include <cstring>
+
+#include <netdb.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include "common/env.hh"
+#include "common/fsio.hh"
+#include "common/logging.hh"
+
+namespace aos::netio {
+
+namespace {
+
+void
+putU32(std::string &out, u32 v)
+{
+    for (int i = 0; i < 4; ++i)
+        out.push_back(static_cast<char>((v >> (8 * i)) & 0xFF));
+}
+
+u32
+getU32(const unsigned char *p)
+{
+    u32 v = 0;
+    for (int i = 0; i < 4; ++i)
+        v |= static_cast<u32>(p[i]) << (8 * i);
+    return v;
+}
+
+} // namespace
+
+// --- addresses ------------------------------------------------------
+
+std::string
+Address::str() const
+{
+    if (kind == Kind::kUnix)
+        return "unix:" + path;
+    return csprintf("tcp:%s:%u", host.c_str(), port);
+}
+
+bool
+parseAddress(const std::string &text, Address &out, std::string &error)
+{
+    if (text.rfind("unix:", 0) == 0) {
+        out.kind = Address::Kind::kUnix;
+        out.path = text.substr(5);
+        if (out.path.empty()) {
+            error = "unix address has an empty path";
+            return false;
+        }
+        if (out.path.size() >= sizeof(sockaddr_un{}.sun_path)) {
+            error = csprintf("unix socket path longer than %zu bytes",
+                             sizeof(sockaddr_un{}.sun_path) - 1);
+            return false;
+        }
+        return true;
+    }
+    if (text.rfind("tcp:", 0) == 0) {
+        const std::string rest = text.substr(4);
+        const size_t colon = rest.rfind(':');
+        if (colon == std::string::npos || colon == 0) {
+            error = "tcp address must be tcp:<host>:<port>";
+            return false;
+        }
+        out.kind = Address::Kind::kTcp;
+        out.host = rest.substr(0, colon);
+        u64 port = 0;
+        if (!parseU64(rest.substr(colon + 1).c_str(), port) || port == 0 ||
+            port > 65535) {
+            error = "tcp port must be a decimal in [1, 65535]";
+            return false;
+        }
+        out.port = static_cast<u16>(port);
+        return true;
+    }
+    error = "address must start with unix: or tcp:";
+    return false;
+}
+
+// --- sockets --------------------------------------------------------
+
+Socket::~Socket()
+{
+    close();
+}
+
+Socket::Socket(Socket &&other) noexcept : _fd(other._fd)
+{
+    other._fd = -1;
+}
+
+Socket &
+Socket::operator=(Socket &&other) noexcept
+{
+    if (this != &other) {
+        close();
+        _fd = other._fd;
+        other._fd = -1;
+    }
+    return *this;
+}
+
+int
+Socket::release()
+{
+    const int fd = _fd;
+    _fd = -1;
+    return fd;
+}
+
+void
+Socket::close()
+{
+    if (_fd >= 0) {
+        ::close(_fd);
+        _fd = -1;
+    }
+}
+
+bool
+Socket::sendAll(const void *data, size_t len)
+{
+    const char *p = static_cast<const char *>(data);
+    while (len > 0) {
+        const ssize_t n = ::send(_fd, p, len, MSG_NOSIGNAL);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            return false;
+        }
+        if (n == 0)
+            return false;
+        p += n;
+        len -= static_cast<size_t>(n);
+    }
+    return true;
+}
+
+bool
+Socket::sendAll(const std::string &data)
+{
+    return sendAll(data.data(), data.size());
+}
+
+long
+Socket::recvSome(void *buf, size_t len)
+{
+    for (;;) {
+        const ssize_t n = ::recv(_fd, buf, len, 0);
+        if (n < 0 && errno == EINTR)
+            continue;
+        return static_cast<long>(n);
+    }
+}
+
+namespace {
+
+bool
+fillUnixAddr(const Address &addr, sockaddr_un &sun)
+{
+    std::memset(&sun, 0, sizeof(sun));
+    sun.sun_family = AF_UNIX;
+    if (addr.path.size() >= sizeof(sun.sun_path))
+        return false;
+    std::memcpy(sun.sun_path, addr.path.c_str(), addr.path.size() + 1);
+    return true;
+}
+
+} // namespace
+
+Socket
+listenAt(const Address &addr, std::string &error)
+{
+    if (addr.kind == Address::Kind::kUnix) {
+        sockaddr_un sun;
+        if (!fillUnixAddr(addr, sun)) {
+            error = "unix socket path too long";
+            return Socket();
+        }
+        Socket s(::socket(AF_UNIX, SOCK_STREAM, 0));
+        if (!s.valid()) {
+            error = csprintf("socket: %s", std::strerror(errno));
+            return Socket();
+        }
+        // A stale socket file from a killed coordinator would make
+        // bind fail; it is never a live endpoint (unix sockets do not
+        // outlive their process usefully), so replace it.
+        ::unlink(addr.path.c_str());
+        if (::bind(s.fd(), reinterpret_cast<sockaddr *>(&sun),
+                   sizeof(sun)) != 0) {
+            error = csprintf("bind %s: %s", addr.path.c_str(),
+                             std::strerror(errno));
+            return Socket();
+        }
+        if (::listen(s.fd(), 64) != 0) {
+            error = csprintf("listen %s: %s", addr.path.c_str(),
+                             std::strerror(errno));
+            return Socket();
+        }
+        return s;
+    }
+
+    addrinfo hints = {};
+    hints.ai_family = AF_UNSPEC;
+    hints.ai_socktype = SOCK_STREAM;
+    hints.ai_flags = AI_PASSIVE;
+    addrinfo *res = nullptr;
+    const std::string portStr = std::to_string(addr.port);
+    const int rc = ::getaddrinfo(addr.host.empty() ? nullptr
+                                                   : addr.host.c_str(),
+                                 portStr.c_str(), &hints, &res);
+    if (rc != 0) {
+        error = csprintf("resolve %s: %s", addr.host.c_str(),
+                         ::gai_strerror(rc));
+        return Socket();
+    }
+    Socket s;
+    for (addrinfo *ai = res; ai; ai = ai->ai_next) {
+        Socket candidate(
+            ::socket(ai->ai_family, ai->ai_socktype, ai->ai_protocol));
+        if (!candidate.valid())
+            continue;
+        const int one = 1;
+        ::setsockopt(candidate.fd(), SOL_SOCKET, SO_REUSEADDR, &one,
+                     sizeof(one));
+        if (::bind(candidate.fd(), ai->ai_addr, ai->ai_addrlen) == 0 &&
+            ::listen(candidate.fd(), 64) == 0) {
+            s = std::move(candidate);
+            break;
+        }
+    }
+    ::freeaddrinfo(res);
+    if (!s.valid())
+        error = csprintf("cannot listen on %s: %s", addr.str().c_str(),
+                         std::strerror(errno));
+    return s;
+}
+
+Socket
+acceptOn(Socket &listener)
+{
+    for (;;) {
+        const int fd = ::accept(listener.fd(), nullptr, nullptr);
+        if (fd < 0 && errno == EINTR)
+            continue;
+        return Socket(fd);
+    }
+}
+
+Socket
+connectTo(const Address &addr, std::string &error)
+{
+    if (addr.kind == Address::Kind::kUnix) {
+        sockaddr_un sun;
+        if (!fillUnixAddr(addr, sun)) {
+            error = "unix socket path too long";
+            return Socket();
+        }
+        Socket s(::socket(AF_UNIX, SOCK_STREAM, 0));
+        if (!s.valid()) {
+            error = csprintf("socket: %s", std::strerror(errno));
+            return Socket();
+        }
+        if (::connect(s.fd(), reinterpret_cast<sockaddr *>(&sun),
+                      sizeof(sun)) != 0) {
+            error = csprintf("connect %s: %s", addr.path.c_str(),
+                             std::strerror(errno));
+            return Socket();
+        }
+        return s;
+    }
+
+    addrinfo hints = {};
+    hints.ai_family = AF_UNSPEC;
+    hints.ai_socktype = SOCK_STREAM;
+    addrinfo *res = nullptr;
+    const std::string portStr = std::to_string(addr.port);
+    const int rc =
+        ::getaddrinfo(addr.host.c_str(), portStr.c_str(), &hints, &res);
+    if (rc != 0) {
+        error = csprintf("resolve %s: %s", addr.host.c_str(),
+                         ::gai_strerror(rc));
+        return Socket();
+    }
+    Socket s;
+    for (addrinfo *ai = res; ai; ai = ai->ai_next) {
+        Socket candidate(
+            ::socket(ai->ai_family, ai->ai_socktype, ai->ai_protocol));
+        if (!candidate.valid())
+            continue;
+        if (::connect(candidate.fd(), ai->ai_addr, ai->ai_addrlen) == 0) {
+            const int one = 1;
+            ::setsockopt(candidate.fd(), IPPROTO_TCP, TCP_NODELAY, &one,
+                         sizeof(one));
+            s = std::move(candidate);
+            break;
+        }
+    }
+    ::freeaddrinfo(res);
+    if (!s.valid())
+        error = csprintf("cannot connect to %s: %s", addr.str().c_str(),
+                         std::strerror(errno));
+    return s;
+}
+
+bool
+pollReadable(const std::vector<int> &fds, int timeoutMs,
+             std::vector<size_t> &readable)
+{
+    readable.clear();
+    std::vector<pollfd> pfds;
+    pfds.reserve(fds.size());
+    for (const int fd : fds)
+        pfds.push_back({fd, POLLIN, 0});
+    for (;;) {
+        const int rc =
+            ::poll(pfds.data(), static_cast<nfds_t>(pfds.size()),
+                   timeoutMs);
+        if (rc < 0 && errno == EINTR)
+            continue;
+        if (rc < 0)
+            return false;
+        break;
+    }
+    for (size_t i = 0; i < pfds.size(); ++i) {
+        if (pfds[i].revents & (POLLIN | POLLHUP | POLLERR | POLLNVAL))
+            readable.push_back(i);
+    }
+    return true;
+}
+
+// --- frame codec ----------------------------------------------------
+
+std::string
+encodeFrame(u32 type, const std::string &payload)
+{
+    panic_if(payload.size() > kMaxFramePayload,
+             "fabric frame payload of %zu bytes exceeds the %u cap",
+             payload.size(), kMaxFramePayload);
+    std::string frame;
+    frame.reserve(kFrameHeaderBytes + payload.size());
+    putU32(frame, kFrameMagic);
+    putU32(frame, type);
+    putU32(frame, static_cast<u32>(payload.size()));
+    putU32(frame, fsio::crc32(payload.data(), payload.size()));
+    frame.append(payload);
+    return frame;
+}
+
+void
+FrameDecoder::poison(const std::string &why)
+{
+    _corrupt = true;
+    _error = why;
+    _buf.clear();
+}
+
+void
+FrameDecoder::feed(const void *data, size_t len)
+{
+    if (_corrupt)
+        return;
+    _buf.append(static_cast<const char *>(data), len);
+}
+
+bool
+FrameDecoder::next(u32 &type, std::string &payload)
+{
+    if (_corrupt || _buf.size() < kFrameHeaderBytes)
+        return false;
+    const auto *bytes =
+        reinterpret_cast<const unsigned char *>(_buf.data());
+    const u32 magic = getU32(bytes);
+    if (magic != kFrameMagic) {
+        poison(csprintf("bad frame magic %08x (expected %08x)", magic,
+                        kFrameMagic));
+        return false;
+    }
+    const u32 frameType = getU32(bytes + 4);
+    const u32 length = getU32(bytes + 8);
+    const u32 crc = getU32(bytes + 12);
+    if (length > kMaxFramePayload) {
+        poison(csprintf("declared frame length %u exceeds the %u cap",
+                        length, kMaxFramePayload));
+        return false;
+    }
+    if (_buf.size() < kFrameHeaderBytes + length)
+        return false; // Incomplete: wait for more bytes.
+    const u32 actual = fsio::crc32(bytes + kFrameHeaderBytes, length);
+    if (actual != crc) {
+        poison(csprintf("frame CRC mismatch (type %u, %u bytes): "
+                        "%08x != %08x",
+                        frameType, length, actual, crc));
+        return false;
+    }
+    type = frameType;
+    payload.assign(_buf, kFrameHeaderBytes, length);
+    _buf.erase(0, kFrameHeaderBytes + length);
+    return true;
+}
+
+} // namespace aos::netio

@@ -1,0 +1,167 @@
+/**
+ * @file
+ * Minimal socket + framing layer for the campaign fabric (DESIGN.md
+ * §12) — the networking sibling of common/fsio.hh.
+ *
+ * Three small pieces, deliberately kept transport-agnostic:
+ *
+ *  - Address: a parsed endpoint, "unix:<path>" or "tcp:<host>:<port>".
+ *    Parsing is strict in the spirit of common/env.hh — a malformed
+ *    address is reported with a reason, never half-accepted.
+ *  - Socket: an RAII fd with the three operations the fabric needs:
+ *    sendAll() (whole buffer or error, SIGPIPE suppressed), recvSome()
+ *    (one read; 0 = orderly EOF) and listen/accept/connect helpers.
+ *  - Frame codec: every fabric message travels as
+ *
+ *        [magic u32 | type u32 | length u32 | payload crc32 u32]
+ *        [payload bytes...]                        (little-endian)
+ *
+ *    mirroring the checkpoint shard record layout (checkpoint.hh),
+ *    which is already a CRC-framed wire format in all but name. The
+ *    FrameDecoder is an incremental reassembler: feed() it whatever
+ *    recv returned and drain complete frames with next(). A frame
+ *    whose magic, declared length or CRC is wrong poisons the stream
+ *    (corrupt() latches with a diagnostic) — a corrupted peer is
+ *    disconnected, never partially trusted. A merely *incomplete*
+ *    frame is not an error; it waits for more bytes.
+ */
+
+#ifndef AOS_COMMON_NETIO_HH
+#define AOS_COMMON_NETIO_HH
+
+#include <cstddef>
+#include <deque>
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace aos::netio {
+
+// --- addresses ------------------------------------------------------
+
+struct Address
+{
+    enum class Kind { kUnix, kTcp };
+
+    Kind kind = Kind::kUnix;
+    std::string path; //!< kUnix: filesystem path of the socket.
+    std::string host; //!< kTcp: hostname or numeric address.
+    u16 port = 0;     //!< kTcp.
+
+    /** Back to the canonical "unix:..."/"tcp:host:port" spelling. */
+    std::string str() const;
+};
+
+/**
+ * Parse "unix:<path>" or "tcp:<host>:<port>". Strict: an unknown
+ * scheme, empty path/host, or a port that is not a complete decimal
+ * in [1, 65535] fails with @p error set to the reason.
+ */
+bool parseAddress(const std::string &text, Address &out,
+                  std::string &error);
+
+// --- sockets --------------------------------------------------------
+
+/** RAII socket fd. Move-only; closes on destruction. */
+class Socket
+{
+  public:
+    Socket() = default;
+    explicit Socket(int fd) : _fd(fd) {}
+    ~Socket();
+
+    Socket(const Socket &) = delete;
+    Socket &operator=(const Socket &) = delete;
+    Socket(Socket &&other) noexcept;
+    Socket &operator=(Socket &&other) noexcept;
+
+    bool valid() const { return _fd >= 0; }
+    int fd() const { return _fd; }
+
+    /** Release ownership of the fd without closing it. */
+    int release();
+
+    void close();
+
+    /**
+     * Send the whole buffer (looping over partial writes, EINTR
+     * retried, SIGPIPE suppressed). False on any error — after which
+     * the peer must be considered gone.
+     */
+    bool sendAll(const void *data, size_t len);
+    bool sendAll(const std::string &data);
+
+    /**
+     * One recv(2) of up to @p len bytes. Returns the byte count,
+     * 0 on orderly EOF, -1 on error (EINTR retried internally).
+     */
+    long recvSome(void *buf, size_t len);
+
+  private:
+    int _fd = -1;
+};
+
+/** Bind + listen at @p addr. Invalid socket + @p error on failure. */
+Socket listenAt(const Address &addr, std::string &error);
+
+/** Accept one pending connection; invalid socket on failure. */
+Socket acceptOn(Socket &listener);
+
+/** Connect to @p addr. Invalid socket + @p error on failure. */
+Socket connectTo(const Address &addr, std::string &error);
+
+/**
+ * poll(2) for readability with @p timeoutMs (-1 = forever). Fills
+ * @p readable with the indices of @p fds that are readable, closed or
+ * errored (the caller's recv distinguishes those). False on poll error.
+ */
+bool pollReadable(const std::vector<int> &fds, int timeoutMs,
+                  std::vector<size_t> &readable);
+
+// --- frame codec ----------------------------------------------------
+
+constexpr u32 kFrameMagic = 0x46534F41; // "AOSF"
+constexpr size_t kFrameHeaderBytes = 16;
+/** No fabric message approaches this; a larger declared length means a
+ *  corrupt or malicious header, exactly as in checkpoint.cc. */
+constexpr u32 kMaxFramePayload = 64u << 20;
+
+/** One framed message: header (magic/type/length/CRC32) + payload. */
+std::string encodeFrame(u32 type, const std::string &payload);
+
+/**
+ * Incremental frame reassembler over a byte stream. Never throws and
+ * never reads past what it was fed; designed to be driven by a fuzzer
+ * (tests/fabric_test.cc) as well as by sockets.
+ */
+class FrameDecoder
+{
+  public:
+    /** Ingest @p len raw bytes. No-op once the stream is corrupt. */
+    void feed(const void *data, size_t len);
+
+    /**
+     * Extract the next complete, CRC-verified frame. False when no
+     * complete frame is buffered (or the stream is corrupt).
+     */
+    bool next(u32 &type, std::string &payload);
+
+    /** A framing/CRC violation was seen; the stream is untrustworthy. */
+    bool corrupt() const { return _corrupt; }
+    const std::string &error() const { return _error; }
+
+    /** Bytes buffered but not yet consumed (incomplete frame). */
+    size_t pendingBytes() const { return _buf.size(); }
+
+  private:
+    void poison(const std::string &why);
+
+    std::string _buf;
+    bool _corrupt = false;
+    std::string _error;
+};
+
+} // namespace aos::netio
+
+#endif // AOS_COMMON_NETIO_HH

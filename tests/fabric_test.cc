@@ -1,0 +1,582 @@
+/**
+ * @file
+ * Tests for the distributed campaign fabric (campaign/fabric):
+ * protocol payload round trips and strict decode rejection, the
+ * evaluateHello admission matrix, checkpoint-record wire validation
+ * (RESULT frames carry exactly those bytes), and end-to-end runs with
+ * real worker processes — forked without exec, calling serveCampaign()
+ * directly — covering serial-vs-distributed canonical byte parity,
+ * identity-mismatch fallback, defector-worker reassignment, resuming
+ * a serial checkpoint into a fabric run, and orphaned-worker
+ * self-cancellation when the coordinator dies.
+ */
+
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <gtest/gtest.h>
+
+#include "campaign/campaign.hh"
+#include "campaign/checkpoint.hh"
+#include "campaign/fabric/fabric.hh"
+#include "campaign/fabric/protocol.hh"
+#include "common/cancel.hh"
+#include "common/fsio.hh"
+#include "common/logging.hh"
+#include "common/netio.hh"
+
+namespace aos::campaign {
+namespace {
+
+using fabric::FrameType;
+
+/** Self-deleting scratch directory. */
+struct TempDir
+{
+    std::string path;
+
+    TempDir()
+    {
+        char tmpl[] = "/tmp/aos_fabric_test_XXXXXX";
+        const char *made = ::mkdtemp(tmpl);
+        EXPECT_NE(made, nullptr);
+        path = made ? made : "";
+    }
+
+    ~TempDir()
+    {
+        if (path.empty())
+            return;
+        for (const std::string &name : fsio::listDir(path))
+            fsio::removeFile(path + "/" + name);
+        ::rmdir(path.c_str());
+    }
+};
+
+netio::Address
+unixAddr(const TempDir &dir, const char *name)
+{
+    netio::Address addr;
+    addr.kind = netio::Address::Kind::kUnix;
+    addr.path = dir.path + "/" + name;
+    return addr;
+}
+
+/**
+ * An 8-job deterministic campaign: pure cancellable bodies whose stats
+ * are functions of the job index, so serial, threaded and distributed
+ * runs must all serialize identical canonical JSON.
+ */
+Campaign
+fabricCampaign(CampaignOptions options)
+{
+    options.name = "fabric-test";
+    Campaign c(std::move(options));
+    for (int i = 0; i < 8; ++i) {
+        Job job;
+        job.name = csprintf("job%d", i);
+        job.seed = static_cast<u64>(i);
+        job.cancellableBody = [i](const CancelToken &cancel)
+            -> core::RunResult {
+            // ~100ms of cancellable "work": long enough that every
+            // forked worker joins while jobs remain (serveCampaign's
+            // connect retry is 200ms-grained), short enough for CI.
+            for (int slice = 0; slice < 10; ++slice) {
+                cancel.throwIfCancelled();
+                std::this_thread::sleep_for(
+                    std::chrono::milliseconds(10));
+            }
+            core::RunResult r;
+            r.workload = "body";
+            r.core.cycles = 10'000u + 137u * static_cast<u64>(i);
+            r.core.committed = 1'000u * static_cast<u64>(i) + 13;
+            return r;
+        };
+        c.add(std::move(job));
+    }
+    return c;
+}
+
+std::string
+referenceJson()
+{
+    CampaignOptions options;
+    options.workers = 1;
+    CampaignResult r = fabricCampaign(options).run();
+    EXPECT_TRUE(r.allOk());
+    return r.json(/*includeTimings=*/false);
+}
+
+/** Fork a worker that serves @p addr via serveCampaign, then _exit:
+ *  0 = served, 42 = identity-mismatch rejection. */
+pid_t
+forkWorker(const CampaignOptions &options, const netio::Address &addr,
+           unsigned delayMs = 0)
+{
+    // Copy outside the child: no allocation between fork and serve.
+    const netio::Address target = addr;
+    Campaign c = fabricCampaign(options);
+    const pid_t pid = ::fork();
+    if (pid == 0) {
+        if (delayMs)
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(delayMs));
+        const bool served =
+            fabric::serveCampaign(c.options(), c.jobs(), target);
+        ::_exit(served ? 0 : 42);
+    }
+    return pid;
+}
+
+int
+waitForExit(pid_t pid)
+{
+    int status = 0;
+    EXPECT_EQ(::waitpid(pid, &status, 0), pid);
+    return WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+}
+
+/** Blocking frame read for the manual (test-side) coordinator. */
+bool
+readFrame(netio::Socket &sock, netio::FrameDecoder &decoder, u32 &type,
+          std::string &payload)
+{
+    char buf[4096];
+    while (!decoder.next(type, payload)) {
+        if (decoder.corrupt())
+            return false;
+        const long n = sock.recvSome(buf, sizeof(buf));
+        if (n <= 0)
+            return false;
+        decoder.feed(buf, static_cast<size_t>(n));
+    }
+    return true;
+}
+
+bool
+sendFrame(netio::Socket &sock, FrameType type, const std::string &payload)
+{
+    return sock.sendAll(
+        netio::encodeFrame(static_cast<u32>(type), payload));
+}
+
+// --- protocol payloads ----------------------------------------------
+
+TEST(FabricProtocol, HelloRoundTrips)
+{
+    fabric::Hello h;
+    h.checkpointVersion = kCheckpointFormatVersion;
+    h.identity = 0x0123456789abcdefULL;
+    h.jobCount = 42;
+    h.label = "pid 999";
+    fabric::Hello back;
+    ASSERT_TRUE(fabric::decodeHello(fabric::encodeHello(h), back));
+    EXPECT_EQ(back.protocolVersion, fabric::kProtocolVersion);
+    EXPECT_EQ(back.checkpointVersion, kCheckpointFormatVersion);
+    EXPECT_EQ(back.identity, h.identity);
+    EXPECT_EQ(back.jobCount, 42u);
+    EXPECT_EQ(back.label, "pid 999");
+}
+
+TEST(FabricProtocol, AllPayloadsRejectTruncationAndTrailingBytes)
+{
+    fabric::Hello h;
+    h.label = "x";
+    fabric::Welcome w;
+    w.accepted = true;
+    w.reason = "ok";
+    fabric::JobAssign a;
+    a.jobId = 7;
+    fabric::Heartbeat hb;
+    hb.completed = 3;
+    const std::string payloads[] = {
+        fabric::encodeHello(h), fabric::encodeWelcome(w),
+        fabric::encodeJobAssign(a), fabric::encodeHeartbeat(hb)};
+    auto decodes = [&](int which, const std::string &p) {
+        fabric::Hello oh;
+        fabric::Welcome ow;
+        fabric::JobAssign oa;
+        fabric::Heartbeat ohb;
+        switch (which) {
+          case 0: return fabric::decodeHello(p, oh);
+          case 1: return fabric::decodeWelcome(p, ow);
+          case 2: return fabric::decodeJobAssign(p, oa);
+          default: return fabric::decodeHeartbeat(p, ohb);
+        }
+    };
+    for (int which = 0; which < 4; ++which) {
+        SCOPED_TRACE(which);
+        const std::string &good = payloads[which];
+        EXPECT_TRUE(decodes(which, good));
+        // Every strict prefix is an error, as is any suffix garbage.
+        for (size_t cut = 0; cut < good.size(); ++cut)
+            EXPECT_FALSE(decodes(which, good.substr(0, cut))) << cut;
+        EXPECT_FALSE(decodes(which, good + "x"));
+    }
+    // A declared string length pointing past the payload must fail,
+    // not over-read: claim a 1000-byte label in a short HELLO.
+    std::string evil = fabric::encodeHello(h);
+    const size_t lenOff = evil.size() - 1 - 4; // label bytes preceded
+    evil[lenOff] = static_cast<char>(0xE8);    // by its u32 length.
+    evil[lenOff + 1] = 0x03;
+    fabric::Hello out;
+    EXPECT_FALSE(fabric::decodeHello(evil, out));
+}
+
+TEST(FabricProtocol, EvaluateHelloAdmissionMatrix)
+{
+    fabric::Hello h;
+    h.checkpointVersion = kCheckpointFormatVersion;
+    h.identity = 0xABCD;
+    h.jobCount = 10;
+
+    fabric::Welcome ok = fabric::evaluateHello(h, 0xABCD, 10);
+    EXPECT_TRUE(ok.accepted);
+    EXPECT_TRUE(ok.reason.empty());
+
+    fabric::Hello wrongProto = h;
+    wrongProto.protocolVersion = fabric::kProtocolVersion + 1;
+    fabric::Welcome v = fabric::evaluateHello(wrongProto, 0xABCD, 10);
+    EXPECT_FALSE(v.accepted);
+    EXPECT_NE(v.reason.find("protocol"), std::string::npos) << v.reason;
+    EXPECT_FALSE(fabric::isIdentityMismatch(v.reason));
+
+    fabric::Hello wrongCkpt = h;
+    wrongCkpt.checkpointVersion = kCheckpointFormatVersion + 1;
+    v = fabric::evaluateHello(wrongCkpt, 0xABCD, 10);
+    EXPECT_FALSE(v.accepted);
+    EXPECT_NE(v.reason.find("checkpoint"), std::string::npos) << v.reason;
+    EXPECT_FALSE(fabric::isIdentityMismatch(v.reason));
+
+    v = fabric::evaluateHello(h, 0xBEEF, 10);
+    EXPECT_FALSE(v.accepted);
+    EXPECT_TRUE(fabric::isIdentityMismatch(v.reason)) << v.reason;
+
+    v = fabric::evaluateHello(h, 0xABCD, 11);
+    EXPECT_FALSE(v.accepted);
+    EXPECT_NE(v.reason.find("job count"), std::string::npos) << v.reason;
+    EXPECT_FALSE(fabric::isIdentityMismatch(v.reason));
+}
+
+// --- checkpoint records on the wire ---------------------------------
+
+JobResult
+sampleResult()
+{
+    JobResult r;
+    r.id = 5;
+    r.name = "wire";
+    r.profile = "bzip2";
+    r.status = JobStatus::kOk;
+    r.attempts = 1;
+    r.wallMs = 1.5;
+    r.stats.scalar("ipc") = 1.0 / 3.0;
+    return r;
+}
+
+TEST(FabricWire, CheckpointRecordRoundTripsAndReportsConsumed)
+{
+    const JobResult r = sampleResult();
+    const std::string bytes = encodeCheckpointRecord(r);
+    JobResult out;
+    size_t consumed = 0;
+    ASSERT_TRUE(decodeCheckpointRecord(bytes.data(), bytes.size(), out,
+                                       &consumed));
+    EXPECT_EQ(consumed, bytes.size());
+    EXPECT_EQ(out.id, 5u);
+    EXPECT_EQ(out.name, "wire");
+    EXPECT_FALSE(out.resumed); // Wire ingest counts as executed.
+    EXPECT_EQ(out.stats.value("ipc"), 1.0 / 3.0);
+}
+
+TEST(FabricWire, CheckpointRecordRejectsCorruption)
+{
+    const JobResult r = sampleResult();
+    const std::string bytes = encodeCheckpointRecord(r);
+    JobResult out;
+
+    // Every truncation is rejected (incomplete ≠ decodable).
+    for (size_t cut = 0; cut < bytes.size(); cut += 3)
+        EXPECT_FALSE(decodeCheckpointRecord(bytes.data(), cut, out));
+
+    // A flipped payload bit fails the CRC.
+    std::string flipped = bytes;
+    flipped[flipped.size() - 2] ^= 0x08;
+    EXPECT_FALSE(
+        decodeCheckpointRecord(flipped.data(), flipped.size(), out));
+
+    // A flipped magic byte is rejected before anything else.
+    std::string badMagic = bytes;
+    badMagic[0] ^= 0xFF;
+    EXPECT_FALSE(
+        decodeCheckpointRecord(badMagic.data(), badMagic.size(), out));
+
+    // An absurd declared length is rejected from the header alone.
+    std::string badLen = bytes;
+    badLen[4] = static_cast<char>(0xFF);
+    badLen[5] = static_cast<char>(0xFF);
+    badLen[6] = static_cast<char>(0xFF);
+    badLen[7] = static_cast<char>(0x7F);
+    EXPECT_FALSE(
+        decodeCheckpointRecord(badLen.data(), badLen.size(), out));
+}
+
+// --- end-to-end with forked worker processes ------------------------
+
+TEST(FabricE2E, DistributedRunMatchesSerialByteForByte)
+{
+    setQuiet(true);
+    const std::string reference = referenceJson();
+
+    TempDir dir;
+    const netio::Address addr = unixAddr(dir, "coord.sock");
+    CampaignOptions options;
+    options.fabricListen = addr.str();
+    options.fabricHeartbeatSec = 0.1;
+    options.progress = false;
+
+    std::vector<pid_t> workers;
+    for (int w = 0; w < 3; ++w)
+        workers.push_back(forkWorker(options, addr));
+
+    CampaignResult result = fabricCampaign(options).run();
+    EXPECT_TRUE(result.allOk());
+    EXPECT_EQ(result.executedJobs, 8u);
+    EXPECT_EQ(result.resumedJobs, 0u);
+    EXPECT_EQ(result.json(false), reference);
+
+    for (const pid_t pid : workers)
+        EXPECT_EQ(waitForExit(pid), 0);
+}
+
+TEST(FabricE2E, IdentityMismatchRejectionTriggersLocalFallback)
+{
+    setQuiet(true);
+    TempDir dir;
+    const netio::Address addr = unixAddr(dir, "coord.sock");
+    std::string error;
+    netio::Socket listener = netio::listenAt(addr, error);
+    ASSERT_TRUE(listener.valid()) << error;
+
+    CampaignOptions options;
+    options.fabricHeartbeatSec = 0.1;
+    const pid_t pid = forkWorker(options, addr);
+
+    netio::Socket conn = netio::acceptOn(listener);
+    ASSERT_TRUE(conn.valid());
+    netio::FrameDecoder decoder;
+    u32 type = 0;
+    std::string payload;
+    ASSERT_TRUE(readFrame(conn, decoder, type, payload));
+    ASSERT_EQ(type, static_cast<u32>(FrameType::kHello));
+    fabric::Hello hello;
+    ASSERT_TRUE(fabric::decodeHello(payload, hello));
+
+    // This coordinator runs a *different* campaign: same job count,
+    // different identity. The worker must report the rejection by
+    // returning false from serveCampaign (exit 42 in the child), which
+    // is what lets Campaign::run() fall back to local execution.
+    const fabric::Welcome verdict = fabric::evaluateHello(
+        hello, hello.identity ^ 1, hello.jobCount);
+    ASSERT_FALSE(verdict.accepted);
+    ASSERT_TRUE(fabric::isIdentityMismatch(verdict.reason));
+    ASSERT_TRUE(sendFrame(conn, FrameType::kWelcome,
+                          fabric::encodeWelcome(verdict)));
+    EXPECT_EQ(waitForExit(pid), 42);
+}
+
+TEST(FabricE2E, DefectorWorkerAssignmentIsReassigned)
+{
+    setQuiet(true);
+    const std::string reference = referenceJson();
+
+    TempDir dir;
+    const netio::Address addr = unixAddr(dir, "coord.sock");
+    CampaignOptions options;
+    options.fabricListen = addr.str();
+    options.fabricHeartbeatSec = 0.1;
+
+    // The defector speaks the protocol correctly, accepts an
+    // assignment, then silently dies. Its job must come back to the
+    // queue and complete on the honest worker, with unchanged bytes.
+    Campaign probe = fabricCampaign(options);
+    const u64 identity = identityHash(probe.options(), probe.jobs());
+    const pid_t defector = ::fork();
+    if (defector == 0) {
+        std::string err;
+        netio::Socket sock;
+        for (int i = 0; i < 25 && !sock.valid(); ++i) {
+            sock = netio::connectTo(addr, err);
+            if (!sock.valid())
+                std::this_thread::sleep_for(
+                    std::chrono::milliseconds(200));
+        }
+        if (!sock.valid())
+            ::_exit(3);
+        fabric::Hello hello;
+        hello.checkpointVersion = kCheckpointFormatVersion;
+        hello.identity = identity;
+        hello.jobCount = 8;
+        hello.label = "defector";
+        if (!sendFrame(sock, FrameType::kHello,
+                       fabric::encodeHello(hello)))
+            ::_exit(4);
+        netio::FrameDecoder decoder;
+        u32 type = 0;
+        std::string payload;
+        if (!readFrame(sock, decoder, type, payload) ||
+            type != static_cast<u32>(FrameType::kWelcome))
+            ::_exit(5);
+        // Take (and abscond with) exactly one assignment.
+        if (!readFrame(sock, decoder, type, payload) ||
+            type != static_cast<u32>(FrameType::kJobAssign))
+            ::_exit(6);
+        ::_exit(0);
+    }
+    // The honest worker joins late so the defector demonstrably held
+    // an assignment first.
+    const pid_t honest = forkWorker(options, addr, /*delayMs=*/400);
+
+    CampaignResult result = fabricCampaign(options).run();
+    EXPECT_TRUE(result.allOk());
+    EXPECT_EQ(result.executedJobs, 8u);
+    EXPECT_EQ(result.json(false), reference);
+    EXPECT_EQ(waitForExit(defector), 0);
+    EXPECT_EQ(waitForExit(honest), 0);
+}
+
+TEST(FabricE2E, SerialCheckpointResumesIntoFabricRun)
+{
+    setQuiet(true);
+    const std::string reference = referenceJson();
+    TempDir ckpt;
+
+    // Serial run, interrupted after ~3 jobs via the shutdown token.
+    {
+        CancelToken shutdown;
+        CampaignOptions options;
+        options.workers = 1;
+        options.checkpointDir = ckpt.path;
+        options.cancel = &shutdown;
+        Campaign c = fabricCampaign(options);
+        // Trip the token from a watcher once some records are durable.
+        std::thread watcher([&]() {
+            for (int i = 0; i < 200; ++i) {
+                std::string data;
+                if (fsio::readFile(ckpt.path + "/shard-000.log", data) &&
+                    !data.empty()) {
+                    break;
+                }
+                std::this_thread::sleep_for(
+                    std::chrono::milliseconds(10));
+            }
+            shutdown.requestCancel();
+        });
+        CampaignResult partial = c.run();
+        watcher.join();
+        EXPECT_GE(partial.executedJobs, 1u);
+        EXPECT_LT(partial.executedJobs, 8u);
+    }
+
+    // Fabric run over the same checkpoint directory: the fabric knobs
+    // are execution-only, so the manifest still matches and only the
+    // remainder executes — and the bytes still match the reference.
+    TempDir dir;
+    const netio::Address addr = unixAddr(dir, "coord.sock");
+    CampaignOptions options;
+    options.fabricListen = addr.str();
+    options.fabricHeartbeatSec = 0.1;
+    options.checkpointDir = ckpt.path;
+    const pid_t worker = forkWorker(options, addr);
+
+    CampaignResult resumed = fabricCampaign(options).run();
+    EXPECT_TRUE(resumed.allOk());
+    EXPECT_GE(resumed.resumedJobs, 1u);
+    EXPECT_EQ(resumed.resumedJobs + resumed.executedJobs, 8u);
+    EXPECT_EQ(resumed.json(false), reference);
+    EXPECT_EQ(waitForExit(worker), 0);
+
+    // And a fully-serial rerun of the now-complete checkpoint agrees.
+    CampaignOptions serial;
+    serial.workers = 1;
+    serial.checkpointDir = ckpt.path;
+    CampaignResult again = fabricCampaign(serial).run();
+    EXPECT_EQ(again.resumedJobs, 8u);
+    EXPECT_EQ(again.executedJobs, 0u);
+    EXPECT_EQ(again.json(false), reference);
+}
+
+TEST(FabricE2E, OrphanedWorkerCancelsInFlightJobPromptly)
+{
+    setQuiet(true);
+    TempDir dir;
+    const netio::Address addr = unixAddr(dir, "coord.sock");
+    std::string error;
+    netio::Socket listener = netio::listenAt(addr, error);
+    ASSERT_TRUE(listener.valid()) << error;
+
+    // One endless-until-cancelled job: without orphan detection the
+    // worker would grind for the full 20s fuse; with it, the failing
+    // heartbeat cancels the attempt within a couple of intervals.
+    CampaignOptions options;
+    options.name = "orphan-test";
+    options.fabricHeartbeatSec = 0.05;
+    Campaign c(options);
+    Job job;
+    job.name = "endless";
+    job.cancellableBody = [](const CancelToken &cancel)
+        -> core::RunResult {
+        for (int i = 0; i < 2000; ++i) { // ~20s fuse if never cancelled.
+            cancel.throwIfCancelled();
+            std::this_thread::sleep_for(std::chrono::milliseconds(10));
+        }
+        return {};
+    };
+    c.add(std::move(job));
+
+    const pid_t pid = ::fork();
+    if (pid == 0) {
+        const bool served =
+            fabric::serveCampaign(c.options(), c.jobs(), addr);
+        ::_exit(served ? 0 : 42);
+    }
+
+    netio::Socket conn = netio::acceptOn(listener);
+    ASSERT_TRUE(conn.valid());
+    netio::FrameDecoder decoder;
+    u32 type = 0;
+    std::string payload;
+    ASSERT_TRUE(readFrame(conn, decoder, type, payload));
+    fabric::Hello hello;
+    ASSERT_TRUE(fabric::decodeHello(payload, hello));
+    ASSERT_TRUE(sendFrame(conn, FrameType::kWelcome,
+                          fabric::encodeWelcome(fabric::evaluateHello(
+                              hello, hello.identity, hello.jobCount))));
+    fabric::JobAssign assign;
+    assign.jobId = 0;
+    ASSERT_TRUE(sendFrame(conn, FrameType::kJobAssign,
+                          fabric::encodeJobAssign(assign)));
+
+    // Let the job start, then die: the worker's next heartbeat send
+    // fails and must abort the attempt.
+    std::this_thread::sleep_for(std::chrono::milliseconds(300));
+    const auto t0 = std::chrono::steady_clock::now();
+    conn.close();
+    listener.close();
+    EXPECT_EQ(waitForExit(pid), 0);
+    const double tookSec = std::chrono::duration<double>(
+                               std::chrono::steady_clock::now() - t0)
+                               .count();
+    EXPECT_LT(tookSec, 5.0); // Orders of magnitude under the fuse.
+}
+
+} // namespace
+} // namespace aos::campaign
