@@ -26,6 +26,13 @@
  *                          "unix:<path>" / "tcp:<host>:<port>"
  *   AOS_FABRIC_CONNECT     run as a remote worker serving the
  *                          coordinator at this address
+ *   AOS_FABRIC_HEARTBEAT_GRACE
+ *                          heartbeat-silence multiples before the
+ *                          coordinator evicts a worker (default 10)
+ *   AOS_CHAOS              "<seed>,<rate‰>,<domains>[,<cap>]" installs
+ *                          the deterministic environment-fault engine
+ *                          (common/chaosio.hh, DESIGN.md §13);
+ *                          domains are '+'-joined from disk/net/alloc/all
  *
  * Numeric knobs are parsed strictly (common/env.hh): a typo is a fatal
  * diagnostic naming the variable, never a silently-ignored override.
@@ -45,6 +52,7 @@
 
 #include "campaign/campaign.hh"
 #include "common/cancel.hh"
+#include "common/chaosio.hh"
 #include "common/env.hh"
 #include "common/logging.hh"
 #include "common/stats.hh"
@@ -109,6 +117,13 @@ campaignOptions(const std::string &name)
     options.fabricConnect = envString("AOS_FABRIC_WORKER");
     if (options.fabricConnect.empty())
         options.fabricConnect = envString("AOS_FABRIC_CONNECT");
+    options.fabricHeartbeatGrace =
+        envUnsigned("AOS_FABRIC_HEARTBEAT_GRACE", 10);
+    // AOS_CHAOS installs the process-global environment-fault engine;
+    // spawned fabric workers inherit the variable (childEnv scrubs
+    // only fabric/campaign routing), so a chaos campaign stays chaotic
+    // across process boundaries with per-process schedules.
+    chaos::installChaosFromEnv();
     // Graceful shutdown: SIGINT/SIGTERM trips the process token; the
     // campaign preempts running jobs at their next cancellation point,
     // flushes the checkpoint, and returns with interrupted set.

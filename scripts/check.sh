@@ -8,8 +8,9 @@
 # regression guard, crash-resume check (SIGKILL mid-campaign +
 # AOS_CAMPAIGN_RESUME byte parity), distributed-fabric check (worker
 # processes via AOS_FABRIC_WORKERS, worker/coordinator SIGKILL,
-# resume + byte parity), and clang-tidy lint. Run from the repository
-# root:
+# resume + byte parity), chaos-engine check (deterministic AOS_CHAOS
+# fault injection with byte parity + the graceful-degradation audit),
+# and clang-tidy lint. Run from the repository root:
 #
 #   scripts/check.sh              # everything
 #   AOS_CHECK_SKIP_SANITIZE=1 scripts/check.sh   # skip the ASan pass
@@ -24,27 +25,27 @@ cd "$(dirname "$0")/.."
 
 JOBS="${AOS_CHECK_JOBS:-$(nproc)}"
 
-echo "== [1/11] default build =="
+echo "== [1/12] default build =="
 cmake --preset default
 cmake --build --preset default -j "${JOBS}"
 
-echo "== [2/11] tier-1 tests =="
+echo "== [2/12] tier-1 tests =="
 ctest --preset default -j "${JOBS}"
 
 SMOKE_DIR="$(mktemp -d)"
 trap 'rm -rf "${SMOKE_DIR}"' EXIT
 
 if [ "${AOS_CHECK_SKIP_SANITIZE:-0}" != "1" ]; then
-    echo "== [3/11] sanitizer build + fast tests (ASan+UBSan) =="
+    echo "== [3/12] sanitizer build + fast tests (ASan+UBSan) =="
     cmake --preset sanitize
     cmake --build --preset sanitize -j "${JOBS}"
     ctest --preset sanitize -LE slow -j "${JOBS}"
 else
-    echo "== [3/11] sanitizer pass skipped (AOS_CHECK_SKIP_SANITIZE=1) =="
+    echo "== [3/12] sanitizer pass skipped (AOS_CHECK_SKIP_SANITIZE=1) =="
 fi
 
 if [ "${AOS_CHECK_SKIP_SANITIZE:-0}" != "1" ]; then
-    echo "== [4/11] thread-sanitizer pass (TSan) =="
+    echo "== [4/12] thread-sanitizer pass (TSan) =="
     # The campaign worker pool, checkpoint writer and logging sinks are
     # the only concurrent subsystems: build exactly what exercises
     # them, run their suites, then drive a jobs=4 campaign end to end
@@ -61,7 +62,7 @@ if [ "${AOS_CHECK_SKIP_SANITIZE:-0}" != "1" ]; then
     grep -q '"schema": "aos-campaign-v1"' "${SMOKE_DIR}/tsan-smoke.json"
     echo "tsan: concurrency suites OK"
 else
-    echo "== [4/11] TSan pass skipped (AOS_CHECK_SKIP_SANITIZE=1) =="
+    echo "== [4/12] TSan pass skipped (AOS_CHECK_SKIP_SANITIZE=1) =="
 fi
 
 # Strip the timing-only fields (each JSON member is on its own line)
@@ -76,7 +77,7 @@ json_parity() {
     fi
 }
 
-echo "== [5/11] campaign smoke (JSON + jobs=1 vs jobs=4 parity) =="
+echo "== [5/12] campaign smoke (JSON + jobs=1 vs jobs=4 parity) =="
 AOS_SIM_OPS=20000 AOS_CAMPAIGN_PROGRESS=0 AOS_CAMPAIGN_JOBS=1 \
     AOS_CAMPAIGN_JSON="${SMOKE_DIR}/serial.json" ./build/bench/campaign_smoke
 AOS_SIM_OPS=20000 AOS_CAMPAIGN_PROGRESS=0 AOS_CAMPAIGN_JOBS=4 \
@@ -87,7 +88,7 @@ json_parity "${SMOKE_DIR}/serial.json" "${SMOKE_DIR}/parallel.json" \
     "campaign smoke"
 echo "campaign smoke: parity OK"
 
-echo "== [6/11] fault-matrix smoke (DESIGN.md §8 audit) =="
+echo "== [6/12] fault-matrix smoke (DESIGN.md §8 audit) =="
 # Run the graceful-degradation audit under the sanitizer build when
 # available — injected corruption must be UB-free, not just survivable.
 FAULT_BIN=./build/bench/fault_matrix
@@ -103,7 +104,7 @@ json_parity "${SMOKE_DIR}/fault1.json" "${SMOKE_DIR}/faultN.json" \
     "fault matrix"
 echo "fault matrix: audit + parity OK"
 
-echo "== [7/11] bounds-elision ablation (obligation gates + parity) =="
+echo "== [7/12] bounds-elision ablation (obligation gates + parity) =="
 # The benchmark itself exits non-zero if any ObligationChecker gate
 # fails or elision coverage collapses (DESIGN.md §11); the wrapper adds
 # the determinism contract on top.
@@ -118,7 +119,7 @@ json_parity "${SMOKE_DIR}/belide1.json" "${SMOKE_DIR}/belideN.json" \
     "bounds elision"
 echo "bounds elision: gates + parity OK"
 
-echo "== [8/11] simulator throughput guard =="
+echo "== [8/12] simulator throughput guard =="
 # Smoke-mode run of the host-throughput benchmark against the
 # checked-in baseline: the per-mechanism ops/sec geomeans may not drop
 # more than the guard band below scripts/throughput_baseline.json
@@ -161,7 +162,7 @@ done
 [ "${THROUGHPUT_GUARD_OK}" = "1" ] || exit 1
 echo "throughput guard: OK"
 
-echo "== [9/11] crash-resume (SIGKILL mid-campaign, resume, parity) =="
+echo "== [9/12] crash-resume (SIGKILL mid-campaign, resume, parity) =="
 # Kill a checkpointed campaign once its first record is durable, resume
 # it with AOS_CAMPAIGN_RESUME, and require the canonical JSON to be
 # byte-identical to an uninterrupted run (DESIGN.md §10).
@@ -216,7 +217,7 @@ resume_check fig14 ./build/bench/fig14_exec_time 4 20000
 resume_check fault_matrix "${FAULT_BIN}" 4 20000
 resume_check sim_throughput ./build/bench/sim_throughput 4 20000
 
-echo "== [10/11] distributed fabric (worker processes, kill, resume) =="
+echo "== [10/12] distributed fabric (worker processes, kill, resume) =="
 # The campaign fabric (DESIGN.md §12): the same benches distributed
 # over 4 spawned worker processes must emit canonical JSON
 # byte-identical to the serial run, a SIGKILLed worker must only cost
@@ -326,7 +327,67 @@ if ! cmp -s "${FABRIC_DIR}/fault-serial.json" \
 fi
 echo "  fault_matrix: complete-checkpoint fabric re-run exits clean OK"
 
-echo "== [11/11] lint =="
+echo "== [11/12] chaos engine (fault injection + degradation audit) =="
+# DESIGN.md §13: under a fixed AOS_CHAOS schedule every subsystem must
+# either absorb the injected environment faults (retry/backoff) or
+# abort cleanly — and whenever a campaign reports success its canonical
+# JSON must be byte-identical to the chaos-free reference, because
+# chaos is an execution-only knob like the worker count.
+CHAOS_DIR="${SMOKE_DIR}/chaos"
+mkdir -p "${CHAOS_DIR}"
+
+# Checkpointed campaign under disk chaos (torn appends, failed fsyncs,
+# ENOSPC): the retry-with-truncation discipline must reproduce the
+# stage-10 serial reference bytes.
+AOS_SIM_OPS=20000 AOS_CAMPAIGN_PROGRESS=0 AOS_CAMPAIGN_JOBS=4 \
+    AOS_CHAOS="1337,12,disk" \
+    AOS_CAMPAIGN_RESUME="${CHAOS_DIR}/ckpt" AOS_CAMPAIGN_JSON=off \
+    AOS_CAMPAIGN_JSON_CANONICAL="${CHAOS_DIR}/smoke-chaos.json" \
+    ./build/bench/campaign_smoke > /dev/null
+if ! cmp -s "${FABRIC_DIR}/smoke-serial.json" \
+            "${CHAOS_DIR}/smoke-chaos.json"; then
+    echo "chaos: campaign_smoke disk-chaos parity FAILED" >&2
+    diff "${FABRIC_DIR}/smoke-serial.json" \
+         "${CHAOS_DIR}/smoke-chaos.json" | head -40 >&2 || true
+    exit 1
+fi
+echo "  campaign_smoke: disk-chaos checkpointed parity OK"
+
+# Distributed fabric under disk+net chaos (resets, flips, partial
+# transfers): poisoned links cost evictions and respawns, never wrong
+# bytes. The tightened heartbeat grace bounds eviction latency.
+AOS_SIM_OPS=20000 AOS_CAMPAIGN_PROGRESS=0 AOS_FABRIC_WORKERS=4 \
+    AOS_FABRIC_HEARTBEAT_GRACE=2 AOS_CHAOS="4242,8,disk+net" \
+    AOS_CAMPAIGN_JSON=off \
+    AOS_CAMPAIGN_JSON_CANONICAL="${CHAOS_DIR}/fault-chaos.json" \
+    ./build/bench/fault_matrix > /dev/null
+if ! cmp -s "${FABRIC_DIR}/fault-serial.json" \
+            "${CHAOS_DIR}/fault-chaos.json"; then
+    echo "chaos: fault_matrix fabric disk+net chaos parity FAILED" >&2
+    diff "${FABRIC_DIR}/fault-serial.json" \
+         "${CHAOS_DIR}/fault-chaos.json" | head -40 >&2 || true
+    exit 1
+fi
+echo "  fault_matrix: 4-worker fabric disk+net chaos parity OK"
+
+# The graceful-degradation audit itself: >= 500 scenarios, zero
+# contract violations, and its own canonical JSON must not depend on
+# the worker count (the audit audits itself).
+AOS_CAMPAIGN_PROGRESS=0 AOS_CAMPAIGN_JOBS=1 AOS_CAMPAIGN_JSON=off \
+    AOS_CAMPAIGN_JSON_CANONICAL="${CHAOS_DIR}/audit1.json" \
+    ./build/bench/chaos_audit
+AOS_CAMPAIGN_PROGRESS=0 AOS_CAMPAIGN_JOBS=4 AOS_CAMPAIGN_JSON=off \
+    AOS_CAMPAIGN_JSON_CANONICAL="${CHAOS_DIR}/auditN.json" \
+    ./build/bench/chaos_audit > /dev/null
+if ! cmp -s "${CHAOS_DIR}/audit1.json" "${CHAOS_DIR}/auditN.json"; then
+    echo "chaos: audit jobs=1 vs jobs=4 parity FAILED" >&2
+    diff "${CHAOS_DIR}/audit1.json" "${CHAOS_DIR}/auditN.json" |
+        head -40 >&2 || true
+    exit 1
+fi
+echo "  chaos_audit: degradation audit + parity OK"
+
+echo "== [12/12] lint =="
 cmake --build --preset default --target lint
 
 echo "All checks passed."

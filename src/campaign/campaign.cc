@@ -12,6 +12,7 @@
 #include "campaign/checkpoint.hh"
 #include "campaign/fabric/fabric.hh"
 #include "campaign/json.hh"
+#include "common/chaosio.hh"
 #include "common/env.hh"
 #include "common/logging.hh"
 #include "common/mpmc_ring.hh"
@@ -279,6 +280,10 @@ executeJobAttempts(const std::vector<Job> &jobs, u32 idx, JobResult &r,
             cancel.setDeadlineAfter(timeoutSec);
         const Clock::time_point t0 = Clock::now();
         try {
+            // Chaos alloc domain: a synthetic bad_alloc at the attempt
+            // boundary lands in the catch below and is retried like
+            // any other transient failure.
+            chaos::probeAlloc();
             core::RunResult run = executeJob(job, cancel);
             r.wallMs = 1e3 * secondsSince(t0, Clock::now());
             if (timeoutSec > 0 && r.wallMs > 1e3 * timeoutSec) {

@@ -191,6 +191,14 @@ struct CampaignOptions
 
     /** Worker HEARTBEAT cadence (liveness + progress aggregation). */
     double fabricHeartbeatSec = 1.0;
+
+    /**
+     * Heartbeat-silence multiples before the coordinator declares a
+     * worker dead and requeues its assignment (AOS_FABRIC_HEARTBEAT_
+     * GRACE). Execution-scheduling only — never part of the campaign
+     * identity hash, so tuning it does not invalidate checkpoints.
+     */
+    unsigned fabricHeartbeatGrace = 10;
 };
 
 struct CampaignResult

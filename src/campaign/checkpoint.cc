@@ -2,7 +2,10 @@
 
 #include <algorithm>
 #include <cstring>
+#include <new>
 
+#include "common/backoff.hh"
+#include "common/chaosio.hh"
 #include "common/logging.hh"
 
 namespace aos::campaign {
@@ -257,6 +260,33 @@ shardFileName(unsigned index)
     return csprintf("shard-%03u.log", index);
 }
 
+/**
+ * Retry a disk operation through the shared backoff policy. Transient
+ * faults (the kind the chaos engine injects and real disks produce —
+ * brief EIO, fd-table pressure) clear within a retry or two; a disk
+ * that stays broken for all six attempts is a real failure and is
+ * reported as such. The seed salt keeps concurrent retriers unsynced
+ * while staying deterministic for a fixed chaos seed.
+ */
+template <typename Fn>
+bool
+retryDisk(Fn &&fn, u64 seedSalt)
+{
+    BackoffPolicy policy;
+    policy.initialMs = 1;
+    policy.maxMs = 50;
+    policy.multiplier = 4;
+    policy.maxAttempts = 6;
+    policy.seed = seedSalt;
+    Backoff backoff(policy);
+    for (;;) {
+        if (fn())
+            return true;
+        if (!backoff.sleep())
+            return false;
+    }
+}
+
 /** Sorted paths of every shard file in @p dir. */
 std::vector<std::string>
 findShards(const std::string &dir)
@@ -485,11 +515,23 @@ CheckpointWriter::start(const std::string &dir,
         _error = "cannot create checkpoint directory " + dir;
         return false;
     }
+    // A crash inside atomicWriteFile leaves a *.tmp behind (the unlink
+    // on the failure paths only runs if the process survives). Sweep
+    // them on open — a temp file is by construction uncommitted state.
+    for (const std::string &name : fsio::listDir(dir)) {
+        if (name.size() > 4 &&
+            name.compare(name.size() - 4, 4, ".tmp") == 0) {
+            fsio::removeFile(dir + "/" + name);
+        }
+    }
     if (load.valid) {
         // Cut corrupt tails so new appends start at a record boundary.
         for (const auto &[path, validBytes] : load.shards) {
-            if (!fsio::truncateFile(path, validBytes)) {
-                _error = "cannot truncate " + path;
+            const std::string &p = path;
+            const u64 bytes = validBytes;
+            if (!retryDisk([&] { return fsio::truncateFile(p, bytes); },
+                           fsio::fnv1a64(p.data(), p.size()))) {
+                _error = "cannot truncate " + p;
                 return false;
             }
         }
@@ -499,21 +541,28 @@ CheckpointWriter::start(const std::string &dir,
         // either the old rejected state or an empty valid one.
         for (const auto &[path, validBytes] : load.shards) {
             (void)validBytes;
-            if (!fsio::removeFile(path)) {
-                _error = "cannot remove stale shard " + path;
+            const std::string &p = path;
+            if (!retryDisk([&] { return fsio::removeFile(p); },
+                           fsio::fnv1a64(p.data(), p.size()))) {
+                _error = "cannot remove stale shard " + p;
                 return false;
             }
         }
-        if (!fsio::fsyncDir(dir)) {
+        if (!retryDisk([&] { return fsio::fsyncDir(dir); }, 0x1001)) {
             _error = "cannot fsync " + dir;
             return false;
         }
-        if (!fsio::atomicWriteFile(dir + "/manifest.bin",
-                                   encodeCheckpointManifest(manifest))) {
+        if (!retryDisk(
+                [&] {
+                    return fsio::atomicWriteFile(
+                        dir + "/manifest.bin",
+                        encodeCheckpointManifest(manifest));
+                },
+                0x1002)) {
             _error = "cannot write manifest in " + dir;
             return false;
         }
-        // Operator-facing mirror; never parsed.
+        // Operator-facing mirror; never parsed, so never retried.
         fsio::atomicWriteFile(
             dir + "/manifest.txt",
             csprintf("campaign: %s\njobs: %llu\nidentity: %016llx\n"
@@ -527,12 +576,12 @@ CheckpointWriter::start(const std::string &dir,
     _logs = std::vector<fsio::AppendLog>(std::max(1u, shards));
     for (unsigned k = 0; k < _logs.size(); ++k) {
         const std::string path = dir + "/" + shardFileName(k);
-        if (!_logs[k].open(path)) {
+        if (!retryDisk([&] { return _logs[k].open(path); }, 0x2000 + k)) {
             _error = "cannot open " + path;
             return false;
         }
     }
-    if (!fsio::fsyncDir(dir)) {
+    if (!retryDisk([&] { return fsio::fsyncDir(dir); }, 0x1003)) {
         _error = "cannot fsync " + dir;
         return false;
     }
@@ -544,8 +593,36 @@ CheckpointWriter::append(unsigned shard, const JobResult &r)
 {
     if (shard >= _logs.size() || !_logs[shard].isOpen())
         return false;
-    const std::string record = encodeCheckpointRecord(r);
-    return _logs[shard].append(record.data(), record.size());
+    fsio::AppendLog &log = _logs[shard];
+    BackoffPolicy policy;
+    policy.initialMs = 1;
+    policy.maxMs = 50;
+    policy.multiplier = 4;
+    policy.maxAttempts = 6;
+    policy.seed = 0x3000 + shard;
+    Backoff backoff(policy);
+    for (;;) {
+        // A failed append can leave a partial record durable; snapshot
+        // the boundary and cut back to it before retrying, so a
+        // retried record never lands after garbage that would hide it
+        // (and everything behind it) from the stop-at-first-bad-record
+        // loader.
+        const long long mark = log.offset();
+        bool ok = false;
+        try {
+            chaos::probeAlloc();
+            const std::string record = encodeCheckpointRecord(r);
+            ok = mark >= 0 && log.append(record.data(), record.size());
+        } catch (const std::bad_alloc &) {
+            ok = false;
+        }
+        if (ok)
+            return true;
+        if (mark >= 0)
+            log.truncateTo(static_cast<u64>(mark));
+        if (!backoff.sleep())
+            return false;
+    }
 }
 
 void

@@ -24,6 +24,7 @@
 #include "campaign/fabric/fabric.hh"
 
 #include <algorithm>
+#include <cerrno>
 #include <chrono>
 #include <csignal>
 #include <cstdlib>
@@ -36,6 +37,7 @@
 
 #include "campaign/checkpoint.hh"
 #include "campaign/fabric/protocol.hh"
+#include "common/backoff.hh"
 #include "common/logging.hh"
 
 extern char **environ;
@@ -249,6 +251,11 @@ runCoordinator(const CampaignOptions &options, const std::vector<Job> &jobs,
     Clock::time_point lastReport = start;
     const double heartbeatSec =
         options.fabricHeartbeatSec > 0 ? options.fabricHeartbeatSec : 1.0;
+    // Heartbeat-silence budget before a worker is declared dead
+    // (AOS_FABRIC_HEARTBEAT_GRACE multiples of the cadence). Floor of
+    // one beat: a zero grace would evict every worker instantly.
+    const double graceSec =
+        std::max(1u, options.fabricHeartbeatGrace) * heartbeatSec;
 
     auto shutdown = [&]() {
         return options.cancel && options.cancel->cancelled();
@@ -395,6 +402,15 @@ runCoordinator(const CampaignOptions &options, const std::vector<Job> &jobs,
     const int pollMs = static_cast<int>(
         std::max(50.0, std::min(500.0, heartbeatSec * 250.0)));
 
+    // A failing accept (fd exhaustion, transient ECONNABORTED storms)
+    // must not spin the event loop hot: back off briefly, reset on the
+    // next success.
+    BackoffPolicy acceptPolicy;
+    acceptPolicy.initialMs = 5;
+    acceptPolicy.maxMs = 200;
+    acceptPolicy.maxAttempts = ~0u; // The poll loop itself bounds us.
+    Backoff acceptBackoff(acceptPolicy, options.cancel);
+
     while (completed < total && !shutdown()) {
         // Hand a job to every admitted idle worker.
         for (WorkerConn &w : workers) {
@@ -468,10 +484,16 @@ runCoordinator(const CampaignOptions &options, const std::vector<Job> &jobs,
             if (idx < listeners.size()) {
                 netio::Socket conn = netio::acceptOn(listeners[idx]);
                 if (conn.valid()) {
+                    acceptBackoff.reset();
                     WorkerConn w;
                     w.sock = std::move(conn);
                     w.label = "connecting";
                     workers.push_back(std::move(w));
+                } else {
+                    warn("fabric: accept failed: %s",
+                         std::strerror(errno));
+                    if (!acceptBackoff.sleep())
+                        acceptBackoff.reset(); // Cancelled: loop exits.
                 }
                 continue;
             }
@@ -492,7 +514,7 @@ runCoordinator(const CampaignOptions &options, const std::vector<Job> &jobs,
         const Clock::time_point now = Clock::now();
         for (WorkerConn &w : workers) {
             if (w.sock.valid() && w.admitted &&
-                secondsSince(w.lastSeen, now) > 10.0 * heartbeatSec) {
+                secondsSince(w.lastSeen, now) > graceSec) {
                 forfeit(w, "went heartbeat-silent");
             }
         }

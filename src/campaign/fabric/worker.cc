@@ -25,6 +25,7 @@
 
 #include "campaign/checkpoint.hh"
 #include "campaign/fabric/protocol.hh"
+#include "common/backoff.hh"
 #include "common/logging.hh"
 
 namespace aos::campaign::fabric {
@@ -58,19 +59,31 @@ bool
 serveCampaign(const CampaignOptions &options, const std::vector<Job> &jobs,
               const netio::Address &addr)
 {
-    // Connect, retrying briefly: a manually started remote worker may
-    // beat its coordinator to the rendezvous.
+    // Connect with capped exponential backoff: a manually started
+    // remote worker may beat its coordinator to the rendezvous by
+    // milliseconds (retry fast) or by a coordinator restart (retry
+    // slow, without hammering). The pid seed de-syncs a fleet of
+    // workers all chasing the same endpoint.
     netio::Socket sock;
     std::string error;
-    for (int attempt = 0; attempt < 25; ++attempt) {
+    BackoffPolicy policy;
+    policy.initialMs = 25;
+    policy.maxMs = 1000;
+    policy.multiplier = 2;
+    policy.maxAttempts = 14; // ~9 s worst case, ~5 s typical.
+    policy.seed = static_cast<u64>(::getpid());
+    Backoff backoff(policy, options.cancel);
+    for (;;) {
         sock = netio::connectTo(addr, error);
         if (sock.valid())
             break;
-        std::this_thread::sleep_for(std::chrono::milliseconds(200));
+        if (!backoff.sleep())
+            break;
     }
     if (!sock.valid()) {
-        fatal("fabric worker: cannot reach coordinator at %s: %s",
-              addr.str().c_str(), error.c_str());
+        fatal("fabric worker: cannot reach coordinator at %s "
+              "(%u attempts): %s",
+              addr.str().c_str(), backoff.attempts() + 1, error.c_str());
     }
 
     Hello hello;

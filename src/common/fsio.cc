@@ -11,6 +11,8 @@
 #include <sys/types.h>
 #include <unistd.h>
 
+#include "common/chaosio.hh"
+
 namespace aos::fsio {
 
 namespace {
@@ -43,6 +45,14 @@ dirOf(const std::string &path)
 int
 openRetry(const char *path, int flags, mode_t mode = 0)
 {
+    if (chaos::ChaosEngine *eng = chaos::engine()) {
+        if (eng->next(chaos::Domain::kDisk,
+                      chaos::kindBit(chaos::FaultKind::kOpenFail))
+                .fire) {
+            errno = EMFILE;
+            return -1;
+        }
+    }
     int fd;
     do {
         fd = ::open(path, flags, mode); // NOLINT(cppcoreguidelines-pro-type-vararg)
@@ -54,8 +64,34 @@ bool
 writeAll(int fd, const void *data, size_t len)
 {
     const char *p = static_cast<const char *>(data);
+    unsigned chaosEintr = 0; // Synthetic storms are bounded (chaosio.hh).
     while (len) {
-        const ssize_t n = ::write(fd, p, len);
+        size_t chunk = len;
+        if (chaos::ChaosEngine *eng = chaos::engine()) {
+            const chaos::Decision d = eng->next(
+                chaos::Domain::kDisk,
+                chaos::kindBit(chaos::FaultKind::kShortWrite) |
+                    chaos::kindBit(chaos::FaultKind::kWriteEio) |
+                    chaos::kindBit(chaos::FaultKind::kWriteEnospc) |
+                    chaos::kindBit(chaos::FaultKind::kEintr));
+            if (d.fire) {
+                if (d.kind == chaos::FaultKind::kEintr) {
+                    // The real-EINTR path below would loop just like
+                    // this; re-drawing exercises the retry.
+                    if (++chaosEintr <= chaos::kMaxSyntheticEintr)
+                        continue;
+                } else if (d.kind == chaos::FaultKind::kWriteEio) {
+                    errno = EIO;
+                    return false;
+                } else if (d.kind == chaos::FaultKind::kWriteEnospc) {
+                    errno = ENOSPC;
+                    return false;
+                } else if (len > 1) { // kShortWrite
+                    chunk = 1 + static_cast<size_t>(d.arg % (len - 1));
+                }
+            }
+        }
+        const ssize_t n = ::write(fd, p, chunk);
         if (n < 0) {
             if (errno == EINTR)
                 continue;
@@ -65,6 +101,36 @@ writeAll(int fd, const void *data, size_t len)
         len -= static_cast<size_t>(n);
     }
     return true;
+}
+
+/** fsync(2) through the chaos schedule (kFsyncEio). */
+int
+chaosFsync(int fd)
+{
+    if (chaos::ChaosEngine *eng = chaos::engine()) {
+        if (eng->next(chaos::Domain::kDisk,
+                      chaos::kindBit(chaos::FaultKind::kFsyncEio))
+                .fire) {
+            errno = EIO;
+            return -1;
+        }
+    }
+    return ::fsync(fd);
+}
+
+/** rename(2) through the chaos schedule (kRenameFail). */
+int
+chaosRename(const char *from, const char *to)
+{
+    if (chaos::ChaosEngine *eng = chaos::engine()) {
+        if (eng->next(chaos::Domain::kDisk,
+                      chaos::kindBit(chaos::FaultKind::kRenameFail))
+                .fire) {
+            errno = EIO;
+            return -1;
+        }
+    }
+    return ::rename(from, to);
 }
 
 } // namespace
@@ -154,12 +220,15 @@ atomicWriteFile(const std::string &path, const std::string &data)
     if (fd < 0)
         return false;
     const bool wrote = writeAll(fd, data.data(), data.size()) &&
-                       ::fsync(fd) == 0;
+                       chaosFsync(fd) == 0;
     ::close(fd);
-    if (!wrote || ::rename(tmp.c_str(), path.c_str()) != 0) {
+    if (!wrote || chaosRename(tmp.c_str(), path.c_str()) != 0) {
         ::unlink(tmp.c_str());
         return false;
     }
+    // The rename committed; a directory-fsync failure only means the
+    // commit may not be durable yet, so report failure (callers retry
+    // idempotently) but leave no temp file behind.
     return fsyncDir(dirOf(path));
 }
 
@@ -169,7 +238,7 @@ fsyncDir(const std::string &dir)
     const int fd = openRetry(dir.c_str(), O_RDONLY | O_DIRECTORY);
     if (fd < 0)
         return false;
-    const bool ok = ::fsync(fd) == 0;
+    const bool ok = chaosFsync(fd) == 0;
     ::close(fd);
     return ok;
 }
@@ -245,13 +314,33 @@ AppendLog::append(const void *data, size_t len)
 {
     if (_fd < 0)
         return false;
-    return writeAll(_fd, data, len) && ::fsync(_fd) == 0;
+    return writeAll(_fd, data, len) && chaosFsync(_fd) == 0;
+}
+
+long long
+AppendLog::offset() const
+{
+    if (_fd < 0)
+        return -1;
+    return static_cast<long long>(::lseek(_fd, 0, SEEK_END));
+}
+
+bool
+AppendLog::truncateTo(u64 length)
+{
+    if (_fd < 0)
+        return false;
+    int rc;
+    do {
+        rc = ::ftruncate(_fd, static_cast<off_t>(length));
+    } while (rc != 0 && errno == EINTR);
+    return rc == 0;
 }
 
 bool
 AppendLog::sync()
 {
-    return _fd >= 0 && ::fsync(_fd) == 0;
+    return _fd >= 0 && chaosFsync(_fd) == 0;
 }
 
 void

@@ -15,6 +15,12 @@
  *
  * Plus crc32() (IEEE 802.3 polynomial) for record framing and fnv1a64
  * for the campaign identity hash.
+ *
+ * Chaos instrumentation (DESIGN.md §13): the write/fsync/rename/open
+ * syscall sites consult chaos::engine() and fail on the deterministic
+ * schedule of an installed ChaosPlan — short writes, EIO, ENOSPC,
+ * fsync/rename/open failures, bounded EINTR storms. With no engine
+ * installed (the default) the cost is one thread-local load per call.
  */
 
 #ifndef AOS_COMMON_FSIO_HH
@@ -84,6 +90,19 @@ class AppendLog
 
     /** Write the whole buffer and fsync. False on short write/IO error. */
     bool append(const void *data, size_t len);
+
+    /**
+     * Current end-of-file offset (a record boundary between appends),
+     * -1 if closed or unqueryable. A failed append() can leave a
+     * partial record durable; callers snapshot offset() beforehand and
+     * truncateTo() it before retrying, so a retried record is never
+     * appended after garbage that would hide it from the loader.
+     */
+    long long offset() const;
+
+    /** Truncate the log to @p length bytes (cut a torn tail). Raw
+     *  ftruncate — recovery paths are deliberately not chaos sites. */
+    bool truncateTo(u64 length);
 
     bool sync();
     void close();

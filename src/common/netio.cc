@@ -1,7 +1,10 @@
 #include "common/netio.hh"
 
+#include <algorithm>
 #include <cerrno>
+#include <chrono>
 #include <cstring>
+#include <thread>
 
 #include <netdb.h>
 #include <netinet/in.h>
@@ -11,6 +14,7 @@
 #include <sys/un.h>
 #include <unistd.h>
 
+#include "common/chaosio.hh"
 #include "common/env.hh"
 #include "common/fsio.hh"
 #include "common/logging.hh"
@@ -130,8 +134,43 @@ bool
 Socket::sendAll(const void *data, size_t len)
 {
     const char *p = static_cast<const char *>(data);
+    unsigned chaosEintr = 0; // Synthetic storms are bounded (chaosio.hh).
     while (len > 0) {
-        const ssize_t n = ::send(_fd, p, len, MSG_NOSIGNAL);
+        size_t chunk = len;
+        const char *src = p;
+        char flipped[4096];
+        if (chaos::ChaosEngine *eng = chaos::engine()) {
+            const chaos::Decision d = eng->next(
+                chaos::Domain::kNet,
+                chaos::kindBit(chaos::FaultKind::kShortSend) |
+                    chaos::kindBit(chaos::FaultKind::kSendReset) |
+                    chaos::kindBit(chaos::FaultKind::kFlipByte) |
+                    chaos::kindBit(chaos::FaultKind::kEintr) |
+                    chaos::kindBit(chaos::FaultKind::kDelay));
+            if (d.fire) {
+                if (d.kind == chaos::FaultKind::kEintr) {
+                    if (++chaosEintr <= chaos::kMaxSyntheticEintr)
+                        continue;
+                } else if (d.kind == chaos::FaultKind::kSendReset) {
+                    errno = ECONNRESET;
+                    return false;
+                } else if (d.kind == chaos::FaultKind::kDelay) {
+                    std::this_thread::sleep_for(std::chrono::microseconds(
+                        100 + d.arg % 1900));
+                } else if (d.kind == chaos::FaultKind::kFlipByte) {
+                    // Corrupt one bit of the wire image without ever
+                    // touching the caller's buffer: send from a copy.
+                    chunk = std::min(len, sizeof(flipped));
+                    std::memcpy(flipped, p, chunk);
+                    flipped[(d.arg >> 3) % chunk] ^=
+                        static_cast<char>(1u << (d.arg & 7));
+                    src = flipped;
+                } else if (len > 1) { // kShortSend
+                    chunk = 1 + static_cast<size_t>(d.arg % (len - 1));
+                }
+            }
+        }
+        const ssize_t n = ::send(_fd, src, chunk, MSG_NOSIGNAL);
         if (n < 0) {
             if (errno == EINTR)
                 continue;
@@ -154,10 +193,49 @@ Socket::sendAll(const std::string &data)
 long
 Socket::recvSome(void *buf, size_t len)
 {
+    size_t want = len;
+    bool flip = false;
+    u64 flipArg = 0;
+    if (chaos::ChaosEngine *eng = chaos::engine()) {
+        // Re-draw on synthetic EINTR so the retry exercises a fresh
+        // schedule point, bounded like every other storm.
+        for (unsigned redraw = 0; redraw <= chaos::kMaxSyntheticEintr;
+             ++redraw) {
+            const chaos::Decision d = eng->next(
+                chaos::Domain::kNet,
+                chaos::kindBit(chaos::FaultKind::kShortRecv) |
+                    chaos::kindBit(chaos::FaultKind::kRecvReset) |
+                    chaos::kindBit(chaos::FaultKind::kFlipByte) |
+                    chaos::kindBit(chaos::FaultKind::kEintr) |
+                    chaos::kindBit(chaos::FaultKind::kDelay));
+            if (!d.fire)
+                break;
+            if (d.kind == chaos::FaultKind::kEintr)
+                continue;
+            if (d.kind == chaos::FaultKind::kRecvReset) {
+                errno = ECONNRESET;
+                return -1;
+            }
+            if (d.kind == chaos::FaultKind::kDelay) {
+                std::this_thread::sleep_for(
+                    std::chrono::microseconds(100 + d.arg % 1900));
+            } else if (d.kind == chaos::FaultKind::kFlipByte) {
+                flip = true;
+                flipArg = d.arg;
+            } else if (len > 1) { // kShortRecv
+                want = 1 + static_cast<size_t>(d.arg % (len - 1));
+            }
+            break;
+        }
+    }
     for (;;) {
-        const ssize_t n = ::recv(_fd, buf, len, 0);
+        const ssize_t n = ::recv(_fd, buf, want, 0);
         if (n < 0 && errno == EINTR)
             continue;
+        if (flip && n > 0) {
+            static_cast<char *>(buf)[(flipArg >> 3) % n] ^=
+                static_cast<char>(1u << (flipArg & 7));
+        }
         return static_cast<long>(n);
     }
 }
@@ -351,7 +429,14 @@ encodeFrame(u32 type, const std::string &payload)
     putU32(frame, kFrameMagic);
     putU32(frame, type);
     putU32(frame, static_cast<u32>(payload.size()));
-    putU32(frame, fsio::crc32(payload.data(), payload.size()));
+    // The CRC covers type + length + payload, not payload alone: a
+    // bit flip in the type field would otherwise deliver a *valid*
+    // frame of the wrong kind, and a flipped length would stall the
+    // decoder waiting for bytes that were never sent.
+    const u32 crc = fsio::crc32(
+        payload.data(), payload.size(),
+        fsio::crc32(frame.data() + 4, 8));
+    putU32(frame, crc);
     frame.append(payload);
     return frame;
 }
@@ -395,7 +480,8 @@ FrameDecoder::next(u32 &type, std::string &payload)
     }
     if (_buf.size() < kFrameHeaderBytes + length)
         return false; // Incomplete: wait for more bytes.
-    const u32 actual = fsio::crc32(bytes + kFrameHeaderBytes, length);
+    const u32 actual = fsio::crc32(bytes + kFrameHeaderBytes, length,
+                                   fsio::crc32(bytes + 4, 8));
     if (actual != crc) {
         poison(csprintf("frame CRC mismatch (type %u, %u bytes): "
                         "%08x != %08x",

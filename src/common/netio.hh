@@ -13,8 +13,12 @@
  *    (one read; 0 = orderly EOF) and listen/accept/connect helpers.
  *  - Frame codec: every fabric message travels as
  *
- *        [magic u32 | type u32 | length u32 | payload crc32 u32]
+ *        [magic u32 | type u32 | length u32 | crc32 u32]
  *        [payload bytes...]                        (little-endian)
+ *
+ *    where the CRC covers type, length and payload (a payload-only
+ *    CRC would let a flipped type field deliver a valid frame of the
+ *    wrong kind, and a flipped length stall the stream).
  *
  *    mirroring the checkpoint shard record layout (checkpoint.hh),
  *    which is already a CRC-framed wire format in all but name. The
@@ -24,6 +28,13 @@
  *    (corrupt() latches with a diagnostic) — a corrupted peer is
  *    disconnected, never partially trusted. A merely *incomplete*
  *    frame is not an error; it waits for more bytes.
+ *
+ * Chaos instrumentation (DESIGN.md §13): sendAll()/recvSome() consult
+ * chaos::engine() and on the deterministic schedule inject partial
+ * transfers, ECONNRESET, bounded EINTR storms, short delays and
+ * single-bit flips of the wire image (never the caller's buffer).
+ * The CRC framing turns every injected flip into a poisoned decoder,
+ * which is exactly the degradation path the fabric must survive.
  */
 
 #ifndef AOS_COMMON_NETIO_HH

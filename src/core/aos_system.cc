@@ -177,6 +177,8 @@ RunResult::toStatSet() const
                 static_cast<double>(faults.perTypeDetected[t]);
         }
     }
+    for (const auto &[name, stat] : extra.scalars())
+        set.scalar(name) = stat.value();
     return set;
 }
 

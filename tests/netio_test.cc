@@ -7,18 +7,25 @@
  * an oversized declared length or a flipped CRC bit poisons the
  * stream with a diagnostic and never yields a frame. Plus a unix
  * socket loopback exercising listen/accept/connect/sendAll/recvSome
- * and pollReadable.
+ * and pollReadable, and the chaos instrumentation (DESIGN.md §13):
+ * benign faults (fragmented transfers, bounded EINTR storms) must
+ * preserve the byte stream, resets must fail cleanly with
+ * ECONNRESET, and an injected wire-image bit flip must poison the
+ * decoder rather than ever delivering a wrong frame.
  */
 
+#include <cerrno>
 #include <cstdlib>
 #include <random>
 #include <string>
 #include <thread>
 
+#include <sys/socket.h>
 #include <unistd.h>
 
 #include <gtest/gtest.h>
 
+#include "common/chaosio.hh"
 #include "common/netio.hh"
 
 namespace aos::netio {
@@ -254,6 +261,158 @@ TEST(NetioSocket, UnixLoopbackSendRecvAndPoll)
     again.close();
     ::unlink(addr.path.c_str());
     ::rmdir(dir.c_str());
+}
+
+// --- chaos instrumentation -------------------------------------------
+
+/** A net-domain chaos config firing on every op, restricted to
+ *  @p kinds so each test isolates one degradation path. */
+chaos::ChaosConfig
+netChaos(u64 seed, u32 kinds)
+{
+    chaos::ChaosConfig c;
+    c.seed = seed;
+    c.ratePerMille = 1000;
+    c.domains = chaos::domainBit(chaos::Domain::kNet);
+    c.kinds = kinds;
+    return c;
+}
+
+/** A connected AF_UNIX socketpair wrapped in RAII Sockets. */
+void
+makePair(Socket &a, Socket &b)
+{
+    int fds[2];
+    ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+    a = Socket(fds[0]);
+    b = Socket(fds[1]);
+}
+
+std::string
+patternedFrame(u32 type, size_t payloadBytes)
+{
+    std::string payload(payloadBytes, '\0');
+    for (size_t i = 0; i < payloadBytes; ++i)
+        payload[i] = static_cast<char>((i * 7 + 13) & 0xff);
+    return encodeFrame(type, payload);
+}
+
+TEST(NetioChaos, BenignFaultsPreserveTheByteStream)
+{
+    Socket a, b;
+    makePair(a, b);
+    const std::string frame = patternedFrame(3, 2000);
+
+    // Every send/recv op degrades (fragmented transfers, EINTR storms)
+    // yet the byte stream must arrive intact and in order.
+    chaos::ChaosEngine eng(
+        netChaos(17, chaos::kindBit(chaos::FaultKind::kShortSend) |
+                         chaos::kindBit(chaos::FaultKind::kShortRecv) |
+                         chaos::kindBit(chaos::FaultKind::kEintr)));
+    FrameDecoder decoder;
+    u32 type = 0;
+    std::string payload;
+    {
+        chaos::ChaosScope scope(&eng);
+        ASSERT_TRUE(a.sendAll(frame));
+        char buf[256];
+        while (!decoder.next(type, payload)) {
+            ASSERT_FALSE(decoder.corrupt()) << decoder.error();
+            const long n = b.recvSome(buf, sizeof(buf));
+            ASSERT_GT(n, 0);
+            decoder.feed(buf, static_cast<size_t>(n));
+        }
+    }
+    EXPECT_EQ(type, 3u);
+    EXPECT_EQ(encodeFrame(type, payload), frame);
+    EXPECT_FALSE(decoder.corrupt());
+    EXPECT_GT(eng.injected(chaos::Domain::kNet), 0u);
+    EXPECT_EQ(eng.injectedHard(), 0u);
+}
+
+TEST(NetioChaos, EintrStormsAreBoundedAndHarmless)
+{
+    Socket a, b;
+    makePair(a, b);
+    const std::string frame = patternedFrame(1, 500);
+
+    chaos::ChaosEngine eng(
+        netChaos(5, chaos::kindBit(chaos::FaultKind::kEintr)));
+    chaos::ChaosScope scope(&eng);
+    ASSERT_TRUE(a.sendAll(frame));
+    std::string got;
+    char buf[256];
+    while (got.size() < frame.size()) {
+        const long n = b.recvSome(buf, sizeof(buf));
+        ASSERT_GT(n, 0);
+        got.append(buf, static_cast<size_t>(n));
+    }
+    EXPECT_EQ(got, frame);
+    EXPECT_GT(eng.injectedKind(chaos::FaultKind::kEintr), 0u);
+}
+
+TEST(NetioChaos, SendResetFailsWithEconnreset)
+{
+    Socket a, b;
+    makePair(a, b);
+    chaos::ChaosEngine eng(
+        netChaos(2, chaos::kindBit(chaos::FaultKind::kSendReset)));
+    chaos::ChaosScope scope(&eng);
+    const std::string frame = patternedFrame(1, 100);
+    errno = 0;
+    EXPECT_FALSE(a.sendAll(frame));
+    EXPECT_EQ(errno, ECONNRESET);
+    EXPECT_GE(eng.injectedKind(chaos::FaultKind::kSendReset), 1u);
+}
+
+TEST(NetioChaos, RecvResetReturnsError)
+{
+    Socket a, b;
+    makePair(a, b);
+    // kRecvReset sits only in recvSome's site mask, so the same engine
+    // leaves the (chaos-scoped) send untouched.
+    chaos::ChaosEngine eng(
+        netChaos(2, chaos::kindBit(chaos::FaultKind::kRecvReset)));
+    chaos::ChaosScope scope(&eng);
+    ASSERT_TRUE(a.sendAll(patternedFrame(1, 100)));
+    char buf[64];
+    errno = 0;
+    EXPECT_EQ(b.recvSome(buf, sizeof(buf)), -1);
+    EXPECT_EQ(errno, ECONNRESET);
+    EXPECT_GE(eng.injectedKind(chaos::FaultKind::kRecvReset), 1u);
+}
+
+TEST(NetioChaos, FlippedWireBitNeverDeliversAWrongFrame)
+{
+    Socket a, b;
+    makePair(a, b);
+    const std::string frame = patternedFrame(7, 300);
+    chaos::ChaosEngine eng(
+        netChaos(23, chaos::kindBit(chaos::FaultKind::kFlipByte)));
+    {
+        chaos::ChaosScope scope(&eng);
+        // The flip hits the wire image, never the caller's buffer.
+        ASSERT_TRUE(a.sendAll(frame));
+    }
+    ASSERT_GE(eng.injectedKind(chaos::FaultKind::kFlipByte), 1u);
+
+    std::string got;
+    char buf[1024];
+    while (got.size() < frame.size()) {
+        const long n = b.recvSome(buf, sizeof(buf));
+        ASSERT_GT(n, 0);
+        got.append(buf, static_cast<size_t>(n));
+    }
+    EXPECT_NE(got, frame); // Exactly one bit differs on the wire.
+
+    // The CRC covers type, length and payload, so no single-bit flip
+    // anywhere in the frame may decode: the stream poisons instead.
+    FrameDecoder decoder;
+    decoder.feed(got.data(), got.size());
+    u32 type = 0;
+    std::string payload;
+    EXPECT_FALSE(decoder.next(type, payload));
+    EXPECT_TRUE(decoder.corrupt());
 }
 
 } // namespace
