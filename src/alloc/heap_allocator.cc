@@ -13,6 +13,7 @@ HeapAllocator::HeapAllocator(Addr heap_base, u64 heap_limit)
 {
     // Sized for the workload profiles' typical live-heap population;
     // avoids rehash storms on the malloc/free hot path.
+    _chunks.reserve(1u << 14);
     _liveIndex.reserve(1u << 14);
     _forged.reserve(1u << 10);
 }
@@ -21,6 +22,7 @@ void
 HeapAllocator::reset()
 {
     _top = _heapBase;
+    _topPrevSize = 0;
     _chunks.clear();
     _freeBySize.clear();
     for (auto &bin : _fastbins)
@@ -63,9 +65,9 @@ HeapAllocator::insertFree(Addr base, u64 chunk_size)
 void
 HeapAllocator::removeFree(Addr base)
 {
-    auto it = _chunks.find(base);
-    panic_if(it == _chunks.end(), "removeFree of unknown chunk");
-    auto [lo, hi] = _freeBySize.equal_range(it->second.chunkSize);
+    const Chunk *chunk = _chunks.find(base);
+    panic_if(!chunk, "removeFree of unknown chunk");
+    auto [lo, hi] = _freeBySize.equal_range(chunk->chunkSize);
     for (auto fit = lo; fit != hi; ++fit) {
         if (fit->second == base) {
             _freeBySize.erase(fit);
@@ -73,6 +75,17 @@ HeapAllocator::removeFree(Addr base)
         }
     }
     panic("free chunk %#lx missing from size index", base);
+}
+
+void
+HeapAllocator::setPrevSizeAt(Addr chunk_base, u64 prev_size)
+{
+    if (chunk_base == _top) {
+        _topPrevSize = prev_size;
+        return;
+    }
+    if (Chunk *chunk = _chunks.find(chunk_base))
+        chunk->prevSize = static_cast<u32>(prev_size);
 }
 
 void
@@ -89,14 +102,14 @@ HeapAllocator::addLive(Addr user_addr, u64 user_size)
 void
 HeapAllocator::removeLive(Addr user_addr)
 {
-    auto it = _liveIndex.find(user_addr);
-    panic_if(it == _liveIndex.end(), "removeLive of non-live chunk");
-    const u64 idx = it->second;
+    const u64 *it = _liveIndex.find(user_addr);
+    panic_if(!it, "removeLive of non-live chunk");
+    const u64 idx = *it;
     const Addr last = _liveList.back();
     _liveList[idx] = last;
     _liveIndex[last] = idx;
     _liveList.pop_back();
-    _liveIndex.erase(it);
+    _liveIndex.erase(user_addr);
     --_stats.active;
 }
 
@@ -112,6 +125,11 @@ HeapAllocator::malloc(u64 size)
 {
     ++_stats.allocCalls;
     const u64 need = chunkSizeFor(size);
+    // Chunk records hold 32-bit sizes; the bounds-compression format
+    // cannot represent objects this large anyway (SV-D), so treat the
+    // request as unsatisfiable rather than truncate.
+    if (need > 0xffffffffull)
+        return 0;
 
     Addr base = 0;
     // 1. Fastbin LIFO reuse for small chunks.
@@ -121,40 +139,52 @@ HeapAllocator::malloc(u64 size)
             base = bin.back();
             bin.pop_back();
             ++_stats.fastbinHits;
-            auto it = _chunks.find(base);
-            if (it != _chunks.end()) {
-                it->second.free = false;
-                it->second.inFastbin = false;
-                it->second.size = size;
+            if (Chunk *chunk = _chunks.find(base)) {
+                chunk->free = false;
+                chunk->inFastbin = false;
+                chunk->size = static_cast<u32>(size);
             } else {
                 // A forged chunk planted by the House-of-Spirit attack:
                 // malloc now returns attacker-controlled memory.
-                _chunks[base] = Chunk{size, need, false, false};
+                _chunks[base] = Chunk{static_cast<u32>(size),
+                                      static_cast<u32>(need), 0, false,
+                                      false};
             }
             addLive(base + kHeader, size);
             return base + kHeader;
         }
     }
 
-    // 2. Best-fit search of the coalesced free list.
-    auto fit = _freeBySize.lower_bound(need);
+    // 2. Best-fit search of the coalesced free list. The empty check
+    // matters: a growing heap (warmup) otherwise pays a tree probe on
+    // every single carve.
+    auto fit = _freeBySize.empty() ? _freeBySize.end()
+                                   : _freeBySize.lower_bound(need);
     if (fit != _freeBySize.end()) {
         base = fit->second;
         const u64 have = fit->first;
         _freeBySize.erase(fit);
-        auto it = _chunks.find(base);
-        panic_if(it == _chunks.end(), "free-list chunk lost");
         if (have >= need + kMinChunk) {
-            // Split: keep the tail as a smaller free chunk.
+            // Split: keep the tail as a smaller free chunk. Insert it
+            // before re-finding the head: operator[] may rehash.
             const Addr rest = base + need;
             const u64 rest_size = have - need;
-            _chunks[rest] = Chunk{0, rest_size, true, false};
+            _chunks[rest] = Chunk{0, static_cast<u32>(rest_size),
+                                  static_cast<u32>(need), true, false};
             insertFree(rest, rest_size);
             ++_stats.splits;
-            it->second.chunkSize = need;
+            Chunk *chunk = _chunks.find(base);
+            panic_if(!chunk, "free-list chunk lost");
+            chunk->chunkSize = static_cast<u32>(need);
+            chunk->free = false;
+            chunk->size = static_cast<u32>(size);
+            setPrevSizeAt(rest + rest_size, rest_size);
+        } else {
+            Chunk *chunk = _chunks.find(base);
+            panic_if(!chunk, "free-list chunk lost");
+            chunk->free = false;
+            chunk->size = static_cast<u32>(size);
         }
-        it->second.free = false;
-        it->second.size = size;
         addLive(base + kHeader, size);
         return base + kHeader;
     }
@@ -163,7 +193,9 @@ HeapAllocator::malloc(u64 size)
     base = carveTop(need);
     if (base == 0)
         return 0; // out of simulated memory
-    _chunks[base] = Chunk{size, need, false, false};
+    _chunks[base] = Chunk{static_cast<u32>(size), static_cast<u32>(need),
+                          static_cast<u32>(_topPrevSize), false, false};
+    _topPrevSize = need;
     addLive(base + kHeader, size);
     return base + kHeader;
 }
@@ -172,15 +204,15 @@ FreeResult
 HeapAllocator::free(Addr user_addr)
 {
     const Addr base = user_addr - kHeader;
-    auto it = _chunks.find(base);
+    Chunk *it = _chunks.find(base);
 
-    if (it == _chunks.end()) {
+    if (!it) {
         // Unknown chunk: emulate glibc's fastbin sanity checks. An
         // attacker who forged a header with a fastbin-sized size field
         // (House of Spirit) passes them and poisons the bin.
-        auto forged = _forged.find(user_addr);
-        if (forged != _forged.end()) {
-            const u64 chunk_size = chunkSizeFor(forged->second);
+        const u64 *forged = _forged.find(user_addr);
+        if (forged) {
+            const u64 chunk_size = chunkSizeFor(*forged);
             if (chunk_size <= kFastbinMax + kHeader &&
                 (base & 15) == 0) {
                 _fastbins[fastbinIndex(chunk_size)].push_back(base);
@@ -192,7 +224,7 @@ HeapAllocator::free(Addr user_addr)
         return FreeResult::kInvalidPtr;
     }
 
-    Chunk &chunk = it->second;
+    Chunk &chunk = *it;
     if (chunk.free || chunk.inFastbin) {
         // glibc only catches a double free when the chunk is at the
         // head of its fastbin ("double free or corruption (fasttop)").
@@ -222,35 +254,42 @@ HeapAllocator::free(Addr user_addr)
 
     // Boundary-tag coalescing with the previous and next chunks. This
     // is the neighbour-metadata walk that makes free() legitimately
-    // touch addresses outside the freed object (paper SIV-C).
+    // touch addresses outside the freed object (paper SIV-C). The
+    // neighbours come from the size tags: next at base + chunkSize,
+    // prev at base - prevSize. A fastbin-sized chunk (which includes
+    // every forgeable chunk) never has free && !inFastbin, so forged
+    // headers can never act as a coalescing partner.
     chunk.free = true;
     Addr merged_base = base;
     u64 merged_size = chunk.chunkSize;
+    const u64 prev_size = chunk.prevSize;
 
-    auto next = std::next(it);
-    if (next != _chunks.end() && next->first == base + chunk.chunkSize &&
-        next->second.free && !next->second.inFastbin) {
-        removeFree(next->first);
-        merged_size += next->second.chunkSize;
-        _chunks.erase(next);
+    const Addr next_base = base + chunk.chunkSize;
+    const Chunk *next = _chunks.find(next_base);
+    if (next && next->free && !next->inFastbin) {
+        removeFree(next_base);
+        merged_size += next->chunkSize;
+        _chunks.erase(next_base); // invalidates chunk/next pointers
         ++_stats.coalesces;
     }
-    if (it != _chunks.begin()) {
-        auto prev = std::prev(it);
-        if (prev->first + prev->second.chunkSize == base &&
-            prev->second.free && !prev->second.inFastbin) {
-            removeFree(prev->first);
-            merged_base = prev->first;
-            merged_size += prev->second.chunkSize;
-            _chunks.erase(it);
-            it = prev;
+    if (prev_size != 0) {
+        const Addr prev_base = base - prev_size;
+        const Chunk *prev = _chunks.find(prev_base);
+        if (prev && prev->free && !prev->inFastbin &&
+            prev->chunkSize == prev_size) {
+            removeFree(prev_base);
+            merged_base = prev_base;
+            merged_size += prev_size;
+            _chunks.erase(base);
             ++_stats.coalesces;
         }
     }
-    it->second.free = true;
-    it->second.chunkSize = merged_size;
-    it->second.size = 0;
-    panic_if(it->first != merged_base, "coalesce bookkeeping mismatch");
+    Chunk *merged = _chunks.find(merged_base);
+    panic_if(!merged, "coalesce bookkeeping mismatch");
+    merged->free = true;
+    merged->chunkSize = static_cast<u32>(merged_size);
+    merged->size = 0;
+    setPrevSizeAt(merged_base + merged_size, merged_size);
     insertFree(merged_base, merged_size);
     return FreeResult::kOk;
 }
@@ -258,10 +297,10 @@ HeapAllocator::free(Addr user_addr)
 u64
 HeapAllocator::usableSize(Addr user_addr) const
 {
-    auto it = _chunks.find(user_addr - kHeader);
-    if (it == _chunks.end() || it->second.free || it->second.inFastbin)
+    const Chunk *chunk = _chunks.find(user_addr - kHeader);
+    if (!chunk || chunk->free || chunk->inFastbin)
         return 0;
-    return it->second.size;
+    return chunk->size;
 }
 
 bool

@@ -24,7 +24,7 @@
 #define AOS_ALLOC_HEAP_ALLOCATOR_HH
 
 #include <map>
-#include <unordered_map>
+#include "common/flat_map.hh"
 #include <vector>
 
 #include "common/types.hh"
@@ -109,11 +109,32 @@ class HeapAllocator
     /** Reset to an empty heap (keeps base/limit). */
     void reset();
 
+    /**
+     * Size the live-chunk index for @p n concurrent allocations up
+     * front (behavior-neutral; avoids rehash storms when a workload
+     * declares a large target live set).
+     */
+    void
+    reserveLive(u64 n)
+    {
+        _liveList.reserve(n);
+        _liveIndex.reserve(n);
+        _chunks.reserve(n);
+    }
+
   private:
+    // 16 bytes: the chunk table is the largest per-chunk structure
+    // (omnetpp keeps ~700 K chunks live), so the record size directly
+    // sets the malloc/free DRAM footprint. u32 sizes are sufficient
+    // because the bounds-compression format (SV-D) caps object sizes
+    // below 4 GiB; malloc() refuses anything larger.
     struct Chunk
     {
-        u64 size = 0;       // user bytes
-        u64 chunkSize = 0;  // header + payload, 16-aligned
+        u32 size = 0;       // user bytes
+        u32 chunkSize = 0;  // header + payload, 16-aligned
+        u32 prevSize = 0;   // boundary tag: chunkSize of the chunk
+                            // ending at this base (0 = heap base or a
+                            // forged chunk outside the carve sequence)
         bool free = false;
         bool inFastbin = false;
     };
@@ -131,23 +152,31 @@ class HeapAllocator
     void removeFree(Addr base);
     void addLive(Addr user_addr, u64 user_size);
     void removeLive(Addr user_addr);
+    void setPrevSizeAt(Addr chunk_base, u64 prev_size);
 
     Addr _heapBase;
     u64 _heapLimit;
     Addr _top;
 
     // All chunks carved from the heap, keyed by chunk base address.
-    std::map<Addr, Chunk> _chunks;
+    // Adjacency for boundary-tag coalescing comes from the sizes: the
+    // next chunk lives at base + chunkSize and the previous one at
+    // base - prevSize, so the map needs no address ordering and the
+    // malloc/free hot paths stay O(1).
+    FlatU64Map<Chunk> _chunks;
+    // chunkSize of the chunk ending at _top (prevSize for the next
+    // carve); 0 while the heap is empty.
+    u64 _topPrevSize = 0;
     // Free chunks by size (size -> bases), excluding fastbin chunks.
     std::multimap<u64, Addr> _freeBySize;
     // LIFO fastbins of chunk bases, by size class.
     std::vector<Addr> _fastbins[kNumFastbins];
     // Forged headers planted by forgeChunkHeader (user addr -> size).
-    std::unordered_map<Addr, u64> _forged;
+    FlatU64Map<u64> _forged;
 
     // Live user addresses with O(1) random access and removal.
     std::vector<Addr> _liveList;
-    std::unordered_map<Addr, u64> _liveIndex;
+    FlatU64Map<u64> _liveIndex;
 
     AllocStats _stats;
 };

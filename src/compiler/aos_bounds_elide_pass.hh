@@ -31,7 +31,7 @@
 #ifndef AOS_COMPILER_AOS_BOUNDS_ELIDE_PASS_HH
 #define AOS_COMPILER_AOS_BOUNDS_ELIDE_PASS_HH
 
-#include <unordered_map>
+#include "common/flat_map.hh"
 #include <unordered_set>
 
 #include "analysis/dataflow/elision_plan.hh"
@@ -90,7 +90,7 @@ class AosBoundsElidePass : public Pass
     const analysis::dataflow::ElisionPlan *_plan;
 
     /** Allocation ordinal per base; must mirror DataflowEngine. */
-    std::unordered_map<Addr, u32> _gen;
+    FlatU64Map<u32> _gen;
     /** Bases whose *current* instance is elided. */
     std::unordered_set<Addr> _elidedOpen;
     /** Elided bases between their bndclr and their re-sign pacma. */

@@ -20,8 +20,8 @@ AosElidePass::transform(const ir::MicroOp &in)
         // its failure is the AHC-stripping detection itself.
         if (_layout.signed_(in.addr) && in.chunkBase != 0) {
             const u64 meta = metaOf(in.addr);
-            auto it = _authed.find(in.chunkBase);
-            if (it != _authed.end() && it->second == meta) {
+            const u64 *it = _authed.find(in.chunkBase);
+            if (it && *it == meta) {
                 ++_stats.autmElided;
                 return; // provably redundant: elide
             }

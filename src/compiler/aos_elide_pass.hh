@@ -38,7 +38,7 @@
 #ifndef AOS_COMPILER_AOS_ELIDE_PASS_HH
 #define AOS_COMPILER_AOS_ELIDE_PASS_HH
 
-#include <unordered_map>
+#include "common/flat_map.hh"
 
 #include "compiler/pass.hh"
 #include "pa/pointer_layout.hh"
@@ -88,7 +88,7 @@ class AosElidePass : public Pass
 
     pa::PointerLayout _layout;
     // chunk base -> metadata of the value last proven authentic.
-    std::unordered_map<Addr, u64> _authed;
+    FlatU64Map<u64> _authed;
     ElideStats _stats;
 };
 

@@ -22,8 +22,7 @@
 #ifndef AOS_COMPILER_AOS_PASSES_HH
 #define AOS_COMPILER_AOS_PASSES_HH
 
-#include <unordered_map>
-
+#include "common/flat_map.hh"
 #include "compiler/pass.hh"
 #include "pa/pa_context.hh"
 
@@ -39,12 +38,33 @@ class AosOptPass : public Pass
 
   protected:
     void transform(const ir::MicroOp &in) override;
+
+    /**
+     * Bulk specialization: allocation marks are rare, so copy the
+     * untouched runs between them in one go.
+     */
+    void transformBatch(const ir::MicroOp *in, size_t n) override;
 };
 
-/** Backend pass: lowers intrinsics and signs heap addresses. */
+/**
+ * Backend pass: lowers intrinsics and signs heap addresses.
+ *
+ * Signing is batched (DESIGN.md §14): the pass widens its refill
+ * window, prescans each block for malloc/free intrinsics, signs all of
+ * them in one PaContext::batchPac sweep through the bit-sliced QARMA
+ * kernel, then lowers the block in order consuming the precomputed
+ * slots — replacing one synchronous cipher call per intrinsic.
+ */
 class AosBackendPass : public Pass
 {
   public:
+    /**
+     * Input window per refill: wide enough that a block carries a
+     * sliceable number of sign requests (intrinsics are a few percent
+     * of the op mix).
+     */
+    static constexpr size_t kSignWindow = 2048;
+
     /**
      * @param source Upstream (normally an AosOptPass).
      * @param pa Per-process PA state used for signing.
@@ -61,12 +81,25 @@ class AosBackendPass : public Pass
 
   protected:
     void transform(const ir::MicroOp &in) override;
+    void transformBatch(const ir::MicroOp *in, size_t n) override;
 
   private:
+    /** Lower a malloc/free intrinsic given its signed pointer. */
+    void lowerIntrinsic(const ir::MicroOp &in, Addr signed_ptr);
+
     const pa::PaContext *_pa;
     u64 _spModifier;
+    pa::PacBatch _batch;
     // chunk base -> signed pointer for all signed (incl. freed) chunks.
-    std::unordered_map<Addr, Addr> _signedPtrs;
+    // Hit on every heap load/store; flat map keeps it off the profile.
+    FlatU64Map<Addr> _signedPtrs;
+    // One-entry memo over _signedPtrs for the load/store rewrite:
+    // accesses arrive in long same-chunk runs (a chunk walked word by
+    // word), so the common case is a compare instead of a hash probe.
+    // _memoChunk == 0 means empty; invalidated on every intrinsic
+    // lowering because those overwrite _signedPtrs entries.
+    Addr _memoChunk = 0;
+    Addr _memoSigned = 0; // 0 = chunk absent from _signedPtrs
 };
 
 } // namespace aos::compiler

@@ -3,7 +3,7 @@
 namespace aos::compiler {
 
 void
-OpCounter::transform(const ir::MicroOp &in)
+OpCounter::tally(const ir::MicroOp &in)
 {
     ++_mix.total;
     switch (in.kind) {
@@ -45,7 +45,23 @@ OpCounter::transform(const ir::MicroOp &in)
       default:
         break;
     }
+    if (in.kind == ir::OpKind::kPhaseMark)
+        _mixAtMark = _mix;
+}
+
+void
+OpCounter::transform(const ir::MicroOp &in)
+{
+    tally(in);
     emit(in);
+}
+
+void
+OpCounter::transformBatch(const ir::MicroOp *in, size_t n)
+{
+    for (size_t i = 0; i < n; ++i)
+        tally(in[i]);
+    emitAll(in, n);
 }
 
 } // namespace aos::compiler

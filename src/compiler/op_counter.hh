@@ -24,12 +24,33 @@ class OpCounter : public Pass
 
     const ir::OpMixStats &mix() const { return _mix; }
 
+    /**
+     * Counts as of the op-stream position of the warmup/measure
+     * boundary (latched when this pass transforms kPhaseMark). The
+     * pipeline processes ops in blocks, so by the time the consumer
+     * *receives* the mark this pass has typically counted past it;
+     * measured-phase deltas must subtract this latch, not a consumer-
+     * side snapshot of mix().
+     */
+    const ir::OpMixStats &mixAtPhaseMark() const { return _mixAtMark; }
+
   protected:
     void transform(const ir::MicroOp &in) override;
 
+    /**
+     * Pass-through specialization: tally the whole block, then emit it
+     * with one bulk copy instead of a push_back per op (this pass sits
+     * in every pipeline, so the per-op emit overhead is paid by every
+     * configuration).
+     */
+    void transformBatch(const ir::MicroOp *in, size_t n) override;
+
   private:
+    void tally(const ir::MicroOp &in);
+
     pa::PointerLayout _layout;
     ir::OpMixStats _mix;
+    ir::OpMixStats _mixAtMark;
 };
 
 } // namespace aos::compiler

@@ -39,4 +39,23 @@ PaPass::transform(const ir::MicroOp &in)
     }
 }
 
+void
+PaPass::transformBatch(const ir::MicroOp *in, size_t n)
+{
+    size_t run = 0;
+    for (size_t i = 0; i < n; ++i) {
+        const ir::OpKind k = in[i].kind;
+        const bool instrumented = k == ir::OpKind::kCall ||
+                                  k == ir::OpKind::kRet ||
+                                  (k == ir::OpKind::kLoad &&
+                                   in[i].loadsPointer);
+        if (!instrumented)
+            continue;
+        emitAll(in + run, i - run);
+        transform(in[i]);
+        run = i + 1;
+    }
+    emitAll(in + run, n - run);
+}
+
 } // namespace aos::compiler

@@ -42,6 +42,13 @@ class PaPass : public Pass
   protected:
     void transform(const ir::MicroOp &in) override;
 
+    /**
+     * Bulk specialization: calls, returns and pointer loads are a few
+     * percent of the stream, so copy the untouched runs between them
+     * in one go instead of a virtual transform per op.
+     */
+    void transformBatch(const ir::MicroOp *in, size_t n) override;
+
   private:
     PaMode _mode;
 };

@@ -13,7 +13,7 @@
 #ifndef AOS_COMPILER_PASS_HH
 #define AOS_COMPILER_PASS_HH
 
-#include <deque>
+#include <algorithm>
 #include <memory>
 #include <vector>
 
@@ -21,32 +21,83 @@
 
 namespace aos::compiler {
 
-/** Base class for stream-rewriting passes. */
+/**
+ * Base class for stream-rewriting passes.
+ *
+ * Passes process the stream in blocks (DESIGN.md §14): a refill pulls
+ * up to a window of input ops from upstream in one nextBatch() call and
+ * hands the whole block to transformBatch(), which by default rewrites
+ * each op in order via transform(). Output ops accumulate in a pooled
+ * vector and are served from a head cursor, so steady state costs one
+ * upstream dispatch per window instead of a virtual-call chain plus
+ * deque churn per op. The emitted op sequence is exactly what per-op
+ * transformation would produce — block boundaries are unobservable.
+ */
 class Pass : public ir::InstStream
 {
   public:
-    /** @param source Upstream producer; not owned. */
-    explicit Pass(ir::InstStream *source) : _source(source) {}
+    /** Default input ops pulled per refill. */
+    static constexpr size_t kDefaultWindow = 256;
+
+    /**
+     * @param source Upstream producer; not owned.
+     * @param window Input ops pulled per refill; passes that scan for
+     *        batchable work across the block (the AOS backend) widen it.
+     */
+    explicit Pass(ir::InstStream *source, size_t window = kDefaultWindow)
+        : _source(source), _window(window)
+    {
+    }
 
     bool
     next(ir::MicroOp &op) override
     {
-        while (_pending.empty()) {
-            ir::MicroOp in;
-            if (!_source->next(in))
-                return false;
-            transform(in);
-        }
-        op = _pending.front();
-        _pending.pop_front();
+        if (_head == _pending.size() && !refill())
+            return false;
+        op = _pending[_head++];
         return true;
+    }
+
+    size_t
+    nextBatch(ir::MicroOp *out, size_t max) override
+    {
+        size_t k = 0;
+        while (k < max) {
+            if (_head == _pending.size() && !refill())
+                break;
+            const size_t take =
+                std::min(max - k, _pending.size() - _head);
+            std::copy_n(_pending.data() + _head, take, out + k);
+            _head += take;
+            k += take;
+        }
+        return k;
     }
 
   protected:
     /** Rewrite one input op; call emit() for each output op. */
     virtual void transform(const ir::MicroOp &in) = 0;
 
+    /**
+     * Rewrite a block of inputs in order. Override to look across the
+     * block (e.g. to collect PAC requests for one batched signing
+     * sweep); must emit exactly what per-op transform() calls would.
+     */
+    virtual void
+    transformBatch(const ir::MicroOp *in, size_t n)
+    {
+        for (size_t i = 0; i < n; ++i)
+            transform(in[i]);
+    }
+
     void emit(const ir::MicroOp &op) { _pending.push_back(op); }
+
+    /** Bulk emit for pass-through blocks: one copy, no per-op calls. */
+    void
+    emitAll(const ir::MicroOp *ops, size_t n)
+    {
+        _pending.insert(_pending.end(), ops, ops + n);
+    }
 
     ir::MicroOp
     makeOp(ir::OpKind kind, Addr addr = 0, u32 size = 0) const
@@ -59,8 +110,29 @@ class Pass : public ir::InstStream
     }
 
   private:
+    bool
+    refill()
+    {
+        _pending.clear();
+        _head = 0;
+        // A block can legally emit nothing (every input filtered);
+        // keep pulling until something lands or upstream runs dry.
+        while (_pending.empty()) {
+            if (_inBuf.size() < _window)
+                _inBuf.resize(_window);
+            const size_t n = _source->nextBatch(_inBuf.data(), _window);
+            if (n == 0)
+                return false;
+            transformBatch(_inBuf.data(), n);
+        }
+        return true;
+    }
+
     ir::InstStream *_source;
-    std::deque<ir::MicroOp> _pending;
+    size_t _window;
+    std::vector<ir::MicroOp> _inBuf;
+    std::vector<ir::MicroOp> _pending;
+    size_t _head = 0;
 };
 
 /** Pass that forwards everything unchanged (the Baseline pipeline). */
@@ -95,6 +167,12 @@ class PassManager : public ir::InstStream
     }
 
     bool next(ir::MicroOp &op) override { return _tail->next(op); }
+
+    size_t
+    nextBatch(ir::MicroOp *out, size_t max) override
+    {
+        return _tail->nextBatch(out, max);
+    }
 
     std::string name() const override { return "pass_manager"; }
 

@@ -131,6 +131,9 @@ class AosSystem
     std::unique_ptr<faultinject::FaultPlan> _faultPlan;
     std::unique_ptr<faultinject::FaultInjector> _injector;
     std::unique_ptr<faultinject::FaultingStream> _faulting;
+    // Ops fast-forward over-pulled past the phase mark, re-served to
+    // the measure loop (fastForward() splices it in front of _stream).
+    std::unique_ptr<ir::CarryStream> _ffCarry;
     ir::InstStream *_stream = nullptr; //!< What the core consumes.
 };
 

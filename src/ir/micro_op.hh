@@ -98,6 +98,22 @@ class InstStream
     /** Produce the next op; false at end of stream. */
     virtual bool next(MicroOp &op) = 0;
 
+    /**
+     * Produce up to @p max ops into @p out; returns the count, 0 at
+     * end of stream. Semantically identical to calling next() that
+     * many times — batching only amortizes per-op dispatch, it never
+     * reorders or drops ops. Producers with an internal buffer
+     * (passes, workload generators) override this to drain in blocks.
+     */
+    virtual size_t
+    nextBatch(MicroOp *out, size_t max)
+    {
+        size_t k = 0;
+        while (k < max && next(out[k]))
+            ++k;
+        return k;
+    }
+
     /** Name for reporting. */
     virtual std::string name() const { return "stream"; }
 };
@@ -125,6 +141,49 @@ class VectorStream : public InstStream
   private:
     std::vector<MicroOp> _ops;
     size_t _pos = 0;
+};
+
+/**
+ * Serves a buffered prefix of ops, then delegates to an underlying
+ * stream. Lets a consumer that pulls in blocks (the fast-forward loop)
+ * hand ops it over-pulled past a phase boundary on to the next
+ * consumer without any stream supporting un-read.
+ */
+class CarryStream : public InstStream
+{
+  public:
+    CarryStream(std::vector<MicroOp> carry, InstStream *below)
+        : _carry(std::move(carry)), _below(below)
+    {
+    }
+
+    bool
+    next(MicroOp &op) override
+    {
+        if (_pos < _carry.size()) {
+            op = _carry[_pos++];
+            return true;
+        }
+        return _below->next(op);
+    }
+
+    size_t
+    nextBatch(MicroOp *out, size_t max) override
+    {
+        size_t k = 0;
+        while (k < max && _pos < _carry.size())
+            out[k++] = _carry[_pos++];
+        if (k < max)
+            k += _below->nextBatch(out + k, max - k);
+        return k;
+    }
+
+    std::string name() const override { return _below->name(); }
+
+  private:
+    std::vector<MicroOp> _carry;
+    size_t _pos = 0;
+    InstStream *_below;
 };
 
 /** Per-kind op counters; drives Fig. 16. */

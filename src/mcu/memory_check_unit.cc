@@ -4,6 +4,20 @@
 
 namespace aos::mcu {
 
+namespace {
+
+/** Smallest power of two >= @p n (ring capacity). */
+u32
+ringCapacity(u32 n)
+{
+    u32 cap = 1;
+    while (cap < n)
+        cap *= 2;
+    return cap;
+}
+
+} // namespace
+
 MemoryCheckUnit::MemoryCheckUnit(const McuConfig &config,
                                  const pa::PointerLayout &layout,
                                  bounds::HashedBoundsTable *hbt,
@@ -13,6 +27,11 @@ MemoryCheckUnit::MemoryCheckUnit(const McuConfig &config,
 {
     panic_if(!hbt, "MCU requires a hashed bounds table");
     panic_if(!mem, "MCU requires a memory system");
+    const u32 cap = ringCapacity(std::max(config.mcqEntries, 1u));
+    _slots.resize(cap);
+    _wake.assign(cap, kNever);
+    _slotMask = cap - 1;
+    _bySeq.reserve(config.mcqEntries);
 }
 
 bool
@@ -22,7 +41,9 @@ MemoryCheckUnit::enqueue(ir::OpKind kind, Addr addr, u64 size, u64 seq,
     if (full())
         return false;
 
-    McqEntry entry;
+    const u32 slot = slotOf(_count);
+    McqEntry &entry = _slots[slot];
+    entry = McqEntry{};
     entry.valid = true;
     entry.seq = seq;
     entry.addr = addr;
@@ -52,35 +73,35 @@ MemoryCheckUnit::enqueue(ir::OpKind kind, Addr addr, u64 size, u64 seq,
     }
 
     ++_stats.enqueued;
-    _queue.push_back(entry);
+    _wake[slot] = now;
+    _bySeq[seq] = slot;
+    ++_count;
     return true;
 }
 
 McqEntry *
 MemoryCheckUnit::find(u64 seq)
 {
-    for (auto &entry : _queue) {
-        if (entry.seq == seq)
-            return &entry;
-    }
-    return nullptr;
+    const u32 *slot = _bySeq.find(seq);
+    return slot ? &_slots[*slot] : nullptr;
 }
 
 const McqEntry *
 MemoryCheckUnit::find(u64 seq) const
 {
-    for (const auto &entry : _queue) {
-        if (entry.seq == seq)
-            return &entry;
-    }
-    return nullptr;
+    return const_cast<MemoryCheckUnit *>(this)->find(seq);
 }
 
 void
 MemoryCheckUnit::markCommitted(u64 seq)
 {
-    if (McqEntry *entry = find(seq))
-        entry->committed = true;
+    const u32 *slot = _bySeq.find(seq);
+    if (!slot)
+        return;
+    _slots[*slot].committed = true;
+    // Commit-gated work (kBndStr mutation) sleeps with wake = kNever;
+    // re-arm the slot.
+    _wake[*slot] = 0;
 }
 
 bool
@@ -120,17 +141,46 @@ MemoryCheckUnit::tryForward(McqEntry &entry)
     if (!_config.boundsForwarding)
         return false;
     // Search older in-flight bndstr entries with the same PAC whose
-    // bounds cover this access (SV-F2).
-    for (const auto &other : _queue) {
+    // bounds cover this access (SV-F2). Only entries that have passed
+    // their occupancy check (BndStr, or Done with no fault) may
+    // forward: an entry still in Init/OccChk can yet fail occupancy in
+    // every way, and if the report-and-resume policy then completes it
+    // without inserting bounds, an access forwarded against it would
+    // have passed a check against bounds that never reached the table.
+    for (u32 i = 0; i < _count; ++i) {
+        const McqEntry &other = _slots[slotOf(i)];
         if (other.seq >= entry.seq)
             break;
         if (other.type != McqType::kBndstr || other.pac != entry.pac)
             continue;
-        if (other.state == McqState::kFail)
+        if (other.fault != FaultKind::kNone ||
+            (other.state != McqState::kBndStr &&
+             other.state != McqState::kDone)) {
             continue;
+        }
         if (bounds::inBounds(other.bndData, entry.rawAddr)) {
             entry.forwarded = true;
             ++_stats.forwards;
+            return true;
+        }
+    }
+    return false;
+}
+
+bool
+MemoryCheckUnit::hasPendingOlderBndstr(const McqEntry &entry) const
+{
+    for (u32 i = 0; i < _count; ++i) {
+        const McqEntry &other = _slots[slotOf(i)];
+        if (other.seq >= entry.seq)
+            break;
+        if (other.type != McqType::kBndstr || other.pac != entry.pac ||
+            other.fault != FaultKind::kNone) {
+            continue;
+        }
+        if (other.state == McqState::kInit ||
+            other.state == McqState::kOccChk ||
+            other.state == McqState::kIncCnt) {
             return true;
         }
     }
@@ -162,17 +212,18 @@ MemoryCheckUnit::finishCheck(McqEntry &entry, bool found,
 void
 MemoryCheckUnit::replayYounger(const McqEntry &from)
 {
-    for (auto &entry : _queue) {
+    for (u32 i = 0; i < _count; ++i) {
+        const u32 slot = slotOf(i);
+        McqEntry &entry = _slots[slot];
         if (entry.seq <= from.seq || entry.pac != from.pac)
             continue;
         if (entry.state == McqState::kDone)
             continue;
-        entry.state = McqState::kInit;
-        entry.count = 0;
-        entry.way = 0;
-        entry.forwarded = false;
-        entry.started = false;
-        entry.fault = FaultKind::kNone;
+        // Keep the entry's readyAt: a way access already in flight
+        // still occupies its port, so the replayed walk starts once
+        // that access would have returned.
+        entry.resetForRetry(entry.readyAt);
+        _wake[slot] = entry.readyAt;
         ++_stats.replays;
     }
 }
@@ -332,6 +383,29 @@ MemoryCheckUnit::stepEntry(McqEntry &entry, Tick now, unsigned &ports)
       case McqState::kIncCnt:
         ++entry.count;
         if (entry.count >= _hbt->ways()) {
+            // The table walk found nothing. Before declaring a
+            // violation, consult forwarding once more: an older bndstr
+            // may have passed occupancy while this walk was in flight
+            // (its bounds are not in the table yet — the insert is
+            // post-commit — which is exactly why the walk missed).
+            if (entry.type == McqType::kLoadCheck ||
+                entry.type == McqType::kStoreCheck) {
+                if (tryForward(entry)) {
+                    entry.state = McqState::kDone;
+                    break;
+                }
+                if (_config.boundsForwarding &&
+                    hasPendingOlderBndstr(entry)) {
+                    // An older same-PAC bndstr has not resolved its
+                    // occupancy check yet, so this access cannot be
+                    // adjudicated: its bounds may be exactly the ones
+                    // the walk missed. Wait for the bndstr to pass
+                    // occupancy (then forward) or fail (then the miss
+                    // stands) instead of raising a premature fault.
+                    entry.readyAt = now + 1;
+                    break;
+                }
+            }
             entry.state = McqState::kFail;
             if (entry.type == McqType::kBndstr) {
                 entry.fault = FaultKind::kStoreOverflow;
@@ -391,12 +465,18 @@ MemoryCheckUnit::tick(Tick now)
     }
 
     unsigned ports = _config.boundsPortsPerCycle;
-    for (auto &entry : _queue)
+    for (u32 i = 0; i < _count; ++i) {
+        const u32 slot = slotOf(i);
+        if (_wake[slot] > now)
+            continue;
+        McqEntry &entry = _slots[slot];
         stepEntry(entry, now, ports);
+        _wake[slot] = wakeOf(entry);
+    }
 
     // Head-of-queue fault handling: raise the AOS exception.
-    if (!_queue.empty() && _queue.front().state == McqState::kFail) {
-        McqEntry &head = _queue.front();
+    if (_count > 0 && _slots[_headSlot].state == McqState::kFail) {
+        McqEntry &head = _slots[_headSlot];
         bool handled = false;
         if (onFault) {
             handled = onFault(head.fault, head);
@@ -407,17 +487,13 @@ MemoryCheckUnit::tick(Tick now)
             handled = true;
         }
         if (handled) {
-            head.state = McqState::kInit;
-            head.count = 0;
-            head.way = 0;
-            head.fault = FaultKind::kNone;
-            head.forwarded = false;
-            head.started = false;
-            head.readyAt = now + 1;
+            head.resetForRetry(now + 1);
+            _wake[_headSlot] = head.readyAt;
         } else {
             // Report-and-resume policy: the violation was counted when
             // the entry entered Fail; complete the instruction.
             head.state = McqState::kDone;
+            _wake[_headSlot] = kNever;
         }
     }
 }
@@ -425,8 +501,8 @@ MemoryCheckUnit::tick(Tick now)
 void
 MemoryCheckUnit::drainRetired()
 {
-    while (!_queue.empty()) {
-        McqEntry &head = _queue.front();
+    while (_count > 0) {
+        McqEntry &head = _slots[_headSlot];
         if (head.state != McqState::kDone || !head.committed)
             break;
         if (_config.useBwb && _bwb && head.signedPtr && !head.forwarded &&
@@ -435,21 +511,23 @@ MemoryCheckUnit::drainRetired()
             _bwb->update(head.rawAddr, head.ahc, head.pac, head.way);
         }
         _stats.waysTouchedTotal += head.waysTouched;
-        _queue.pop_front();
+        head.valid = false;
+        _wake[_headSlot] = kNever;
+        _bySeq.erase(head.seq);
+        _headSlot = (_headSlot + 1) & _slotMask;
+        --_count;
     }
 }
 
 void
 MemoryCheckUnit::restartHead()
 {
-    if (_queue.empty())
+    if (_count == 0)
         return;
-    McqEntry &head = _queue.front();
-    head.state = McqState::kInit;
-    head.count = 0;
-    head.way = 0;
-    head.started = false;
-    head.fault = FaultKind::kNone;
+    // readyAt 0: the retried walk may issue on the next tick, exactly
+    // as the (stale, past) readyAt the old code left behind allowed.
+    _slots[_headSlot].resetForRetry(0);
+    _wake[_headSlot] = 0;
 }
 
 } // namespace aos::mcu

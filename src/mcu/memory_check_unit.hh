@@ -26,11 +26,12 @@
 #ifndef AOS_MCU_MEMORY_CHECK_UNIT_HH
 #define AOS_MCU_MEMORY_CHECK_UNIT_HH
 
-#include <deque>
 #include <functional>
 #include <optional>
+#include <vector>
 
 #include "bounds/bounds_way_buffer.hh"
+#include "common/flat_map.hh"
 #include "bounds/hashed_bounds_table.hh"
 #include "faultinject/fault.hh"
 #include "ir/micro_op.hh"
@@ -93,6 +94,27 @@ struct McqEntry
     u64 seq = 0;        //!< Program-order sequence number.
     Tick readyAt = 0;   //!< Pending memory access completes here.
     unsigned waysTouched = 0;
+
+    /**
+     * Reset the FSM for a retry of the walk (replay after a committed
+     * mutation, fault-handler restart, head restart after an HBT
+     * resize). Clears exactly the FSM-progress fields — state, way
+     * cursor, fault, forwarding and in-flight-access flags — while
+     * preserving the entry's identity (seq/addr/pac), commit status
+     * and accounting (counted, waysTouched). @p ready_at is the
+     * earliest tick the retried walk may issue.
+     */
+    void
+    resetForRetry(Tick ready_at)
+    {
+        state = McqState::kInit;
+        fault = FaultKind::kNone;
+        way = 0;
+        count = 0;
+        forwarded = false;
+        started = false;
+        readyAt = ready_at;
+    }
 };
 
 /** MCU statistics (feeds Fig. 16/17 and the ablations). */
@@ -145,11 +167,11 @@ class MemoryCheckUnit
     bool
     full() const
     {
-        return _queue.size() >= _config.mcqEntries ||
+        return _count >= _config.mcqEntries ||
                (faultHooks && faultHooks->stallQueue());
     }
 
-    bool empty() const { return _queue.empty(); }
+    bool empty() const { return _count == 0; }
 
     /**
      * Enqueue a load/store (checked iff its pointer is signed) or a
@@ -200,24 +222,66 @@ class MemoryCheckUnit
     faultinject::McuFaultHooks *faultHooks = nullptr;
 
     const McuStats &stats() const { return _stats; }
-    size_t occupancy() const { return _queue.size(); }
+    size_t occupancy() const { return _count; }
 
   private:
+    /** Wake value for slots with no time-driven work pending. */
+    static constexpr Tick kNever = ~Tick{0};
+
     void stepEntry(McqEntry &entry, Tick now, unsigned &ports);
     void startWayAccess(McqEntry &entry, Tick now);
     bool tryForward(McqEntry &entry);
+    /** Older same-PAC bndstr whose occupancy check is unresolved. */
+    bool hasPendingOlderBndstr(const McqEntry &entry) const;
     void finishCheck(McqEntry &entry, bool found, unsigned found_way);
     void commitMutation(McqEntry &entry, Tick now);
     void replayYounger(const McqEntry &from);
     McqEntry *find(u64 seq);
     const McqEntry *find(u64 seq) const;
 
+    /** Ring slot of the @p i-th oldest entry. */
+    u32 slotOf(u32 i) const { return (_headSlot + i) & _slotMask; }
+
+    /**
+     * Earliest tick @p entry needs stepping again. Terminal states and
+     * commit-gated states have no time-driven work: they are woken
+     * explicitly (markCommitted, replayYounger, the head-fault
+     * handler), so the per-cycle scan can skip them entirely.
+     */
+    Tick
+    wakeOf(const McqEntry &entry) const
+    {
+        switch (entry.state) {
+          case McqState::kDone:
+          case McqState::kFail:
+            return kNever;
+          case McqState::kBndStr:
+            return entry.committed ? entry.readyAt : kNever;
+          default:
+            return entry.readyAt;
+        }
+    }
+
     McuConfig _config;
     pa::PointerLayout _layout;
     bounds::HashedBoundsTable *_hbt;
     bounds::BoundsWayBuffer *_bwb;
     memsim::MemorySystem *_mem;
-    std::deque<McqEntry> _queue;
+
+    // MCQ storage (data-layout pass): a fixed-capacity ring whose
+    // slots are pool-allocated once at construction — no steady-state
+    // allocation — with the per-slot wake tick split out into its own
+    // plane (_wake) so the every-cycle scan touches one compact array
+    // instead of walking whole entries, and an O(1) seq->slot map
+    // replacing the linear find() scans the retire stage polls every
+    // cycle.
+    std::vector<McqEntry> _slots;
+    std::vector<Tick> _wake;
+    FlatU64Map<u32> _bySeq;
+    u32 _headSlot = 0;
+    u32 _count = 0;
+    u32 _slotMask = 0;
+
     McuStats _stats;
 };
 

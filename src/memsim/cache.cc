@@ -18,130 +18,166 @@ Cache::Cache(const CacheParams &params, MemLevel *below)
     _setShift = log2i(params.lineSize);
     _tagShift = _setShift + log2i(_numSets);
     _setMask = _numSets - 1;
-    _lines.resize(u64{_numSets} * params.assoc);
+    _tags.assign(u64{_numSets} * params.assoc, 0);
+    _lru.assign(u64{_numSets} * params.assoc, 0);
     _mru.assign(_numSets, 0);
+}
+
+unsigned
+Cache::victimWay(const u64 *tags, const u32 *lru) const
+{
+    // Same scan order as the pre-split struct walk (start at way 0,
+    // first invalid way ≥ 1 wins, else oldest stamp): victim choice is
+    // part of the deterministic stats contract. The sweeps below fuse
+    // this scan with their residency probe; the fused loops must keep
+    // exactly this order.
+    unsigned victim = 0;
+    for (unsigned w = 1; w < _params.assoc; ++w) {
+        if (!(tags[w] & kValid))
+            return w;
+        if (lru[w] < lru[victim])
+            victim = w;
+    }
+    return victim;
 }
 
 void
 Cache::fill(Addr addr)
 {
     const u64 set = setIndex(addr);
-    const u64 tag = tagOf(addr);
-    Line *ways = &_lines[set * _params.assoc];
+    const u64 want = wantOf(addr);
+    u64 *tags = &_tags[set * _params.assoc];
+    u32 *lru = &_lru[set * _params.assoc];
+    // One sweep doubles as residency probe and victim scan (same
+    // choice as victimWay(); invalid-way tracking stops once found).
+    unsigned victim = 0;
+    unsigned invalid = 0;
     for (unsigned w = 0; w < _params.assoc; ++w) {
-        if (ways[w].valid && ways[w].tag == tag)
+        if ((tags[w] & kTagValid) == want)
             return; // already resident
-    }
-    Line *victim = &ways[0];
-    for (unsigned w = 1; w < _params.assoc; ++w) {
-        if (!ways[w].valid) {
-            victim = &ways[w];
-            break;
+        if (w >= 1 && invalid == 0) {
+            if (!(tags[w] & kValid))
+                invalid = w;
+            else if (lru[w] < lru[victim])
+                victim = w;
         }
-        if (ways[w].lru < victim->lru)
-            victim = &ways[w];
     }
-    if (victim->valid && victim->dirty) {
+    if (invalid != 0)
+        victim = invalid;
+    if ((tags[victim] & (kValid | kDirty)) == (kValid | kDirty)) {
         ++_stats.writebacks;
         _stats.bytesWrittenBack += _params.lineSize;
-        _below->access(lineAddr(victim->tag, set), true);
+        _below->access(lineAddr(tags[victim], set), true);
     }
     _below->access(addr, false);
     _stats.bytesFilled += _params.lineSize;
     ++_stats.prefetches;
-    victim->valid = true;
-    victim->dirty = false;
-    victim->prefetched = true;
-    victim->tag = tag;
-    victim->lru = ++_stamp;
-    _mru[set] = static_cast<u32>(victim - ways);
+    tags[victim] = want | kPrefetched;
+    lru[victim] = ++_stamp;
+    _mru[set] = victim;
 }
 
 Cycles
 Cache::access(Addr addr, bool write)
 {
     const u64 set = setIndex(addr);
-    const u64 tag = tagOf(addr);
-    Line *ways = &_lines[set * _params.assoc];
+    const u64 want = wantOf(addr);
+    u64 *tags = &_tags[set * _params.assoc];
+    u32 *lru = &_lru[set * _params.assoc];
 
     // MRU fast path: accesses cluster on the last-touched way (same
     // line walked word by word), so probe it before the full sweep.
-    const u32 mru = _mru[set];
-    Line *hit = &ways[mru];
-    if (!(hit->valid && hit->tag == tag)) {
-        hit = nullptr;
-        for (unsigned w = 0; w < _params.assoc; ++w) {
-            if (w != mru && ways[w].valid && ways[w].tag == tag) {
-                hit = &ways[w];
-                _mru[set] = w;
-                break;
-            }
-        }
-    }
-    if (hit) {
+    // An MRU hit skips the LRU re-stamp: the way was the last one
+    // touched in this set, so its stamp is already the set maximum and
+    // re-stamping cannot change any future victim choice. That keeps
+    // the hottest path away from the stamp plane entirely.
+    unsigned way = _mru[set];
+    if ((tags[way] & kTagValid) == want) {
         ++_stats.hits;
-        hit->lru = ++_stamp;
-        hit->dirty = hit->dirty || write;
-        if (hit->prefetched) {
-            // First touch of a prefetched line: the stream is
-            // confirmed, keep running ahead of it.
-            hit->prefetched = false;
+        if (write)
+            tags[way] |= kDirty;
+        if (tags[way] & kPrefetched) {
+            tags[way] &= ~kPrefetched;
             if (_params.nextLinePrefetch)
                 fill(addr + _params.lineSize);
         }
         return _params.latency;
     }
-
-    // Miss: pick the LRU victim.
-    ++_stats.misses;
-    Line *victim = &ways[0];
-    for (unsigned w = 1; w < _params.assoc; ++w) {
-        if (!ways[w].valid) {
-            victim = &ways[w];
-            break;
+    {
+        // One sweep doubles as hit probe and victim scan (same choice
+        // as victimWay(); invalid-way tracking stops once found).
+        unsigned victim = 0;
+        unsigned invalid = 0;
+        unsigned w = 0;
+        for (; w < _params.assoc; ++w) {
+            if ((tags[w] & kTagValid) == want)
+                break;
+            if (w >= 1 && invalid == 0) {
+                if (!(tags[w] & kValid))
+                    invalid = w;
+                else if (lru[w] < lru[victim])
+                    victim = w;
+            }
         }
-        if (ways[w].lru < victim->lru)
-            victim = &ways[w];
+        if (w == _params.assoc) {
+            // Miss: pick the LRU victim.
+            ++_stats.misses;
+            if (invalid != 0)
+                victim = invalid;
+
+            if ((tags[victim] & (kValid | kDirty)) == (kValid | kDirty)) {
+                ++_stats.writebacks;
+                _stats.bytesWrittenBack += _params.lineSize;
+                // Writebacks are off the critical path; latency not
+                // charged.
+                _below->access(lineAddr(tags[victim], set), true);
+            }
+
+            const Cycles below = _below->access(addr, false);
+            _stats.bytesFilled += _params.lineSize;
+
+            tags[victim] = want | (write ? kDirty : 0);
+            lru[victim] = ++_stamp;
+            _mru[set] = victim;
+
+            // Stream detection: the previous line resident means we
+            // are walking forward; hide the next line's latency.
+            // Clamp the probe: for addresses in the first line,
+            // addr - lineSize would wrap to the top of the address
+            // space and could spuriously match a resident line there.
+            if (_params.nextLinePrefetch && addr >= _params.lineSize &&
+                contains(addr - _params.lineSize)) {
+                fill(addr + _params.lineSize);
+            }
+
+            return _params.latency + below;
+        }
+        way = w;
+        _mru[set] = w;
     }
 
-    if (victim->valid && victim->dirty) {
-        ++_stats.writebacks;
-        _stats.bytesWrittenBack += _params.lineSize;
-        // Writebacks are off the critical path; latency not charged.
-        _below->access(lineAddr(victim->tag, set), true);
+    ++_stats.hits;
+    lru[way] = ++_stamp;
+    if (write)
+        tags[way] |= kDirty;
+    if (tags[way] & kPrefetched) {
+        // First touch of a prefetched line: the stream is confirmed,
+        // keep running ahead of it.
+        tags[way] &= ~kPrefetched;
+        if (_params.nextLinePrefetch)
+            fill(addr + _params.lineSize);
     }
-
-    const Cycles below = _below->access(addr, false);
-    _stats.bytesFilled += _params.lineSize;
-
-    victim->valid = true;
-    victim->dirty = write;
-    victim->prefetched = false;
-    victim->tag = tag;
-    victim->lru = ++_stamp;
-    _mru[set] = static_cast<u32>(victim - ways);
-
-    // Stream detection: the previous line resident means we are
-    // walking forward; hide the next line's latency. Clamp the probe:
-    // for addresses in the first line, addr - lineSize would wrap to
-    // the top of the address space and could spuriously match a
-    // resident line there.
-    if (_params.nextLinePrefetch && addr >= _params.lineSize &&
-        contains(addr - _params.lineSize)) {
-        fill(addr + _params.lineSize);
-    }
-
-    return _params.latency + below;
+    return _params.latency;
 }
 
 bool
 Cache::contains(Addr addr) const
 {
     const u64 set = setIndex(addr);
-    const u64 tag = tagOf(addr);
-    const Line *ways = &_lines[set * _params.assoc];
+    const u64 want = wantOf(addr);
+    const u64 *tags = &_tags[set * _params.assoc];
     for (unsigned w = 0; w < _params.assoc; ++w) {
-        if (ways[w].valid && ways[w].tag == tag)
+        if ((tags[w] & kTagValid) == want)
             return true;
     }
     return false;
@@ -151,15 +187,15 @@ void
 Cache::flush()
 {
     for (u64 set = 0; set < _numSets; ++set) {
-        Line *ways = &_lines[set * _params.assoc];
+        u64 *tags = &_tags[set * _params.assoc];
         for (unsigned w = 0; w < _params.assoc; ++w) {
-            Line &line = ways[w];
-            if (line.valid && line.dirty) {
+            if ((tags[w] & (kValid | kDirty)) == (kValid | kDirty)) {
                 ++_stats.writebacks;
                 _stats.bytesWrittenBack += _params.lineSize;
-                _below->access(lineAddr(line.tag, set), true);
+                _below->access(lineAddr(tags[w], set), true);
             }
-            line = Line();
+            tags[w] = 0;
+            _lru[set * _params.assoc + w] = 0;
         }
     }
     _mru.assign(_numSets, 0);

@@ -131,24 +131,31 @@ class Cache : public MemLevel
     const CacheParams &params() const { return _params; }
 
   private:
-    struct Line
-    {
-        bool valid = false;
-        bool dirty = false;
-        bool prefetched = false; //!< Tagged prefetch: untouched so far.
-        u64 tag = 0;
-        u64 lru = 0; //!< Last-touch stamp; smaller = older.
-    };
+    // Tag-store layout (data-layout pass): one packed u64 per line —
+    // tag in the high bits, valid/dirty/prefetched in the low three —
+    // with the LRU stamps split into their own u32 plane. The tag
+    // sweep on every access then reads one 64-byte row per 8-way set
+    // instead of three cache lines of struct-of-everything, and the
+    // victim scan reads a 32-byte stamp row.
+    static constexpr unsigned kFlagBits = 3;
+    static constexpr u64 kValid = 1;
+    static constexpr u64 kDirty = 2;
+    static constexpr u64 kPrefetched = 4;
+    /** Mask selecting the tag and valid bit (hit comparison). */
+    static constexpr u64 kTagValid = ~(kDirty | kPrefetched);
 
     u64 setIndex(Addr addr) const { return (addr >> _setShift) & _setMask; }
     u64 tagOf(Addr addr) const { return addr >> _tagShift; }
+    /** Packed tag word a resident line for @p addr must match. */
+    u64 wantOf(Addr addr) const { return (tagOf(addr) << kFlagBits) | kValid; }
     Addr
-    lineAddr(u64 tag, u64 set) const
+    lineAddr(u64 tagword, u64 set) const
     {
-        return (tag << _tagShift) | (set << _setShift);
+        return ((tagword >> kFlagBits) << _tagShift) | (set << _setShift);
     }
     /** Install @p addr's line (for prefetch); pulls from below. */
     void fill(Addr addr);
+    unsigned victimWay(const u64 *tags, const u32 *lru) const;
 
     CacheParams _params;
     MemLevel *_below;
@@ -158,9 +165,13 @@ class Cache : public MemLevel
     unsigned _setShift; //!< log2(lineSize).
     unsigned _tagShift; //!< log2(lineSize) + log2(numSets).
     u64 _setMask;       //!< numSets - 1.
-    std::vector<Line> _lines; // _numSets * assoc, set-major
-    std::vector<u32> _mru;    // per-set most-recently-touched way
-    u64 _stamp = 0;
+    std::vector<u64> _tags; // _numSets * assoc, set-major, packed
+    std::vector<u32> _lru;  // last-touch stamps; smaller = older
+    std::vector<u32> _mru;  // per-set most-recently-touched way
+    // u32 stamps wrap at ~4.3 G accesses per cache; jobs run orders of
+    // magnitude fewer (caches are per-job), so LRU order never sees a
+    // wrapped stamp.
+    u32 _stamp = 0;
     CacheStats _stats;
 };
 

@@ -5,7 +5,8 @@
 namespace aos::pa {
 
 PaContext::PaContext(PointerLayout layout, u64 seed)
-    : _layout(layout), _cipher(qarma::Sbox::kSigma1, 7)
+    : _layout(layout), _cipher(qarma::Sbox::kSigma1, 7),
+      _sliced(qarma::Sbox::kSigma1, 7)
 {
     Rng rng(seed);
     for (unsigned i = 0; i < 5; ++i) {
@@ -69,6 +70,26 @@ PaContext::autia(Addr ptr, u64 modifier, Addr *stripped) const
         *stripped = raw;
     return _layout.pac(ptr) == expected ? AuthResult::kPass
                                         : AuthResult::kFail;
+}
+
+void
+PaContext::batchPac(const Addr *ptrs, const u64 *modifiers,
+                    const u64 *sizes, size_t n, PaKey key,
+                    Addr *out) const
+{
+    const auto &ks = _scheds[static_cast<unsigned>(key)];
+    const u64 pacMask = mask(_layout.pacSize());
+    // out doubles as the plaintext buffer: strip into it, run the
+    // sliced sweep in place, then compose. strip() is a single mask,
+    // so recomputing the raw address in the compose loop is free.
+    for (size_t i = 0; i < n; ++i)
+        out[i] = _layout.strip(ptrs[i]);
+    _sliced.encrypt(out, modifiers, n, ks, out);
+    for (size_t i = 0; i < n; ++i) {
+        const Addr raw = _layout.strip(ptrs[i]);
+        out[i] = _layout.compose(raw, out[i] & pacMask,
+                                 _layout.computeAhc(raw, sizes[i]));
+    }
 }
 
 bool

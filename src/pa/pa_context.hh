@@ -22,8 +22,11 @@
 #ifndef AOS_PA_PA_CONTEXT_HH
 #define AOS_PA_PA_CONTEXT_HH
 
+#include <vector>
+
 #include "pa/pointer_layout.hh"
 #include "qarma/qarma64.hh"
+#include "qarma/qarma_sliced.hh"
 
 namespace aos::pa {
 
@@ -94,15 +97,90 @@ class PaContext
     /** Verify that the PAC embedded in @p ptr matches key M. */
     bool pacMatches(Addr ptr, u64 modifier) const;
 
+    /**
+     * Batched data-pointer signing (DESIGN.md §14): sign @p n pointers
+     * under one key in a single bit-sliced QARMA sweep. out[i] is
+     * bit-identical to pacma()/pacmb() of the same request; @p out must
+     * not alias the inputs. This is the queue drain behind PacBatch — callers
+     * that accumulate a window of sign requests (the AOS backend pass,
+     * the functional runtime) go through here instead of one cipher
+     * call per pointer.
+     */
+    void batchPac(const Addr *ptrs, const u64 *modifiers,
+                  const u64 *sizes, size_t n, PaKey key,
+                  Addr *out) const;
+
   private:
     Addr signData(Addr ptr, u64 modifier, u64 size, PaKey key) const;
 
     PointerLayout _layout;
     qarma::Qarma64 _cipher;
+    qarma::QarmaSliced _sliced;
     qarma::Key128 _keys[5];
     // Expanded once per key slot: computePac signs millions of pointers
     // per run, and re-deriving w1/k1 per block is pure waste.
     qarma::Qarma64::Schedule _scheds[5];
+};
+
+/**
+ * A deferred-signing queue over PaContext::batchPac — the software
+ * analogue of the paper's pipelined PAC unit: producers enqueue sign
+ * requests as they are discovered, the whole window is signed in one
+ * bit-sliced sweep at flush(), and consumers read results by slot.
+ * Buffers are pooled: clear() keeps capacity, so a steady-state
+ * producer (the AOS backend pass window) never reallocates.
+ */
+class PacBatch
+{
+  public:
+    /** @param pa Signing context; @param key Key slot for every request. */
+    explicit PacBatch(const PaContext *pa,
+                      PaKey key = PaKey::kModifierM)
+        : _pa(pa), _key(key)
+    {
+    }
+
+    /** Queue one pacma-style request; returns its result slot. */
+    size_t
+    enqueue(Addr ptr, u64 modifier, u64 size)
+    {
+        _ptrs.push_back(ptr);
+        _modifiers.push_back(modifier);
+        _sizes.push_back(size);
+        return _ptrs.size() - 1;
+    }
+
+    /** Sign everything queued in one batchPac sweep. */
+    void
+    flush()
+    {
+        _out.resize(_ptrs.size());
+        _pa->batchPac(_ptrs.data(), _modifiers.data(), _sizes.data(),
+                      _ptrs.size(), _key, _out.data());
+    }
+
+    /** Signed pointer for request @p slot (valid after flush()). */
+    Addr result(size_t slot) const { return _out[slot]; }
+
+    size_t pending() const { return _ptrs.size(); }
+
+    /** Drop all requests/results, keeping the pooled capacity. */
+    void
+    clear()
+    {
+        _ptrs.clear();
+        _modifiers.clear();
+        _sizes.clear();
+        _out.clear();
+    }
+
+  private:
+    const PaContext *_pa;
+    PaKey _key;
+    std::vector<Addr> _ptrs;
+    std::vector<u64> _modifiers;
+    std::vector<u64> _sizes;
+    std::vector<Addr> _out;
 };
 
 } // namespace aos::pa

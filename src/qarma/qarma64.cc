@@ -227,6 +227,19 @@ Qarma64::Qarma64(Sbox sbox, unsigned rounds) : _sbox(sbox), _rounds(rounds)
 }
 
 u64
+Qarma64::roundConst(unsigned i)
+{
+    panic_if(i >= 8, "QARMA round constant index %u out of range", i);
+    return kRoundConst[i];
+}
+
+u64
+Qarma64::alpha()
+{
+    return kAlpha;
+}
+
+u64
 Qarma64::shuffleCells(u64 state)
 {
     return applyScatterLut(kTauLut, state);

@@ -89,6 +89,10 @@ class Qarma64
     /** Derived central key k1 = M * k0. */
     static u64 deriveK1(u64 k0);
 
+    // Spec constants (shared with the bit-sliced kernel).
+    static u64 roundConst(unsigned i);
+    static u64 alpha();
+
     // Exposed building blocks (public for unit testing).
     static u64 shuffleCells(u64 state);
     static u64 shuffleCellsInv(u64 state);

@@ -1,0 +1,28 @@
+/**
+ * @file
+ * The 512-lane bit-sliced QARMA chunk: the shared width-generic kernel
+ * instantiated over an 8x64 generic vector, in a translation unit
+ * compiled with the AVX-512 flags (see src/qarma/CMakeLists.txt) so
+ * the plane network lowers to 512-bit ops. Nothing else lives here —
+ * every other qarma function must stay runnable on hosts without
+ * AVX-512, and callers reach this chunk only after a runtime
+ * cpu-support check.
+ */
+
+#include "qarma/qarma_sliced_kernel.hh"
+
+namespace aos::qarma::sliceddetail {
+
+namespace {
+typedef u64 Vec512 __attribute__((vector_size(64)));
+} // namespace
+
+void
+encryptChunk512(const LinTabs &lt, const SboxTab &sb, unsigned rounds,
+                const Qarma64::Schedule &ks, const u64 *pt, const u64 *tw,
+                size_t n, u64 *ct)
+{
+    encryptChunk<Vec512>(lt, sb, rounds, ks, pt, tw, n, ct);
+}
+
+} // namespace aos::qarma::sliceddetail

@@ -1,0 +1,259 @@
+/**
+ * @file
+ * Internal plane-domain kernel shared by the bit-sliced QARMA TUs.
+ *
+ * qarma_sliced.cc derives the plane-network tables from the scalar
+ * implementation and dispatches; this header holds the width-generic
+ * kernel itself so the optional AVX-512 translation unit (compiled
+ * with its own -m flags, see src/qarma/CMakeLists.txt) can instantiate
+ * encryptChunk over a 512-bit vector word without duplicating the
+ * cipher. Not part of the public qarma interface — include only from
+ * qarma_sliced*.cc.
+ */
+
+#ifndef AOS_QARMA_QARMA_SLICED_KERNEL_HH
+#define AOS_QARMA_QARMA_SLICED_KERNEL_HH
+
+#include <cstddef>
+
+#include "qarma/qarma64.hh"
+
+namespace aos::qarma::sliceddetail {
+
+/**
+ * One GF(2)-linear layer over the 64 bit-planes: output plane o is the
+ * XOR of srcs[o][0..nsrc[o]). MixColumns contributes at most three
+ * terms per bit (the three nonzero rho-powers of one column), the
+ * tweak LFSR at most two.
+ */
+struct LinTab
+{
+    u8 nsrc[64];
+    u8 src[64][3];
+};
+
+/** The 4-bit S-box pair for one sigma instance. */
+struct SboxTab
+{
+    u8 fwd[16];
+    u8 inv[16];
+};
+
+struct LinTabs
+{
+    LinTab fwdLin;   //!< mixColumns ∘ shuffleCells (forward full round).
+    LinTab bwdLin;   //!< shuffleCellsInv ∘ mixColumns (backward round).
+    LinTab reflLin;  //!< shuffleCellsInv ∘ mixColumns ∘ shuffleCells.
+    LinTab fwdTweak; //!< forwardTweak.
+    LinTab bwdTweak; //!< backwardTweak.
+};
+
+/** In-place butterfly transpose: bit j of out[p] = bit p of in[j]. */
+inline void
+transpose64(u64 a[64])
+{
+    for (unsigned j = 32; j != 0; j >>= 1) {
+        const u64 m = ~u64{0} / ((u64{1} << j) + 1);
+        for (unsigned k = 0; k < 64; k = (k + j + 1) & ~j) {
+            const u64 t = ((a[k] >> j) ^ a[k + j]) & m;
+            a[k + j] ^= t;
+            a[k] ^= t << j;
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Generic word ops: u64 = 64 lanes; wider GCC/Clang generic vectors
+// add 64 lanes per 8 bytes of word width.
+// ---------------------------------------------------------------------
+
+inline void
+setSub(u64 &w, unsigned, u64 v)
+{
+    w = v;
+}
+
+inline u64
+getSub(u64 w, unsigned)
+{
+    return w;
+}
+
+template <typename W>
+inline void
+setSub(W &w, unsigned i, u64 v)
+{
+    w[i] = v;
+}
+
+template <typename W>
+inline u64
+getSub(W w, unsigned i)
+{
+    return w[i];
+}
+
+/** All-ones/all-zeros lane mask from one constant bit (branchless). */
+template <typename W>
+inline W
+broadcastMask(u64 bit)
+{
+    return W{} + (u64{0} - bit);
+}
+
+/** XOR a batch-constant word in: bit b set complements plane b. */
+template <typename W>
+inline void
+xorConst(W *p, u64 c)
+{
+    for (unsigned b = 0; b < 64; ++b)
+        p[b] ^= broadcastMask<W>((c >> b) & 1);
+}
+
+/** One fused pass for s ^= tweak-planes ^ batch-constant. */
+template <typename W>
+inline void
+xorTweakey(W *s, const W *t, u64 c)
+{
+    for (unsigned b = 0; b < 64; ++b)
+        s[b] ^= t[b] ^ broadcastMask<W>((c >> b) & 1);
+}
+
+template <typename W>
+inline void
+applyLinear(const LinTab &tab, W *p)
+{
+    W tmp[64];
+    for (unsigned b = 0; b < 64; ++b)
+        tmp[b] = p[b];
+    for (unsigned o = 0; o < 64; ++o) {
+        W acc = tmp[tab.src[o][0]];
+        for (unsigned k = 1; k < tab.nsrc[o]; ++k)
+            acc ^= tmp[tab.src[o][k]];
+        p[o] = acc;
+    }
+}
+
+/**
+ * The S-box as a minterm network: per cell, the 16 products of the
+ * four input planes and their complements select which inputs map to
+ * each value; output plane k ORs the (disjoint) minterms whose S-box
+ * image has bit k set.
+ */
+template <typename W>
+inline void
+subLayer(const u8 *box, W *p)
+{
+    for (unsigned g = 0; g < 16; ++g) {
+        W *q = p + 4 * g;
+        const W a0 = q[0], a1 = q[1], a2 = q[2], a3 = q[3];
+        const W n0 = ~a0, n1 = ~a1, n2 = ~a2, n3 = ~a3;
+        const W lo[4] = {n1 & n0, n1 & a0, a1 & n0, a1 & a0};
+        const W hi[4] = {n3 & n2, n3 & a2, a3 & n2, a3 & a2};
+        W o0{}, o1{}, o2{}, o3{};
+        for (unsigned v = 0; v < 16; ++v) {
+            const W m = hi[v >> 2] & lo[v & 3];
+            const u8 s = box[v];
+            if (s & 1)
+                o0 |= m;
+            if (s & 2)
+                o1 |= m;
+            if (s & 4)
+                o2 |= m;
+            if (s & 8)
+                o3 |= m;
+        }
+        q[0] = o0;
+        q[1] = o1;
+        q[2] = o2;
+        q[3] = o3;
+    }
+}
+
+/**
+ * Encrypt one chunk of up to 64 * sizeof(W)/8 blocks, mirroring
+ * Qarma64::encrypt step for step in the plane domain. Whitening with
+ * w0/w1 happens lane-wise around the transposes (cheaper than two
+ * plane passes).
+ */
+template <typename W>
+void
+encryptChunk(const LinTabs &lt, const SboxTab &sb, unsigned rounds,
+             const Qarma64::Schedule &ks, const u64 *pt, const u64 *tw,
+             size_t n, u64 *ct)
+{
+    constexpr unsigned kSubWords = sizeof(W) / sizeof(u64);
+    W state[64]{}, tweak[64]{};
+    u64 buf[64];
+
+    for (unsigned s = 0; s < kSubWords; ++s) {
+        for (unsigned j = 0; j < 64; ++j) {
+            const size_t idx = s * u64{64} + j;
+            buf[j] = idx < n ? (pt[idx] ^ ks.w0) : 0;
+        }
+        transpose64(buf);
+        for (unsigned p = 0; p < 64; ++p)
+            setSub(state[p], s, buf[p]);
+        for (unsigned j = 0; j < 64; ++j) {
+            const size_t idx = s * u64{64} + j;
+            buf[j] = idx < n ? tw[idx] : 0;
+        }
+        transpose64(buf);
+        for (unsigned p = 0; p < 64; ++p)
+            setSub(tweak[p], s, buf[p]);
+    }
+
+    for (unsigned i = 0; i < rounds; ++i) {
+        xorTweakey(state, tweak, ks.k0 ^ Qarma64::roundConst(i));
+        if (i != 0)
+            applyLinear(lt.fwdLin, state);
+        subLayer(sb.fwd, state);
+        applyLinear(lt.fwdTweak, tweak);
+    }
+
+    xorTweakey(state, tweak, ks.w1);
+    applyLinear(lt.fwdLin, state);
+    subLayer(sb.fwd, state);
+
+    applyLinear(lt.reflLin, state);
+    xorConst(state, Qarma64::shuffleCellsInv(ks.k1));
+
+    subLayer(sb.inv, state);
+    applyLinear(lt.bwdLin, state);
+    xorTweakey(state, tweak, ks.w0);
+
+    for (unsigned i = rounds; i-- > 0;) {
+        applyLinear(lt.bwdTweak, tweak);
+        subLayer(sb.inv, state);
+        if (i != 0)
+            applyLinear(lt.bwdLin, state);
+        xorTweakey(state, tweak,
+                   ks.k0 ^ Qarma64::roundConst(i) ^ Qarma64::alpha());
+    }
+
+    for (unsigned s = 0; s < kSubWords; ++s) {
+        for (unsigned p = 0; p < 64; ++p)
+            buf[p] = getSub(state[p], s);
+        transpose64(buf);
+        for (unsigned j = 0; j < 64; ++j) {
+            const size_t idx = s * u64{64} + j;
+            if (idx < n)
+                ct[idx] = buf[j] ^ ks.w1;
+        }
+    }
+}
+
+#if defined(AOS_QARMA_HAVE_VEC512)
+/**
+ * 512-lane chunk over 8x64 vector planes; defined in
+ * qarma_sliced_avx512.cc, which is compiled with the AVX-512 flags.
+ * Call only after a runtime avx512f check (QarmaSliced::resolve does).
+ */
+void encryptChunk512(const LinTabs &lt, const SboxTab &sb,
+                     unsigned rounds, const Qarma64::Schedule &ks,
+                     const u64 *pt, const u64 *tw, size_t n, u64 *ct);
+#endif
+
+} // namespace aos::qarma::sliceddetail
+
+#endif // AOS_QARMA_QARMA_SLICED_KERNEL_HH

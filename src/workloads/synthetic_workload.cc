@@ -30,14 +30,16 @@ SyntheticWorkload::SyntheticWorkload(const WorkloadProfile &profile,
             _branchBias.push_back(0.97 + 0.029 * _rng.uniform());
     }
     _recent.reserve(kRecentCapacity);
+    _logChunkLo = std::log(static_cast<double>(_profile.heapChunkMin));
+    _logChunkHi = std::log(static_cast<double>(_profile.heapChunkMax));
+    _alloc.reserveLive(_profile.targetActive + 16);
 }
 
 u64
 SyntheticWorkload::pickChunkSize()
 {
-    const double lo = std::log(static_cast<double>(_profile.heapChunkMin));
-    const double hi = std::log(static_cast<double>(_profile.heapChunkMax));
-    const double v = std::exp(lo + (hi - lo) * _rng.uniform());
+    const double v = std::exp(
+        _logChunkLo + (_logChunkHi - _logChunkLo) * _rng.uniform());
     return std::max<u64>(16, static_cast<u64>(v) & ~u64{7});
 }
 
@@ -270,13 +272,16 @@ bool
 SyntheticWorkload::next(ir::MicroOp &op)
 {
     if (_warmupDone && _measureOps && _measuredEmitted >= _measureOps &&
-        _pending.empty()) {
+        pendingEmpty()) {
         return false;
     }
-    while (_pending.empty())
-        refill();
-    op = _pending.front();
-    _pending.pop_front();
+    if (pendingEmpty()) {
+        _pending.clear();
+        _pendingHead = 0;
+        while (_pending.empty())
+            refill();
+    }
+    op = _pending[_pendingHead++];
     if (_warmupDone && op.kind != ir::OpKind::kPhaseMark)
         ++_measuredEmitted;
     return true;

@@ -23,7 +23,6 @@
 #ifndef AOS_WORKLOADS_SYNTHETIC_WORKLOAD_HH
 #define AOS_WORKLOADS_SYNTHETIC_WORKLOAD_HH
 
-#include <deque>
 #include <vector>
 
 #include "alloc/heap_allocator.hh"
@@ -51,6 +50,18 @@ class SyntheticWorkload : public ir::InstStream
 
     bool next(ir::MicroOp &op) override;
 
+    size_t
+    nextBatch(ir::MicroOp *out, size_t max) override
+    {
+        // Same semantics as the base-class loop, but the self-call is
+        // direct: the pass refill above this pulls whole windows, so
+        // this is the hottest dispatch edge in the pipeline.
+        size_t k = 0;
+        while (k < max && SyntheticWorkload::next(out[k]))
+            ++k;
+        return k;
+    }
+
     std::string name() const override { return _profile.name; }
 
     alloc::HeapAllocator &allocator() { return _alloc; }
@@ -72,10 +83,21 @@ class SyntheticWorkload : public ir::InstStream
 
     void push(ir::MicroOp op) { _pending.push_back(op); }
 
+    bool pendingEmpty() const { return _pendingHead == _pending.size(); }
+
     WorkloadProfile _profile;
     Rng _rng;
     alloc::HeapAllocator _alloc;
-    std::deque<ir::MicroOp> _pending;
+    // FIFO of generated ops: refill() appends, next() reads through a
+    // head cursor and the buffer is recycled once drained (refill is
+    // only ever called on an empty buffer, so a ring is not needed).
+    std::vector<ir::MicroOp> _pending;
+    size_t _pendingHead = 0;
+
+    // log(heapChunkMin/Max), hoisted out of pickChunkSize (profile
+    // bounds never change after construction).
+    double _logChunkLo = 0;
+    double _logChunkHi = 0;
 
     bool _warmupDone = false;
     u64 _measureOps = 0;

@@ -579,5 +579,163 @@ TEST_F(McuTest, DuplicatedWayResponseIsDiscarded)
     EXPECT_EQ(mcu.stats().checkedOps, 1u); // Counted once, not twice.
 }
 
+// ---- forwarding correctness & MCQ bookkeeping regressions ---------------
+
+TEST_F(McuTest, NoForwardingFromOccupancyFailedBndstr)
+{
+    // Regression: forwarding must only be satisfied by bndstr entries
+    // that passed their occupancy check. Fill the pac-7 row so a
+    // bndstr fails occupancy in every way, complete it via the
+    // report-and-resume policy (no resize — its bounds never reach the
+    // table), then issue a load inside those phantom bounds. The load
+    // must walk the table and fault, not forward against bounds that
+    // were never stored.
+    for (int i = 0; i < 8; ++i)
+        hbt.insert(7, bounds::compress(0x30000000 + i * 0x100, 64));
+    std::vector<FaultKind> seen;
+    mcu.onFault = [&](FaultKind kind, const McqEntry &) {
+        seen.push_back(kind);
+        return false; // report-and-resume: no resize, no retry
+    };
+    ASSERT_TRUE(mcu.enqueue(ir::OpKind::kBndstr,
+                            signedPtr(0x20001000, 7), 64, 1, now));
+    for (unsigned i = 0; i < 3000 && !mcu.readyToRetire(1); ++i)
+        mcu.tick(now++);
+    ASSERT_TRUE(mcu.readyToRetire(1));
+    ASSERT_EQ(seen.size(), 1u);
+    EXPECT_EQ(seen[0], FaultKind::kStoreOverflow);
+
+    ASSERT_TRUE(mcu.enqueue(ir::OpKind::kLoad,
+                            signedPtr(0x20001020, 7), 8, 2, now));
+    for (unsigned i = 0;
+         i < 3000 && !mcu.faulted(2) && !mcu.readyToRetire(2); ++i) {
+        mcu.tick(now++);
+    }
+    FaultKind kind = FaultKind::kNone;
+    EXPECT_TRUE(mcu.faulted(2, &kind))
+        << "load passed against bounds that never reached the table";
+    EXPECT_EQ(kind, FaultKind::kBoundsViolation);
+    EXPECT_EQ(mcu.stats().forwards, 0u);
+}
+
+TEST_F(McuTest, ForwardingStillServedFromCommittedDoneBndstr)
+{
+    // The flip side of the occupancy-failed case: a bndstr that passed
+    // occupancy keeps forwarding after it reaches Done (mutation
+    // committed) for as long as it sits in the queue.
+    ASSERT_TRUE(mcu.enqueue(ir::OpKind::kBndstr,
+                            signedPtr(0x20001000, 7), 64, 1, now));
+    settle(1);
+    mcu.markCommitted(1);
+    for (unsigned i = 0; i < 100 && hbt.stats().inserts == 0; ++i)
+        mcu.tick(now++); // commit the mutation; entry stays queued
+    ASSERT_EQ(hbt.stats().inserts, 1u);
+    ASSERT_TRUE(mcu.enqueue(ir::OpKind::kLoad,
+                            signedPtr(0x20001020, 7), 8, 2, now));
+    settle(2);
+    EXPECT_TRUE(mcu.readyToRetire(2));
+    EXPECT_FALSE(mcu.faulted(2));
+    EXPECT_EQ(mcu.stats().forwards, 1u);
+}
+
+TEST(McqEntryTest, ResetForRetryClearsExactlyTheWalkProgress)
+{
+    McqEntry e;
+    e.valid = true;
+    e.type = McqType::kBndstr;
+    e.state = McqState::kFail;
+    e.fault = FaultKind::kStoreOverflow;
+    e.addr = 0xdead0000;
+    e.rawAddr = 0x20001000;
+    e.pac = 7;
+    e.ahc = 2;
+    e.size = 64;
+    e.bndData = 12345;
+    e.bndAddr = 0x30000040;
+    e.way = 3;
+    e.count = 4;
+    e.committed = true;
+    e.signedPtr = true;
+    e.forwarded = true;
+    e.started = true;
+    e.counted = true;
+    e.seq = 42;
+    e.readyAt = 999;
+    e.waysTouched = 5;
+
+    e.resetForRetry(1234);
+
+    // Cleared: exactly the FSM walk progress.
+    EXPECT_EQ(e.state, McqState::kInit);
+    EXPECT_EQ(e.fault, FaultKind::kNone);
+    EXPECT_EQ(e.way, 0u);
+    EXPECT_EQ(e.count, 0u);
+    EXPECT_FALSE(e.forwarded);
+    EXPECT_FALSE(e.started);
+    EXPECT_EQ(e.readyAt, Tick{1234});
+
+    // Preserved: identity, operands, commit status, accounting.
+    EXPECT_TRUE(e.valid);
+    EXPECT_EQ(e.type, McqType::kBndstr);
+    EXPECT_EQ(e.addr, 0xdead0000u);
+    EXPECT_EQ(e.rawAddr, 0x20001000u);
+    EXPECT_EQ(e.pac, 7u);
+    EXPECT_EQ(e.ahc, 2u);
+    EXPECT_EQ(e.size, 64u);
+    EXPECT_EQ(e.bndData, bounds::Compressed{12345});
+    EXPECT_TRUE(e.committed);
+    EXPECT_TRUE(e.signedPtr);
+    EXPECT_TRUE(e.counted);
+    EXPECT_EQ(e.seq, 42u);
+    EXPECT_EQ(e.waysTouched, 5u);
+}
+
+TEST_F(McuTest, SeqMapSurvivesRingWraparound)
+{
+    // Stress the O(1) seq->slot map across many wraps of a small ring:
+    // every in-flight seq must stay findable (faulted()/readyToRetire()
+    // consistent), drained seqs must become trivially retirable, and
+    // occupancy must never exceed capacity.
+    McuConfig config;
+    config.mcqEntries = 8;
+    MemoryCheckUnit mcu2(config, layout, &hbt, &bwb, &mem);
+    hbt.insert(7, bounds::compress(0x20001000, 64));
+
+    const u64 total = 100; // 12+ wraps of the 8-slot ring
+    u64 next_seq = 1;
+    u64 drained_below = 1; // all seqs < this have left the queue
+    for (unsigned cycle = 0; cycle < 100'000; ++cycle) {
+        while (!mcu2.full() && next_seq <= total) {
+            // Alternate unsigned (instant) and signed (way walk) loads
+            // so entries complete at staggered times.
+            const Addr addr = (next_seq & 1)
+                                  ? Addr{0x20002000}
+                                  : signedPtr(0x20001020, 7);
+            ASSERT_TRUE(mcu2.enqueue(ir::OpKind::kLoad, addr, 8,
+                                     next_seq, now));
+            mcu2.markCommitted(next_seq);
+            ++next_seq;
+        }
+        ASSERT_LE(mcu2.occupancy(), 8u);
+        // Map lookups: in-flight entries resolve, drained ones do not.
+        if (drained_below > 1) {
+            EXPECT_TRUE(mcu2.readyToRetire(drained_below - 1));
+            EXPECT_FALSE(mcu2.faulted(drained_below - 1));
+        }
+        for (u64 s = drained_below; s < next_seq; ++s)
+            EXPECT_FALSE(mcu2.faulted(s));
+        EXPECT_TRUE(mcu2.readyToRetire(next_seq)) << "future seq";
+        mcu2.tick(now++);
+        mcu2.drainRetired();
+        drained_below = next_seq - mcu2.occupancy();
+        if (next_seq > total && mcu2.empty())
+            break;
+    }
+    ASSERT_TRUE(mcu2.empty()) << "ring failed to drain";
+    EXPECT_EQ(mcu2.stats().enqueued, total);
+    EXPECT_EQ(mcu2.stats().boundsFailures, 0u);
+    EXPECT_EQ(mcu2.stats().checkedOps + mcu2.stats().uncheckedOps, total);
+}
+
 } // namespace
 } // namespace aos::mcu

@@ -16,8 +16,12 @@
 
 #include <gtest/gtest.h>
 
+#include <vector>
+
+#include "common/random.hh"
 #include "pa/pa_context.hh"
 #include "qarma/qarma64.hh"
+#include "qarma/qarma_sliced.hh"
 
 namespace aos {
 namespace {
@@ -153,6 +157,134 @@ TEST(PacVectors, PacmaMatchesFrozenVectors)
     pa::PaContext ctx;
     for (const PacmaVector &v : kPacmaVectors)
         EXPECT_EQ(ctx.pacma(v.ptr, v.mod, v.size), v.signedPtr);
+}
+
+// ---- batch kernel vs scalar property tests (DESIGN.md §14) --------------
+
+/** Every kernel the build compiled in and this host can run. */
+std::vector<qarma::SlicedKernel>
+availableKernels()
+{
+    using qarma::QarmaSliced;
+    using qarma::SlicedKernel;
+    std::vector<SlicedKernel> kernels = {SlicedKernel::kScalar,
+                                         SlicedKernel::kSliced64};
+    if (QarmaSliced::simdCompiledIn())
+        kernels.push_back(SlicedKernel::kSimd128);
+    if (QarmaSliced::simd512Available())
+        kernels.push_back(SlicedKernel::kSimd512);
+    return kernels;
+}
+
+TEST(PacVectors, BatchEncryptMatchesScalarForRaggedBatches)
+{
+    // Property: for every compiled-in kernel, every S-box family and
+    // round count AOS instantiates, and batch sizes straddling the
+    // lane widths (1..513, full lanes, ragged tails, sub-slicing
+    // sizes), the batch kernel is bit-identical to the scalar cipher.
+    const size_t sizes[] = {1,  2,   7,   15,  16,  17,  63, 64,
+                            65, 100, 127, 128, 129, 200, 511, 513};
+    Rng rng(0xba7c4'0001ull);
+    for (const qarma::SlicedKernel kernel : availableKernels()) {
+        for (const Sbox box : kBoxes) {
+            for (const unsigned rounds : {5u, 7u}) {
+                const qarma::QarmaSliced sliced(box, rounds, kernel);
+                const Qarma64 scalar(box, rounds);
+                const auto ks =
+                    Qarma64::expandKey({rng.next(), rng.next()});
+                for (const size_t n : sizes) {
+                    std::vector<u64> pt(n), tw(n), ct(n);
+                    for (size_t i = 0; i < n; ++i) {
+                        pt[i] = rng.next();
+                        tw[i] = rng.next();
+                    }
+                    sliced.encrypt(pt.data(), tw.data(), n, ks,
+                                   ct.data());
+                    for (size_t i = 0; i < n; ++i) {
+                        ASSERT_EQ(ct[i],
+                                  scalar.encrypt(pt[i], tw[i], ks))
+                            << "kernel=" << static_cast<int>(kernel)
+                            << " box=" << static_cast<int>(box)
+                            << " rounds=" << rounds << " n=" << n
+                            << " lane=" << i;
+                    }
+                }
+            }
+        }
+    }
+}
+
+TEST(PacVectors, BatchEncryptInPlaceAliasing)
+{
+    // ct == pt is documented as legal; the transpose must not read
+    // lanes it already wrote.
+    Rng rng(0xba7c4'0002ull);
+    for (const qarma::SlicedKernel kernel : availableKernels()) {
+        const qarma::QarmaSliced sliced(Sbox::kSigma1, 7, kernel);
+        const Qarma64 scalar(Sbox::kSigma1, 7);
+        const auto ks = Qarma64::expandKey({rng.next(), rng.next()});
+        const size_t n = 200;
+        std::vector<u64> buf(n), tw(n), ref(n);
+        for (size_t i = 0; i < n; ++i) {
+            buf[i] = rng.next();
+            tw[i] = rng.next();
+            ref[i] = scalar.encrypt(buf[i], tw[i], ks);
+        }
+        sliced.encrypt(buf.data(), tw.data(), n, ks, buf.data());
+        EXPECT_EQ(buf, ref) << "kernel=" << static_cast<int>(kernel);
+    }
+}
+
+TEST(PacVectors, BatchPacMatchesScalarPacma)
+{
+    // PaContext::batchPac must agree with per-pointer pacma() on
+    // arbitrary request windows, including the size == 0 re-signs the
+    // free() path issues and windows below the slicing threshold.
+    pa::PaContext ctx;
+    Rng rng(0xba7c4'0003ull);
+    for (const size_t n : {size_t{1}, size_t{5}, size_t{16}, size_t{64},
+                           size_t{200}, size_t{513}}) {
+        std::vector<Addr> ptrs(n), out(n);
+        std::vector<u64> mods(n), sizes(n);
+        for (size_t i = 0; i < n; ++i) {
+            ptrs[i] = rng.next() & 0x00003fffffffffffull;
+            mods[i] = rng.next();
+            sizes[i] = (i % 7 == 0) ? 0 : rng.below(8192);
+        }
+        ctx.batchPac(ptrs.data(), mods.data(), sizes.data(), n,
+                     pa::PaKey::kModifierM, out.data());
+        for (size_t i = 0; i < n; ++i) {
+            EXPECT_EQ(out[i], ctx.pacma(ptrs[i], mods[i], sizes[i]))
+                << "n=" << n << " slot=" << i;
+        }
+    }
+}
+
+TEST(PacVectors, PacBatchQueueDrainsThroughBatchPac)
+{
+    // The deferred-signing queue: slots come back in enqueue order and
+    // clear() keeps the pool reusable.
+    pa::PaContext ctx;
+    pa::PacBatch batch(&ctx);
+    Rng rng(0xba7c4'0004ull);
+    for (int round = 0; round < 3; ++round) {
+        const size_t n = 40 + 7 * round;
+        std::vector<Addr> ptrs(n);
+        std::vector<u64> mods(n), sizes(n);
+        for (size_t i = 0; i < n; ++i) {
+            ptrs[i] = rng.next() & 0x00003fffffffffffull;
+            mods[i] = rng.next();
+            sizes[i] = rng.below(4096);
+            EXPECT_EQ(batch.enqueue(ptrs[i], mods[i], sizes[i]), i);
+        }
+        EXPECT_EQ(batch.pending(), n);
+        batch.flush();
+        for (size_t i = 0; i < n; ++i)
+            EXPECT_EQ(batch.result(i),
+                      ctx.pacma(ptrs[i], mods[i], sizes[i]));
+        batch.clear();
+        EXPECT_EQ(batch.pending(), 0u);
+    }
 }
 
 } // namespace
