@@ -183,6 +183,9 @@ class HashedBoundsTable
 
     u64 rows() const { return _rows; }
 
+    /** Simulated base address of the primary table. */
+    Addr base() const { return _primary.base; }
+
     /** Next row to migrate during an in-progress resize. */
     u64 migrationRow() const { return _rowPtr; }
 

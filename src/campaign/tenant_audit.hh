@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Cross-tenant isolation audit over the multi-tenant scheduler
+ * (DESIGN.md §15, bench/tenant_matrix).
+ *
+ * A scenario is a pure function of its seed: it derives a fleet (2-4
+ * tenants with micro workload profiles, one adversarial, optionally one
+ * fault-targeted), runs it fixed-work on one shared core through the
+ * Scheduler, and then checks the isolation contract:
+ *
+ *  - zero cross-tenant silent corruption: every non-adversarial
+ *    tenant's functional fingerprint (committed ops, op mix, HBT
+ *    insert/clear/occupancy/resize counts, violation count) is
+ *    bit-equal to a solo reference run of the same TenantConfig pinned
+ *    to the same address-space slot — sharing the core, caches, DRAM,
+ *    MCU and key registers with an attacker changed nothing functional.
+ *    Tenants targeted with metadata/DRAM faults are exempt from this
+ *    comparison (the injected corruption itself samples machine state,
+ *    so a solo replay legitimately lands elsewhere); pointer-faulted
+ *    tenants are compared, their schedule being purely functional;
+ *  - zero misattributed detections: no violation is ever logged by a
+ *    tenant that is neither adversarial nor fault-targeted, and every
+ *    FaultEvent the tenant-targeting injection domain records carries
+ *    the id of the tenant it was aimed at.
+ *
+ * Adversarial containment is reported alongside (attacks launched /
+ * detectable / detected) but the gate is the two invariants above —
+ * they are what "isolation" means when the attacker's own detections
+ * are by design nonzero.
+ */
+
+#ifndef AOS_CAMPAIGN_TENANT_AUDIT_HH
+#define AOS_CAMPAIGN_TENANT_AUDIT_HH
+
+#include <string>
+
+#include "common/cancel.hh"
+#include "common/types.hh"
+
+namespace aos::campaign::tenant_audit {
+
+/** Outcome of one seeded fleet scenario. */
+struct ScenarioResult
+{
+    u64 tenants = 0;
+    u64 benignCompared = 0; //!< Non-adversarial solo comparisons made.
+
+    // Gate counters — the audit passes iff all three stay zero.
+    u64 fingerprintMismatches = 0; //!< Fleet vs solo functional drift.
+    u64 benignViolations = 0;      //!< Detections on untargeted tenants.
+    u64 misattributedFaults = 0;   //!< FaultEvents tagged to the wrong id.
+
+    // Reporting.
+    u64 attacksLaunched = 0;
+    u64 attacksDetectable = 0;
+    u64 attackDetections = 0; //!< Violations logged by the adversary.
+    u64 faultsInjected = 0;
+    u64 contextSwitches = 0;
+
+    std::string detail; //!< First failed invariant, for diagnosis.
+
+    bool
+    pass() const
+    {
+        return fingerprintMismatches == 0 && benignViolations == 0 &&
+               misattributedFaults == 0;
+    }
+};
+
+/** Aggregate over a batch of scenarios (one campaign job's worth). */
+struct AuditSummary
+{
+    u64 scenarios = 0;
+    u64 failedScenarios = 0;
+    u64 tenantsAudited = 0;
+    u64 benignCompared = 0;
+    u64 fingerprintMismatches = 0;
+    u64 benignViolations = 0;
+    u64 misattributedFaults = 0;
+    u64 attacksLaunched = 0;
+    u64 attacksDetectable = 0;
+    u64 attackDetections = 0;
+    u64 faultsInjected = 0;
+    std::string firstFailure;
+
+    bool pass() const { return failedScenarios == 0; }
+    void merge(const ScenarioResult &scenario);
+};
+
+/**
+ * Run one seeded scenario. @p cancel (nullable) is polled between the
+ * fleet run and each solo reference so campaign timeouts preempt.
+ */
+ScenarioResult auditScenario(u64 seed, const CancelToken *cancel);
+
+/** Run @p count scenarios with consecutive seeds from @p first_seed. */
+AuditSummary auditBatch(u64 first_seed, unsigned count,
+                        const CancelToken *cancel);
+
+} // namespace aos::campaign::tenant_audit
+
+#endif // AOS_CAMPAIGN_TENANT_AUDIT_HH

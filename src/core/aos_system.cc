@@ -477,7 +477,7 @@ AosSystem::run()
         result.bwb = _bwb->stats();
     if (_os) {
         result.hbt = _os->hbt().stats();
-        result.violations = _os->violations().size();
+        result.violations = _os->violationCount();
         result.resizes = result.hbt.resizes;
     }
     if (_elide)

@@ -67,13 +67,28 @@ class ProcessTerminated : public std::exception
 class OsModel
 {
   public:
+    /** Default address where the OS maps the initial bounds table. */
+    static constexpr Addr kDefaultHbtBase = 0x3000'0000'0000ull;
+
+    /**
+     * Violation records kept in memory (bounded ring). A
+     * report-and-resume process under sustained attack logs one record
+     * per violation; the ring caps that at a fixed footprint while
+     * violationCount() keeps the true total.
+     */
+    static constexpr size_t kDefaultViolationCap = 1024;
+
     /**
      * Create the process context: maps the HBT (Table IV: initial
-     * 1-way, 4 MB for a 16-bit PAC).
+     * 1-way, 4 MB for a 16-bit PAC). @p hbt_base places the table —
+     * per-process in a multi-tenant setting so tenants never share
+     * metadata cache lines; the resized table goes to the same
+     * fixed offset above it as the single-process default.
      */
     explicit OsModel(unsigned pac_bits = 16, unsigned initial_assoc = 1,
                      unsigned records_per_way = bounds::kSlotsPerWay,
-                     FaultPolicy policy = FaultPolicy::kReport);
+                     FaultPolicy policy = FaultPolicy::kReport,
+                     Addr hbt_base = kDefaultHbtBase);
 
     bounds::HashedBoundsTable &hbt() { return _hbt; }
 
@@ -87,17 +102,52 @@ class OsModel
     FaultPolicy policy() const { return _policy; }
     void setPolicy(FaultPolicy policy) { _policy = policy; }
 
+    /**
+     * The retained violation records (at most violationCap() of them,
+     * oldest dropped first). Use violationCount() for the true total.
+     */
     const std::vector<ViolationRecord> &violations() const
     {
         return _violations;
     }
 
+    /** Total violations ever logged, including dropped records. */
+    u64 violationCount() const { return _violationCount; }
+
+    /** Records discarded because the ring was full. */
+    u64 violationsDropped() const { return _violationsDropped; }
+
+    size_t violationCap() const { return _violationCap; }
+
+    /** Shrink/grow the ring cap (existing overflow is discarded). */
+    void setViolationCap(size_t cap);
+
+    /**
+     * Process teardown: deterministically release the HBT (storage
+     * freed, table remapped empty at its original base/associativity)
+     * and drop the violation log, so a terminated tenant's slot can be
+     * reused mid-campaign with no state or memory carried over.
+     */
+    void retire();
+
     u64 resizesServiced() const { return _resizes; }
 
   private:
+    void logViolation(const ViolationRecord &record);
+
+    unsigned _pacBits;
+    unsigned _initialAssoc;
+    unsigned _recordsPerWay;
+    Addr _hbtBase;
     bounds::HashedBoundsTable _hbt;
     FaultPolicy _policy;
+    // Bounded ring: grows to _violationCap then overwrites the oldest
+    // record (_ringHead is the next overwrite position).
     std::vector<ViolationRecord> _violations;
+    size_t _violationCap = kDefaultViolationCap;
+    size_t _ringHead = 0;
+    u64 _violationCount = 0;
+    u64 _violationsDropped = 0;
     u64 _resizes = 0;
 };
 

@@ -8,12 +8,20 @@ PaContext::PaContext(PointerLayout layout, u64 seed)
     : _layout(layout), _cipher(qarma::Sbox::kSigma1, 7),
       _sliced(qarma::Sbox::kSigma1, 7)
 {
+    installKeys(deriveKeys(seed));
+}
+
+KeySet
+PaContext::deriveKeys(u64 seed)
+{
+    KeySet set;
     Rng rng(seed);
     for (unsigned i = 0; i < 5; ++i) {
-        _keys[i].w0 = rng.next();
-        _keys[i].k0 = rng.next();
-        _scheds[i] = qarma::Qarma64::expandKey(_keys[i]);
+        set.keys[i].w0 = rng.next();
+        set.keys[i].k0 = rng.next();
+        set.scheds[i] = qarma::Qarma64::expandKey(set.keys[i]);
     }
+    return set;
 }
 
 u64

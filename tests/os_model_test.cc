@@ -100,5 +100,67 @@ TEST(OsModel, PolicySwitchableAtRuntime)
         ProcessTerminated);
 }
 
+TEST(OsModel, ViolationLogIsBoundedRing)
+{
+    OsModel os;
+    os.setViolationCap(4);
+    for (u64 i = 0; i < 10; ++i)
+        os.handleFault(mcu::FaultKind::kBoundsViolation,
+                       entryAt(0x1000 + i, 7, i + 1));
+
+    EXPECT_EQ(os.violationCount(), 10u) << "true total survives the cap";
+    EXPECT_EQ(os.violationsDropped(), 6u);
+    ASSERT_EQ(os.violations().size(), 4u) << "footprint stays bounded";
+    // The retained records are the newest ones (oldest dropped first).
+    u64 newest_seen = 0;
+    for (const auto &record : os.violations()) {
+        EXPECT_GE(record.seq, 7u);
+        newest_seen = std::max(newest_seen, record.seq);
+    }
+    EXPECT_EQ(newest_seen, 10u);
+}
+
+TEST(OsModel, DefaultCapKeepsEveryEarlyRecord)
+{
+    OsModel os;
+    EXPECT_EQ(os.violationCap(), OsModel::kDefaultViolationCap);
+    for (u64 i = 0; i < 100; ++i)
+        os.handleFault(mcu::FaultKind::kBoundsViolation, entryAt(i));
+    EXPECT_EQ(os.violations().size(), 100u);
+    EXPECT_EQ(os.violationsDropped(), 0u);
+}
+
+TEST(OsModel, RetireReleasesHbtAndViolationLog)
+{
+    OsModel os(8, 1);
+    const Addr base = os.hbt().base();
+    os.hbt().insert(3, bounds::compress(0x20001000, 64));
+    os.handleFault(mcu::FaultKind::kStoreOverflow, entryAt(0x1000));
+    os.handleFault(mcu::FaultKind::kBoundsViolation, entryAt(0x2000));
+    ASSERT_EQ(os.hbt().ways(), 2u);
+    ASSERT_EQ(os.violationCount(), 1u);
+
+    os.retire();
+
+    // Deterministic teardown: the table is remapped empty at its
+    // original base and associativity, and the log is gone, so the
+    // tenant slot can be reused mid-campaign with nothing carried over.
+    EXPECT_EQ(os.hbt().base(), base);
+    EXPECT_EQ(os.hbt().ways(), 1u);
+    EXPECT_EQ(os.hbt().stats().occupied, 0u);
+    EXPECT_FALSE(os.hbt().resizing());
+    EXPECT_TRUE(os.violations().empty());
+    EXPECT_EQ(os.violationCount(), 0u);
+    EXPECT_EQ(os.violationsDropped(), 0u);
+}
+
+TEST(OsModel, PerTenantHbtBaseIsHonoured)
+{
+    const Addr tenant_base = 0x3000'0000'0000ull + 0x20'0000'0000ull;
+    OsModel os(16, 1, bounds::kSlotsPerWay, FaultPolicy::kReport,
+               tenant_base);
+    EXPECT_EQ(os.hbt().base(), tenant_base);
+}
+
 } // namespace
 } // namespace aos::os
